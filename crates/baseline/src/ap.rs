@@ -1,0 +1,329 @@
+//! A conventional 802.11n AP for the baseline schemes.
+//!
+//! Same PHY/MAC machinery as a WGTT AP (A-MPDU aggregation, Block ACK,
+//! Minstrel) but the classic data path: one FIFO mac80211 queue per
+//! client, packets arrive from the distribution system only while the
+//! client is associated *here*, and nothing flushes the queue on a
+//! handover — the backlog keeps burning airtime toward a departed client
+//! until retries exhaust, exactly the §3 buffering pathology WGTT's
+//! queue management removes.
+
+use std::collections::HashMap;
+use wgtt_mac::aggregation::{build_ampdu, AggregationPolicy};
+use wgtt_mac::blockack::BaOriginator;
+use wgtt_mac::frame::{Mpdu, NodeId, PacketRef};
+use wgtt_mac::queues::BoundedQueue;
+use wgtt_mac::rate::RateController;
+use wgtt_mac::seq::seq_next;
+use wgtt_mac::Mcs;
+use wgtt_net::Packet;
+use wgtt_sim::rng::RngStream;
+
+/// Outcome of a Block ACK/timeout for the scenario's bookkeeping (same
+/// shape as the WGTT AP's feedback).
+#[derive(Debug, Default)]
+pub struct BaFeedback {
+    /// Packets confirmed delivered.
+    pub delivered: Vec<PacketRef>,
+    /// Packets dropped after retry exhaustion.
+    pub dropped: Vec<PacketRef>,
+}
+
+#[derive(Debug)]
+struct ClientQueue {
+    fifo: BoundedQueue<Packet>,
+    staged: std::collections::VecDeque<Mpdu>,
+    retries: Vec<Mpdu>,
+    ba: BaOriginator,
+    rate: RateController,
+    next_seq: u16,
+    in_flight_meta: Option<(Mcs, usize)>,
+}
+
+impl ClientQueue {
+    fn new(rate: RateController) -> Self {
+        ClientQueue {
+            fifo: BoundedQueue::mac80211(),
+            staged: std::collections::VecDeque::new(),
+            retries: Vec::new(),
+            ba: BaOriginator::default(),
+            rate,
+            next_seq: 0,
+            in_flight_meta: None,
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        !self.ba.has_in_flight()
+            && (!self.retries.is_empty() || !self.staged.is_empty() || !self.fifo.is_empty())
+    }
+}
+
+/// One baseline AP.
+pub struct BaselineAp {
+    /// This AP's node id.
+    pub id: NodeId,
+    clients: HashMap<NodeId, ClientQueue>,
+    rng: RngStream,
+    agg: AggregationPolicy,
+    rr_cursor: usize,
+    /// Packets dropped at the full mac80211 queue.
+    pub queue_drops: u64,
+}
+
+impl BaselineAp {
+    /// Build an AP; `rng` should be derived per AP id.
+    pub fn new(id: NodeId, rng: RngStream) -> Self {
+        BaselineAp {
+            id,
+            clients: HashMap::new(),
+            rng,
+            agg: AggregationPolicy::default(),
+            rr_cursor: 0,
+            queue_drops: 0,
+        }
+    }
+
+    fn client_mut(&mut self, client: NodeId) -> &mut ClientQueue {
+        let rng = self.rng.derive_indexed("rate", client.0 as u64).rng();
+        self.clients
+            .entry(client)
+            .or_insert_with(|| ClientQueue::new(RateController::new(rng)))
+    }
+
+    /// Enqueue a downlink packet (from the distribution system). Returns
+    /// `false` on queue overflow.
+    pub fn enqueue_downlink(&mut self, client: NodeId, packet: Packet) -> bool {
+        let len = u32::from(packet.len);
+        let ok = self.client_mut(client).fifo.push(packet, len);
+        if !ok {
+            self.queue_drops += 1;
+        }
+        ok
+    }
+
+    /// Whether an A-MPDU toward `client` awaits its Block ACK.
+    pub fn has_in_flight(&self, client: NodeId) -> bool {
+        self.clients
+            .get(&client)
+            .is_some_and(|q| q.ba.has_in_flight())
+    }
+
+    /// Packets queued toward `client` (the handover backlog).
+    pub fn backlog(&self, client: NodeId) -> usize {
+        self.clients.get(&client).map_or(0, |c| {
+            c.fifo.len() + c.staged.len() + c.retries.len()
+        })
+    }
+
+    /// Clients with transmittable work.
+    pub fn tx_ready_clients(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .clients
+            .iter()
+            .filter(|(_, q)| q.has_work())
+            .map(|(&c, _)| c)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Round-robin pick of the next client to serve.
+    pub fn next_tx_client(&mut self) -> Option<NodeId> {
+        let ready = self.tx_ready_clients();
+        if ready.is_empty() {
+            return None;
+        }
+        let pick = ready[self.rr_cursor % ready.len()];
+        self.rr_cursor = self.rr_cursor.wrapping_add(1);
+        Some(pick)
+    }
+
+    /// Build the next A-MPDU toward `client`.
+    pub fn build_txop(&mut self, client: NodeId) -> Option<(Vec<Mpdu>, Mcs)> {
+        let agg = self.agg;
+        let q = self.client_mut(client);
+        if q.ba.has_in_flight() {
+            return None;
+        }
+        // Stage fresh packets with newly assigned sequence numbers.
+        while q.staged.len() < 64 {
+            let Some(packet) = q.fifo.pop() else { break };
+            let seq = q.next_seq;
+            q.next_seq = seq_next(q.next_seq);
+            q.staged.push_back(Mpdu {
+                seq,
+                packet: PacketRef {
+                    id: packet.id,
+                    len: packet.len,
+                },
+                retries: 0,
+            });
+        }
+        let mcs = q.rate.select();
+        let mpdus = build_ampdu(&mut q.retries, &mut q.staged, &agg, mcs);
+        if mpdus.is_empty() {
+            return None;
+        }
+        q.in_flight_meta = Some((mcs, mpdus.len()));
+        q.ba.on_ampdu_sent(mpdus.clone());
+        Some((mpdus, mcs))
+    }
+
+    /// A Block ACK from `client` arrived.
+    pub fn on_block_ack(&mut self, client: NodeId, start_seq: u16, bitmap: u64) -> BaFeedback {
+        let q = self.client_mut(client);
+        if q.ba.has_in_flight() && !q.ba.covers_in_flight(start_seq) {
+            return BaFeedback::default(); // stale window
+        }
+        let r = q.ba.on_block_ack(start_seq, bitmap);
+        if r.duplicate {
+            return BaFeedback::default(); // no-op: window still stands
+        }
+        if let Some((mcs, attempted)) = q.in_flight_meta.take() {
+            q.rate.on_feedback(mcs, attempted, r.acked.len());
+        }
+        q.retries.extend(r.to_retry.iter().copied());
+        BaFeedback {
+            delivered: r.acked,
+            dropped: r.dropped,
+        }
+    }
+
+    /// The distribution system moved `client` to another AP: drop every
+    /// queued frame and the Block ACK state (the real AP removes the STA
+    /// entry on the IAPP/DS notification and flushes its queues).
+    pub fn flush_client(&mut self, client: NodeId) {
+        if let Some(q) = self.clients.get_mut(&client) {
+            while q.fifo.pop().is_some() {}
+            q.staged.clear();
+            q.retries.clear();
+            q.ba.clear();
+            q.in_flight_meta = None;
+        }
+    }
+
+    /// The Block ACK never arrived.
+    pub fn on_ba_timeout(&mut self, client: NodeId) -> BaFeedback {
+        let q = self.client_mut(client);
+        if !q.ba.has_in_flight() {
+            return BaFeedback::default();
+        }
+        let r = q.ba.on_ba_timeout();
+        if let Some((mcs, attempted)) = q.in_flight_meta.take() {
+            q.rate.on_feedback(mcs, attempted, 0);
+        }
+        q.retries.extend(r.to_retry.iter().copied());
+        BaFeedback {
+            delivered: Vec::new(),
+            dropped: r.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgtt_net::packet::{FlowId, PacketFactory};
+    use wgtt_net::wire::Ipv4Addr;
+    use wgtt_sim::time::SimTime;
+
+    const AP1: NodeId = NodeId(1);
+    const CLIENT: NodeId = NodeId(100);
+
+    fn ap() -> BaselineAp {
+        BaselineAp::new(AP1, RngStream::root(3))
+    }
+
+    fn pkt(f: &mut PacketFactory, seq: u32) -> Packet {
+        f.udp(
+            FlowId(0),
+            Ipv4Addr::new(8, 8, 8, 8),
+            Ipv4Addr::new(172, 16, 0, 100),
+            seq,
+            1500,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn fifo_order_with_sequential_seqs() {
+        let mut a = ap();
+        let mut f = PacketFactory::new();
+        for i in 0..40 {
+            assert!(a.enqueue_downlink(CLIENT, pkt(&mut f, i)));
+        }
+        let (mpdus, mcs) = a.build_txop(CLIENT).unwrap();
+        let cap = AggregationPolicy::default().byte_cap_at(mcs) as usize / 1500;
+        assert_eq!(mpdus.len(), cap.min(32));
+        assert!(mpdus.len() >= 2);
+        for (i, m) in mpdus.iter().enumerate() {
+            assert_eq!(m.seq as usize, i);
+        }
+    }
+
+    #[test]
+    fn stop_and_wait_per_client() {
+        let mut a = ap();
+        let mut f = PacketFactory::new();
+        for i in 0..100 {
+            a.enqueue_downlink(CLIENT, pkt(&mut f, i));
+        }
+        assert!(a.build_txop(CLIENT).is_some());
+        assert!(a.build_txop(CLIENT).is_none());
+        a.on_block_ack(CLIENT, 0, u64::MAX);
+        assert!(a.build_txop(CLIENT).is_some());
+    }
+
+    #[test]
+    fn ba_timeout_burns_airtime_on_departed_client() {
+        // The handover pathology: the client left, every window times out,
+        // the backlog drains only through retry exhaustion.
+        let mut a = ap();
+        let mut f = PacketFactory::new();
+        for i in 0..64 {
+            a.enqueue_downlink(CLIENT, pkt(&mut f, i));
+        }
+        let mut total_dropped = 0;
+        let mut txops = 0;
+        while let Some((_mpdus, _)) = a.build_txop(CLIENT) {
+            txops += 1;
+            assert!(txops < 1000, "must terminate by retry exhaustion");
+            let fb = a.on_ba_timeout(CLIENT);
+            total_dropped += fb.dropped.len();
+        }
+        assert_eq!(total_dropped, 64, "everything eventually dropped");
+        assert!(txops >= 8, "many wasted TXOPs: got {txops}");
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut a = ap();
+        let mut f = PacketFactory::new();
+        let mut accepted = 0;
+        for i in 0..3000 {
+            if a.enqueue_downlink(CLIENT, pkt(&mut f, i)) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted < 3000);
+        assert!(a.queue_drops > 0);
+        assert_eq!(accepted + a.queue_drops as usize, 3000);
+    }
+
+    #[test]
+    fn backlog_reports_all_layers() {
+        let mut a = ap();
+        let mut f = PacketFactory::new();
+        for i in 0..100 {
+            a.enqueue_downlink(CLIENT, pkt(&mut f, i));
+        }
+        assert_eq!(a.backlog(CLIENT), 100);
+        a.build_txop(CLIENT).unwrap();
+        // 64 staged (32 in flight belong to the BA window, 32 still
+        // staged) + 36 fifo.
+        assert!(a.backlog(CLIENT) >= 36);
+        a.on_ba_timeout(CLIENT);
+        assert_eq!(a.backlog(CLIENT), 100 - 32 + 32); // retries rejoin
+    }
+}

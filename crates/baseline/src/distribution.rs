@@ -1,0 +1,89 @@
+//! The wired distribution system for the baseline WLAN.
+//!
+//! Forwards each client's downlink traffic to the AP it is currently
+//! associated with, and moves that binding when a reassociation
+//! completes. Per §5.1(3), authentication/association state is
+//! pre-shared: any AP can accept the client's reassociation request
+//! immediately, so the DS learns of moves as soon as the two-frame
+//! exchange finishes.
+
+use std::collections::HashMap;
+use wgtt_mac::frame::NodeId;
+
+/// Client → serving-AP bindings.
+#[derive(Debug, Default)]
+pub struct DistributionSystem {
+    bindings: HashMap<NodeId, NodeId>,
+    /// Downlink packets that arrived for an unbound client (dropped).
+    pub unbound_drops: u64,
+    /// Completed binding moves.
+    pub moves: u64,
+}
+
+impl DistributionSystem {
+    /// Empty DS.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current AP for `client`.
+    pub fn binding(&self, client: NodeId) -> Option<NodeId> {
+        self.bindings.get(&client).copied()
+    }
+
+    /// Initial attach.
+    pub fn attach(&mut self, client: NodeId, ap: NodeId) {
+        self.bindings.insert(client, ap);
+    }
+
+    /// A reassociation to `new_ap` completed.
+    pub fn on_reassoc(&mut self, client: NodeId, new_ap: NodeId) {
+        if self.bindings.insert(client, new_ap) != Some(new_ap) {
+            self.moves += 1;
+        }
+    }
+
+    /// Route a downlink packet: the AP to enqueue it at, or `None` (and
+    /// a counted drop) if the client is unknown.
+    pub fn route(&mut self, client: NodeId) -> Option<NodeId> {
+        let ap = self.bindings.get(&client).copied();
+        if ap.is_none() {
+            self.unbound_drops += 1;
+        }
+        ap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AP1: NodeId = NodeId(1);
+    const AP2: NodeId = NodeId(2);
+    const CLIENT: NodeId = NodeId(100);
+
+    #[test]
+    fn routes_to_bound_ap() {
+        let mut ds = DistributionSystem::new();
+        ds.attach(CLIENT, AP1);
+        assert_eq!(ds.route(CLIENT), Some(AP1));
+        ds.on_reassoc(CLIENT, AP2);
+        assert_eq!(ds.route(CLIENT), Some(AP2));
+        assert_eq!(ds.moves, 1);
+    }
+
+    #[test]
+    fn unbound_drops_counted() {
+        let mut ds = DistributionSystem::new();
+        assert_eq!(ds.route(CLIENT), None);
+        assert_eq!(ds.unbound_drops, 1);
+    }
+
+    #[test]
+    fn rebind_to_same_ap_is_not_a_move() {
+        let mut ds = DistributionSystem::new();
+        ds.attach(CLIENT, AP1);
+        ds.on_reassoc(CLIENT, AP1);
+        assert_eq!(ds.moves, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Design-choice ablations (DESIGN.md §5): each target runs the standard
+//! 15 mph drive with one mechanism changed, and the benchmark label
+//! carries the configuration so `cargo bench --bench ablations` produces
+//! a comparable series. Delivered bytes are also asserted so a silently
+//! broken configuration fails loudly instead of benchmarking garbage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wgtt::WgttConfig;
+use wgtt_net::packet::FlowId;
+use wgtt_scenario::testbed::{ClientPlan, TestbedConfig};
+use wgtt_scenario::world::{FlowSpec, SystemKind, World};
+use wgtt_sim::time::{SimDuration, SimTime};
+
+fn drive_bytes(cfg: WgttConfig, seed: u64) -> u64 {
+    drive_bytes_opts(cfg, seed, false)
+}
+
+fn drive_bytes_opts(cfg: WgttConfig, seed: u64, rts_cts: bool) -> u64 {
+    let testbed = TestbedConfig::paper_array().with_clients(vec![ClientPlan::drive_by(15.0)]);
+    let mut w = World::new(
+        testbed,
+        SystemKind::Wgtt(cfg),
+        vec![FlowSpec::DownlinkUdp { rate_mbps: 25.0 }],
+        seed,
+    );
+    w.rts_cts = rts_cts;
+    w.traffic_start = SimTime::from_millis(1000);
+    w.run(SimDuration::from_secs(8));
+    w.report
+        .flow_meters
+        .get(&FlowId(0))
+        .map(|m| m.total_bytes())
+        .unwrap_or(0)
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let cases: Vec<(&str, WgttConfig)> = vec![
+        ("baseline-config", WgttConfig::default()),
+        (
+            "selection-window-2ms",
+            WgttConfig {
+                selection_window: SimDuration::from_millis(2),
+                ..WgttConfig::default()
+            },
+        ),
+        (
+            "selection-window-100ms",
+            WgttConfig {
+                selection_window: SimDuration::from_millis(100),
+                ..WgttConfig::default()
+            },
+        ),
+        (
+            "hysteresis-400ms",
+            WgttConfig {
+                switch_hysteresis: SimDuration::from_millis(400),
+                ..WgttConfig::default()
+            },
+        ),
+        (
+            "margin-0db",
+            WgttConfig {
+                switch_margin_db: 0.0,
+                ..WgttConfig::default()
+            },
+        ),
+        (
+            "no-ba-forwarding",
+            WgttConfig {
+                enable_ba_forwarding: false,
+                ..WgttConfig::default()
+            },
+        ),
+        (
+            "slow-backhaul-5ms",
+            WgttConfig {
+                backhaul_latency: SimDuration::from_millis(5),
+                ..WgttConfig::default()
+            },
+        ),
+    ];
+    // RTS/CTS on (world-level switch rather than a WgttConfig knob).
+    {
+        let bytes = drive_bytes_opts(WgttConfig::default(), 1, true);
+        assert!(bytes > 0);
+        println!(
+            "ablation rts-cts-on: {:.2} Mbit delivered over the 8 s drive",
+            bytes as f64 * 8.0 / 1e6
+        );
+        c.bench_function("ablations/rts-cts-on", |b| {
+            b.iter(|| black_box(drive_bytes_opts(WgttConfig::default(), 1, true)))
+        });
+    }
+    for (name, cfg) in cases {
+        // Print the throughput effect once so the ablation is readable
+        // from the bench log, then time the kernel.
+        let bytes = drive_bytes(cfg, 1);
+        assert!(bytes > 0, "{name}: ablated run delivered nothing");
+        println!(
+            "ablation {name}: {:.2} Mbit delivered over the 8 s drive",
+            bytes as f64 * 8.0 / 1e6
+        );
+        c.bench_function(&format!("ablations/{name}"), |b| {
+            b.iter(|| black_box(drive_bytes(cfg, 1)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

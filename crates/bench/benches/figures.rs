@@ -1,0 +1,59 @@
+//! One benchmark per paper figure.
+//!
+//! Light artifacts (radio-only traces, emulation sweeps) run their full
+//! experiment driver per iteration. Heavy end-to-end sweeps (which the
+//! `wgtt-experiments` binary regenerates in full) are represented here by
+//! their characteristic single-drive kernel, so `cargo bench --bench
+//! figures` both smoke-tests and times every figure pipeline in minutes,
+//! not hours.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wgtt_bench::quick_drive_bytes;
+use wgtt_scenario::experiments;
+
+fn bench_light_figures(c: &mut Criterion) {
+    // Radio/emulation-level drivers: cheap enough to run in full.
+    for id in ["fig2", "fig4", "fig10", "fig21"] {
+        c.bench_function(&format!("figures/{id}/full"), |b| {
+            b.iter(|| black_box(experiments::run(id, 1, true).expect("known id")))
+        });
+    }
+}
+
+fn bench_heavy_figures(c: &mut Criterion) {
+    // End-to-end sweeps: one characteristic drive per artifact. The
+    // label records which figure's pipeline the kernel exercises; the
+    // full sweep lives in `wgtt-experiments <id>`.
+    let kernels: [(&str, bool, bool); 9] = [
+        // (figure, wgtt?, udp?)
+        ("fig13", true, true),
+        ("fig13-baseline", false, true),
+        ("fig14", true, false),
+        ("fig15", true, true),
+        ("fig16", true, true),
+        ("fig17", true, true),
+        ("fig18", true, true),
+        ("fig20", false, true),
+        ("fig22", true, false),
+    ];
+    for (id, wgtt, udp) in kernels {
+        c.bench_function(&format!("figures/{id}/drive-kernel"), |b| {
+            b.iter(|| black_box(quick_drive_bytes(wgtt, udp, 1)))
+        });
+    }
+    // fig23 (density) and fig24 (conferencing) reduce to the same drive
+    // kernel; their sweeps run via `wgtt-experiments`.
+    for id in ["fig23", "fig24"] {
+        c.bench_function(&format!("figures/{id}/drive-kernel"), |b| {
+            b.iter(|| black_box(quick_drive_bytes(true, true, 2)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_light_figures, bench_heavy_figures
+}
+criterion_main!(benches);

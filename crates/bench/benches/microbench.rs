@@ -1,0 +1,145 @@
+//! Component microbenchmarks: the hot paths a WGTT deployment exercises
+//! millions of times per second of simulated (or real) time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use wgtt::cyclic::CyclicQueue;
+use wgtt::dedup::DedupFilter;
+use wgtt::selection::ApSelector;
+use wgtt_mac::aggregation::{build_ampdu, AggregationPolicy};
+use wgtt_mac::frame::{Mpdu, NodeId, PacketRef};
+use wgtt_mac::Mcs;
+use wgtt_net::packet::{FlowId, PacketFactory};
+use wgtt_net::wire::{Ipv4Addr, Ipv4Header, IpProtocol};
+use wgtt_radio::fading::FadingProcess;
+use wgtt_radio::{effective_snr_db, Modulation};
+use wgtt_sim::queue::EventQueue;
+use wgtt_sim::rng::RngStream;
+use wgtt_sim::time::{SimDuration, SimTime};
+
+fn bench_radio(c: &mut Criterion) {
+    let fading = FadingProcess::new(RngStream::root(1).derive("bench"), 6.7, 9.0);
+    c.bench_function("radio/csi_at (56 subcarriers, 6 taps)", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 137;
+            black_box(fading.csi_at(SimTime::from_micros(t)))
+        })
+    });
+    let csi = fading.csi_at(SimTime::from_millis(3));
+    c.bench_function("radio/effective_snr_db (16-QAM)", |b| {
+        b.iter(|| black_box(effective_snr_db(&csi, 20.0, Modulation::Qam16)))
+    });
+}
+
+fn bench_mac(c: &mut Criterion) {
+    c.bench_function("mac/build_ampdu (32 of 64 queued)", |b| {
+        b.iter_batched(
+            || {
+                let fresh: std::collections::VecDeque<Mpdu> = (0..64u16)
+                    .map(|s| Mpdu {
+                        seq: s,
+                        packet: PacketRef {
+                            id: s as u64,
+                            len: 1500,
+                        },
+                        retries: 0,
+                    })
+                    .collect();
+                (Vec::new(), fresh)
+            },
+            |(mut retries, mut fresh)| {
+                black_box(build_ampdu(
+                    &mut retries,
+                    &mut fresh,
+                    &AggregationPolicy::default(),
+                    Mcs::Mcs7,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut factory = PacketFactory::new();
+    let packet = factory.udp(
+        FlowId(0),
+        Ipv4Addr::new(8, 8, 8, 8),
+        Ipv4Addr::new(172, 16, 0, 100),
+        0,
+        1500,
+        SimTime::ZERO,
+    );
+
+    c.bench_function("core/cyclic insert+pop", |b| {
+        let mut q = CyclicQueue::new();
+        let mut i = 0u16;
+        b.iter(|| {
+            q.insert(i, packet);
+            black_box(q.pop());
+            i = (i + 1) % 4096;
+        })
+    });
+
+    c.bench_function("core/dedup check_and_insert", |b| {
+        let mut d = DedupFilter::new(1 << 16);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(d.check_and_insert(k % 100_000))
+        })
+    });
+
+    c.bench_function("core/selector record+evaluate (8 APs)", |b| {
+        let mut s = ApSelector::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(40),
+            2.5,
+        );
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 500;
+            let at = SimTime::from_micros(t);
+            s.record(NodeId((t % 8) as u32), at, 10.0 + (t % 13) as f64);
+            black_box(s.evaluate(at))
+        })
+    });
+}
+
+fn bench_net(c: &mut Criterion) {
+    c.bench_function("net/ipv4 emit+parse (checksummed)", |b| {
+        let h = Ipv4Header {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            ident: 7,
+            ttl: 64,
+            protocol: IpProtocol::Udp,
+            payload_len: 1472,
+        };
+        let mut buf = vec![0u8; 1492];
+        b.iter(|| {
+            h.emit(&mut buf).expect("fits");
+            black_box(Ipv4Header::parse(&buf).expect("valid"))
+        })
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    c.bench_function("sim/event queue schedule+pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 3;
+            q.schedule(SimTime::from_nanos(t), t);
+            black_box(q.pop())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_radio, bench_mac, bench_core, bench_net, bench_sim
+}
+criterion_main!(benches);

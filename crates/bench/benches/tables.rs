@@ -1,0 +1,31 @@
+//! One benchmark per paper table (see `benches/figures.rs` for the
+//! light/heavy split rationale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wgtt_bench::quick_drive_bytes;
+use wgtt_scenario::experiments;
+
+fn bench_tables(c: &mut Criterion) {
+    // Table 1 (switch timing) and Table 3 (ACK collisions) reduce to one
+    // instrumented drive each in quick mode.
+    for id in ["table1", "table3"] {
+        c.bench_function(&format!("tables/{id}/quick"), |b| {
+            b.iter(|| black_box(experiments::run(id, 1, true).expect("known id")))
+        });
+    }
+    // Table 2 (accuracy), Table 4 (video), Table 5 (web) are driven by
+    // the same end-to-end drive kernel; their reductions are offline.
+    for id in ["table2", "table4", "table5"] {
+        c.bench_function(&format!("tables/{id}/drive-kernel"), |b| {
+            b.iter(|| black_box(quick_drive_bytes(true, id == "table2", 1)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables
+}
+criterion_main!(benches);

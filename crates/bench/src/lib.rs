@@ -1,0 +1,55 @@
+//! # wgtt-bench — the benchmark harness
+//!
+//! Four Criterion suites regenerate and time the paper's evaluation:
+//!
+//! * `benches/figures.rs` — one benchmark per figure-regenerating
+//!   simulation kernel (quick parameterizations of the `wgtt-experiments`
+//!   drivers);
+//! * `benches/tables.rs` — one per table;
+//! * `benches/ablations.rs` — the DESIGN.md §5 design-choice ablations
+//!   (selection window, hysteresis, switch margin, Block ACK forwarding
+//!   on/off), each reporting the throughput delta in its label;
+//! * `benches/microbench.rs` — hot-path component benchmarks (ESNR from
+//!   CSI, fading synthesis, A-MPDU assembly, cyclic-ring ops, dedup,
+//!   event queue).
+//!
+//! The *data* behind each figure/table comes from the
+//! `wgtt-experiments` binary in `wgtt-scenario`; these benches make the
+//! regeneration repeatable and timed under `cargo bench`.
+
+/// Standard quick drive used by the figure/table benches: one client,
+/// 15 mph, across the paper array, returning delivered bytes (consumed by
+/// `black_box` so the simulation cannot be optimized away).
+pub fn quick_drive_bytes(system_wgtt: bool, udp: bool, seed: u64) -> u64 {
+    use wgtt_scenario::testbed::{ClientPlan, TestbedConfig};
+    use wgtt_scenario::world::{FlowSpec, SystemKind, World};
+    use wgtt_sim::time::{SimDuration, SimTime};
+
+    let cfg = TestbedConfig::paper_array().with_clients(vec![ClientPlan::drive_by(15.0)]);
+    let system = if system_wgtt {
+        SystemKind::Wgtt(wgtt::WgttConfig::default())
+    } else {
+        SystemKind::Enhanced80211r
+    };
+    let spec = if udp {
+        FlowSpec::DownlinkUdp { rate_mbps: 25.0 }
+    } else {
+        FlowSpec::DownlinkTcpBulk
+    };
+    let mut w = World::new(cfg, system, vec![spec], seed);
+    w.traffic_start = SimTime::from_millis(1000);
+    w.run(SimDuration::from_secs(6));
+    w.report
+        .flow_meters
+        .get(&wgtt_net::packet::FlowId(0))
+        .map(|m| m.total_bytes())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_drive_delivers() {
+        assert!(super::quick_drive_bytes(true, true, 1) > 100_000);
+    }
+}

@@ -1,0 +1,845 @@
+//! The WGTT AP data plane (paper Fig. 5 right, Fig. 7).
+//!
+//! Each AP holds, per client: the replicated [`CyclicQueue`], a small NIC
+//! staging queue (the hardware backlog the paper lets the old AP drain
+//! for ≈6 ms during a switch), the retry list, a Block ACK originator
+//! scoreboard, and a Minstrel rate controller. The MAC sequence number of
+//! every MPDU *is* the packet's 12-bit cyclic index — both spaces are
+//! m = 12 bits in the paper, and sharing them is what lets a client's
+//! Block ACK window survive an AP switch seamlessly.
+//!
+//! Control messages (`stop`/`start`) are processed out-of-band from data
+//! (the paper prioritizes them past the cyclic queue); the scenario
+//! delivers them with the configured processing delays.
+
+use crate::assoc::AssocTable;
+use crate::bafwd::MonitorPolicy;
+use crate::config::WgttConfig;
+use crate::cyclic::CyclicQueue;
+use crate::messages::{BackhaulDest, BackhaulMsg};
+use std::collections::{HashMap, VecDeque};
+use wgtt_mac::aggregation::{build_ampdu, AggregationPolicy};
+use wgtt_mac::blockack::BaOriginator;
+use wgtt_mac::frame::{Mpdu, NodeId, PacketRef};
+use wgtt_mac::rate::RateController;
+use wgtt_mac::Mcs;
+use wgtt_sim::rng::RngStream;
+use wgtt_sim::time::SimTime;
+
+/// An effect the AP wants performed on the backhaul.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApAction {
+    /// Destination.
+    pub to: BackhaulDest,
+    /// The message.
+    pub msg: BackhaulMsg,
+}
+
+/// What one Block ACK (or its timeout) meant for an AP's transmission
+/// state — consumed by the scenario for delivery bookkeeping.
+#[derive(Debug, Default)]
+pub struct BaFeedback {
+    /// Packets confirmed delivered.
+    pub delivered: Vec<PacketRef>,
+    /// Packets dropped after exhausting retries.
+    pub dropped: Vec<PacketRef>,
+    /// Whether this Block ACK was a duplicate (already processed).
+    pub duplicate: bool,
+}
+
+/// Per-AP statistics.
+#[derive(Debug, Default)]
+pub struct ApStats {
+    /// A-MPDUs transmitted.
+    pub ampdus_sent: u64,
+    /// MPDUs transmitted (including retries).
+    pub mpdus_sent: u64,
+    /// Block ACKs applied from our own radio or forwarded copies.
+    pub block_acks_applied: u64,
+    /// Forwarded Block ACKs that rescued an otherwise-lost window.
+    pub forwarded_ba_used: u64,
+    /// Block ACK timeouts (full-window retransmissions).
+    pub ba_timeouts: u64,
+    /// `stop` control packets handled.
+    pub stops_handled: u64,
+    /// `start` control packets handled.
+    pub starts_handled: u64,
+}
+
+#[derive(Debug)]
+struct ApClientState {
+    cyclic: CyclicQueue,
+    /// NIC hardware staging: MPDUs already handed to the "hardware",
+    /// below the driver's cyclic queue.
+    nic: VecDeque<Mpdu>,
+    retries: Vec<Mpdu>,
+    ba: BaOriginator,
+    rate: RateController,
+    serving: bool,
+    /// MCS and size of the in-flight A-MPDU (for rate feedback).
+    in_flight_meta: Option<(Mcs, usize)>,
+}
+
+impl ApClientState {
+    fn new(rate: RateController) -> Self {
+        ApClientState {
+            cyclic: CyclicQueue::new(),
+            nic: VecDeque::new(),
+            retries: Vec::new(),
+            ba: BaOriginator::default(),
+            rate,
+            serving: false,
+            in_flight_meta: None,
+        }
+    }
+}
+
+/// One WGTT access point.
+pub struct ApAgent {
+    /// This AP's node id.
+    pub id: NodeId,
+    cfg: WgttConfig,
+    assoc: AssocTable,
+    /// client → AP currently serving it (replicated via `AssocSync`).
+    serving_map: HashMap<NodeId, NodeId>,
+    clients: HashMap<NodeId, ApClientState>,
+    rng: RngStream,
+    agg_policy: AggregationPolicy,
+    /// Round-robin cursor over clients with pending work.
+    rr_cursor: usize,
+    /// Run statistics.
+    pub stats: ApStats,
+}
+
+impl ApAgent {
+    /// Build an AP agent. `rng` must be unique per AP (derive it from the
+    /// AP's node id) so rate-control probing decorrelates across APs.
+    pub fn new(id: NodeId, cfg: WgttConfig, rng: RngStream) -> Self {
+        ApAgent {
+            id,
+            cfg,
+            assoc: AssocTable::new(),
+            serving_map: HashMap::new(),
+            clients: HashMap::new(),
+            rng,
+            agg_policy: AggregationPolicy::default(),
+            rr_cursor: 0,
+            stats: ApStats::default(),
+        }
+    }
+
+    fn client_mut(&mut self, client: NodeId) -> &mut ApClientState {
+        let rng = self
+            .rng
+            .derive_indexed("rate-ctl", client.0 as u64)
+            .rng();
+        self.clients
+            .entry(client)
+            .or_insert_with(|| ApClientState::new(RateController::new(rng)))
+    }
+
+    /// Whether this AP currently serves `client`.
+    pub fn is_serving(&self, client: NodeId) -> bool {
+        self.clients.get(&client).is_some_and(|c| c.serving)
+    }
+
+    /// Whether an A-MPDU toward `client` is awaiting its Block ACK.
+    pub fn has_in_flight(&self, client: NodeId) -> bool {
+        self.clients
+            .get(&client)
+            .is_some_and(|c| c.ba.has_in_flight())
+    }
+
+    /// The first unsent cyclic index for `client` — the `k` handed over
+    /// in `start(c, k)`.
+    pub fn first_unsent(&self, client: NodeId) -> u16 {
+        self.clients
+            .get(&client)
+            .map_or(0, |c| c.cyclic.first_unsent())
+    }
+
+    /// Downlink packets backlogged in the driver cyclic queue.
+    pub fn backlog(&self, client: NodeId) -> usize {
+        self.clients.get(&client).map_or(0, |c| c.cyclic.backlog())
+    }
+
+    /// MPDUs staged in the NIC hardware queue.
+    pub fn nic_depth(&self, client: NodeId) -> usize {
+        self.clients.get(&client).map_or(0, |c| c.nic.len())
+    }
+
+    /// Process a backhaul message addressed to this AP.
+    pub fn on_backhaul(&mut self, msg: BackhaulMsg, now: SimTime) -> Vec<ApAction> {
+        match msg {
+            BackhaulMsg::DownlinkData {
+                client,
+                index,
+                packet,
+            } => {
+                self.client_mut(client).cyclic.insert(index, packet);
+                Vec::new()
+            }
+            BackhaulMsg::Stop {
+                client,
+                next_ap,
+                switch_id,
+            } => {
+                self.stats.stops_handled += 1;
+                let st = self.client_mut(client);
+                st.serving = false;
+                // k = first packet still in the driver queue. Whatever is
+                // already staged in the NIC keeps draining (§3.1.2's 6 ms
+                // grace); the new AP starts *after* it.
+                let k = st.cyclic.first_unsent();
+                vec![ApAction {
+                    to: BackhaulDest::Ap(next_ap),
+                    msg: BackhaulMsg::Start {
+                        client,
+                        k,
+                        switch_id,
+                    },
+                }]
+            }
+            BackhaulMsg::Start {
+                client, k, switch_id,
+            } => {
+                self.stats.starts_handled += 1;
+                let st = self.client_mut(client);
+                st.cyclic.jump_to(k);
+                st.serving = true;
+                // A fresh serving stint: the old AP owns its in-flight
+                // window; ours starts clean.
+                st.retries.clear();
+                st.ba.clear();
+                st.in_flight_meta = None;
+                self.serving_map.insert(client, self.id);
+                vec![ApAction {
+                    to: BackhaulDest::Controller,
+                    msg: BackhaulMsg::SwitchAck {
+                        client,
+                        ap: self.id,
+                        switch_id,
+                    },
+                }]
+            }
+            BackhaulMsg::AssocSync { client, via_ap } => {
+                self.assoc.install(client, via_ap, now);
+                self.serving_map.insert(client, via_ap);
+                if via_ap != self.id {
+                    // Another AP serves now; make sure we don't also
+                    // believe we are serving (covers races where our Stop
+                    // was processed before this sync).
+                    if let Some(st) = self.clients.get_mut(&client) {
+                        if st.serving && via_ap != self.id {
+                            st.serving = false;
+                        }
+                    }
+                }
+                Vec::new()
+            }
+            BackhaulMsg::BlockAckForward {
+                client,
+                start_seq,
+                bitmap,
+            } => {
+                // A neighbour overheard a Block ACK our radio may have
+                // missed.
+                let fb = self.apply_block_ack(client, start_seq, bitmap);
+                if !fb.duplicate && (!fb.delivered.is_empty() || !fb.dropped.is_empty()) {
+                    self.stats.forwarded_ba_used += 1;
+                }
+                Vec::new()
+            }
+            // Controller-bound messages are not for us.
+            _ => Vec::new(),
+        }
+    }
+
+    /// Clients with transmittable downlink work: serving clients with any
+    /// queued data, plus non-serving clients still draining their NIC
+    /// staging or retries. Skips clients with an A-MPDU already in flight.
+    pub fn tx_ready_clients(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .clients
+            .iter()
+            .filter(|(_, st)| {
+                if st.ba.has_in_flight() {
+                    return false;
+                }
+                let drainable = !st.nic.is_empty() || !st.retries.is_empty();
+                if st.serving {
+                    drainable || !st.cyclic.is_empty()
+                } else {
+                    drainable
+                }
+            })
+            .map(|(&c, _)| c)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Pick the next client to transmit to (round-robin across ready
+    /// clients, so multi-client airtime shares fairly).
+    pub fn next_tx_client(&mut self) -> Option<NodeId> {
+        let ready = self.tx_ready_clients();
+        if ready.is_empty() {
+            return None;
+        }
+        let pick = ready[self.rr_cursor % ready.len()];
+        self.rr_cursor = self.rr_cursor.wrapping_add(1);
+        Some(pick)
+    }
+
+    /// Build the next A-MPDU for `client`: refill the NIC staging from
+    /// the cyclic queue (serving only), then aggregate retries + staged
+    /// MPDUs, select a rate, and mark the window in flight.
+    pub fn build_txop(&mut self, client: NodeId, _now: SimTime) -> Option<(Vec<Mpdu>, Mcs)> {
+        let nic_cap = self.cfg.nic_queue_mpdus;
+        let policy = self.agg_policy;
+        let st = self.client_mut(client);
+        if st.ba.has_in_flight() {
+            return None;
+        }
+        if st.serving {
+            while st.nic.len() < nic_cap {
+                let Some((idx, packet)) = st.cyclic.pop() else {
+                    break;
+                };
+                st.nic.push_back(Mpdu {
+                    seq: idx,
+                    packet: PacketRef {
+                        id: packet.id,
+                        len: packet.len,
+                    },
+                    retries: 0,
+                });
+            }
+        }
+        let mcs = st.rate.select();
+        let mpdus = build_ampdu(&mut st.retries, &mut st.nic, &policy, mcs);
+        if mpdus.is_empty() {
+            return None;
+        }
+        st.in_flight_meta = Some((mcs, mpdus.len()));
+        st.ba.on_ampdu_sent(mpdus.clone());
+        self.stats.ampdus_sent += 1;
+        self.stats.mpdus_sent += mpdus.len() as u64;
+        Some((mpdus, mcs))
+    }
+
+    fn apply_block_ack(&mut self, client: NodeId, start_seq: u16, bitmap: u64) -> BaFeedback {
+        let st = self.client_mut(client);
+        if !st.ba.has_in_flight() {
+            // Nothing outstanding: either a duplicate of an already-applied
+            // Block ACK or a stray.
+            let r = st.ba.on_block_ack(start_seq, bitmap);
+            return BaFeedback {
+                delivered: Vec::new(),
+                dropped: Vec::new(),
+                duplicate: r.duplicate,
+            };
+        }
+        if !st.ba.covers_in_flight(start_seq) {
+            // A stale (usually forwarded) Block ACK from an earlier
+            // window: ignore it, the current A-MPDU is still on the air.
+            return BaFeedback {
+                delivered: Vec::new(),
+                dropped: Vec::new(),
+                duplicate: true,
+            };
+        }
+        let result = st.ba.on_block_ack(start_seq, bitmap);
+        if result.duplicate {
+            // Identical to the last applied Block ACK (e.g. the AP's
+            // recipient window didn't move): a no-op — the in-flight
+            // window, meta, and timeout all stand.
+            return BaFeedback {
+                delivered: Vec::new(),
+                dropped: Vec::new(),
+                duplicate: true,
+            };
+        }
+        if let Some((mcs, attempted)) = st.in_flight_meta.take() {
+            st.rate.on_feedback(mcs, attempted, result.acked.len());
+        }
+        let mut dropped = result.dropped;
+        if st.serving {
+            st.retries.extend(result.to_retry.iter().copied());
+        } else {
+            // Post-stop drain (§3.1.2): the NIC backlog is sent once over
+            // the dying link; the new AP owns every packet from index k,
+            // so failed drain MPDUs are dropped, not retried.
+            dropped.extend(result.to_retry.iter().map(|m| m.packet));
+        }
+        BaFeedback {
+            delivered: result.acked,
+            dropped,
+            duplicate: result.duplicate,
+        }
+    }
+
+    /// A Block ACK arrived on our own radio.
+    pub fn on_block_ack(&mut self, client: NodeId, start_seq: u16, bitmap: u64) -> BaFeedback {
+        self.stats.block_acks_applied += 1;
+        self.apply_block_ack(client, start_seq, bitmap)
+    }
+
+    /// No Block ACK arrived for the in-flight A-MPDU (and no neighbour
+    /// forwarded one in time): the whole window retransmits — §3.2.1's
+    /// failure mode.
+    pub fn on_ba_timeout(&mut self, client: NodeId) -> BaFeedback {
+        if !self.client_mut(client).ba.has_in_flight() {
+            return BaFeedback::default();
+        }
+        self.stats.ba_timeouts += 1;
+        let st = self.client_mut(client);
+        let result = st.ba.on_ba_timeout();
+        if let Some((mcs, attempted)) = st.in_flight_meta.take() {
+            st.rate.on_feedback(mcs, attempted, 0);
+        }
+        let mut dropped = result.dropped;
+        if st.serving {
+            st.retries.extend(result.to_retry.iter().copied());
+        } else {
+            // Drain mode: one shot per packet (see apply_block_ack).
+            dropped.extend(result.to_retry.iter().map(|m| m.packet));
+        }
+        BaFeedback {
+            delivered: Vec::new(),
+            dropped,
+            duplicate: false,
+        }
+    }
+
+    /// An uplink *data* packet decoded on our radio: tunnel it to the
+    /// controller together with the CSI-derived ESNR of the frame.
+    pub fn on_uplink_data(
+        &mut self,
+        client: NodeId,
+        packet: wgtt_net::Packet,
+        esnr_db: f64,
+        now: SimTime,
+    ) -> Vec<ApAction> {
+        vec![
+            ApAction {
+                to: BackhaulDest::Controller,
+                msg: BackhaulMsg::CsiReport {
+                    client,
+                    ap: self.id,
+                    esnr_db,
+                    at: now,
+                },
+            },
+            ApAction {
+                to: BackhaulDest::Controller,
+                msg: BackhaulMsg::UplinkData {
+                    ap: self.id,
+                    packet,
+                },
+            },
+        ]
+    }
+
+    /// Any uplink frame (including Block ACKs and bare ACKs) yields a CSI
+    /// measurement for the controller.
+    pub fn csi_report(&self, client: NodeId, esnr_db: f64, now: SimTime) -> ApAction {
+        ApAction {
+            to: BackhaulDest::Controller,
+            msg: BackhaulMsg::CsiReport {
+                client,
+                ap: self.id,
+                esnr_db,
+                at: now,
+            },
+        }
+    }
+
+    /// Our monitor interface overheard a Block ACK from `client`. Forward
+    /// it to the serving AP unless that is us (§3.2.1 / Fig. 8).
+    pub fn on_overheard_block_ack(
+        &mut self,
+        client: NodeId,
+        start_seq: u16,
+        bitmap: u64,
+    ) -> Vec<ApAction> {
+        let policy = MonitorPolicy { me: self.id };
+        match policy.should_forward(self.serving_map.get(&client).copied()) {
+            Some(serving_ap) => vec![ApAction {
+                to: BackhaulDest::Ap(serving_ap),
+                msg: BackhaulMsg::BlockAckForward {
+                    client,
+                    start_seq,
+                    bitmap,
+                },
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether `client`'s association state is installed here.
+    pub fn is_associated(&self, client: NodeId) -> bool {
+        self.assoc.is_associated(client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgtt_net::packet::{FlowId, PacketFactory};
+    use wgtt_net::wire::Ipv4Addr;
+
+    const AP1: NodeId = NodeId(1);
+    const AP2: NodeId = NodeId(2);
+    const CLIENT: NodeId = NodeId(100);
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn agent(id: NodeId) -> ApAgent {
+        ApAgent::new(id, WgttConfig::default(), RngStream::root(7))
+    }
+
+    fn pkt(f: &mut PacketFactory, seq: u32) -> wgtt_net::Packet {
+        f.udp(
+            FlowId(0),
+            Ipv4Addr::new(8, 8, 8, 8),
+            Ipv4Addr::new(172, 16, 0, 100),
+            seq,
+            1500,
+            SimTime::ZERO,
+        )
+    }
+
+    fn feed_downlink(ap: &mut ApAgent, f: &mut PacketFactory, n: u16) {
+        for i in 0..n {
+            ap.on_backhaul(
+                BackhaulMsg::DownlinkData {
+                    client: CLIENT,
+                    index: i,
+                    packet: pkt(f, i as u32),
+                },
+                ms(0),
+            );
+        }
+    }
+
+    fn make_serving(ap: &mut ApAgent, k: u16) {
+        ap.on_backhaul(
+            BackhaulMsg::Start {
+                client: CLIENT,
+                k,
+                switch_id: 0,
+            },
+            ms(0),
+        );
+    }
+
+    #[test]
+    fn downlink_buffers_even_when_not_serving() {
+        let mut ap = agent(AP2);
+        let mut f = PacketFactory::new();
+        feed_downlink(&mut ap, &mut f, 100);
+        assert_eq!(ap.backlog(CLIENT), 100);
+        assert!(!ap.is_serving(CLIENT));
+        assert!(ap.tx_ready_clients().is_empty(), "non-serving AP is silent");
+    }
+
+    #[test]
+    fn serving_ap_builds_ampdu_with_cyclic_indices_as_seqs() {
+        let mut ap = agent(AP1);
+        let mut f = PacketFactory::new();
+        feed_downlink(&mut ap, &mut f, 100);
+        make_serving(&mut ap, 0);
+        let (mpdus, mcs) = ap.build_txop(CLIENT, ms(1)).expect("work queued");
+        // Aggregation bounded by count, byte, and 4 ms airtime caps.
+        let cap = wgtt_mac::aggregation::AggregationPolicy::default()
+            .byte_cap_at(mcs) as usize
+            / 1500;
+        assert_eq!(mpdus.len(), cap.min(32));
+        assert!(mpdus.len() >= 2, "aggregation must happen");
+        for (i, m) in mpdus.iter().enumerate() {
+            assert_eq!(m.seq as usize, i, "seq == cyclic index");
+        }
+        // Stop-and-wait: no second A-MPDU until the first resolves.
+        assert!(ap.build_txop(CLIENT, ms(1)).is_none());
+    }
+
+    #[test]
+    fn block_ack_advances_and_feeds_retries() {
+        let mut ap = agent(AP1);
+        let mut f = PacketFactory::new();
+        feed_downlink(&mut ap, &mut f, 64);
+        make_serving(&mut ap, 0);
+        let (mpdus, _) = ap.build_txop(CLIENT, ms(1)).unwrap();
+        assert!(mpdus.len() > 8);
+        // Client acks all but seqs 3 and 7.
+        let mut bitmap: u64 = (1 << mpdus.len()) - 1;
+        bitmap &= !(1 << 3);
+        bitmap &= !(1 << 7);
+        let fb = ap.on_block_ack(CLIENT, 0, bitmap);
+        assert_eq!(fb.delivered.len(), mpdus.len() - 2);
+        // Next TXOP leads with the two retries.
+        let (next, _) = ap.build_txop(CLIENT, ms(2)).unwrap();
+        assert_eq!(next[0].seq, 3);
+        assert_eq!(next[1].seq, 7);
+        assert_eq!(next[0].retries, 1);
+    }
+
+    #[test]
+    fn ba_timeout_retransmits_window() {
+        let mut ap = agent(AP1);
+        let mut f = PacketFactory::new();
+        feed_downlink(&mut ap, &mut f, 8);
+        make_serving(&mut ap, 0);
+        let (mpdus, _) = ap.build_txop(CLIENT, ms(1)).unwrap();
+        let fb = ap.on_ba_timeout(CLIENT);
+        assert!(fb.delivered.is_empty());
+        let (again, _) = ap.build_txop(CLIENT, ms(2)).unwrap();
+        assert_eq!(again.len(), mpdus.len());
+        assert!(again.iter().all(|m| m.retries == 1));
+        assert_eq!(ap.stats.ba_timeouts, 1);
+    }
+
+    #[test]
+    fn stop_produces_start_with_first_unsent() {
+        let mut ap1 = agent(AP1);
+        let mut f = PacketFactory::new();
+        feed_downlink(&mut ap1, &mut f, 200);
+        make_serving(&mut ap1, 0);
+        // One TXOP pulls 64 into NIC staging, sends the first aggregate.
+        ap1.build_txop(CLIENT, ms(1)).unwrap();
+        let k_expected = ap1.first_unsent(CLIENT);
+        assert_eq!(k_expected, 64, "NIC staged 64, so driver head is 64");
+        let actions = ap1.on_backhaul(
+            BackhaulMsg::Stop {
+                client: CLIENT,
+                next_ap: AP2,
+                switch_id: 42,
+            },
+            ms(2),
+        );
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].to, BackhaulDest::Ap(AP2));
+        match &actions[0].msg {
+            BackhaulMsg::Start { client, k, switch_id } => {
+                assert_eq!(*client, CLIENT);
+                assert_eq!(*k, k_expected);
+                assert_eq!(*switch_id, 42);
+            }
+            other => panic!("expected Start, got {other:?}"),
+        }
+        assert!(!ap1.is_serving(CLIENT));
+    }
+
+    #[test]
+    fn stopped_ap_drains_nic_but_not_cyclic() {
+        let mut ap = agent(AP1);
+        let mut f = PacketFactory::new();
+        feed_downlink(&mut ap, &mut f, 200);
+        make_serving(&mut ap, 0);
+        let (first, _) = ap.build_txop(CLIENT, ms(1)).unwrap(); // 64 staged
+        ap.on_ba_timeout(CLIENT); // first aggregate becomes retries
+        ap.on_backhaul(
+            BackhaulMsg::Stop {
+                client: CLIENT,
+                next_ap: AP2,
+                switch_id: 1,
+            },
+            ms(2),
+        );
+        // Still drains: retries + what is left in NIC staging — but the
+        // cyclic backlog is never touched again.
+        assert_eq!(ap.tx_ready_clients(), vec![CLIENT]);
+        let backlog_before = ap.backlog(CLIENT);
+        let mut drained = 0;
+        let mut guard = 0;
+        while let Some((d, _)) = {
+            
+            ap.build_txop(CLIENT, ms(3 + guard))
+        } {
+            guard += 1;
+            assert!(guard < 20, "drain must terminate");
+            let start = d[0].seq;
+            drained += d.len();
+            ap.on_block_ack(CLIENT, start, u64::MAX);
+        }
+        // Everything that was staged/retried went out exactly once.
+        assert_eq!(drained, 64 + first.len() - first.len());
+        // Cyclic backlog untouched after the stop.
+        assert_eq!(ap.backlog(CLIENT), backlog_before);
+    }
+
+    #[test]
+    fn start_jumps_and_acks() {
+        let mut ap2 = agent(AP2);
+        let mut f = PacketFactory::new();
+        feed_downlink(&mut ap2, &mut f, 200);
+        assert!(!ap2.is_serving(CLIENT));
+        let actions = ap2.on_backhaul(
+            BackhaulMsg::Start {
+                client: CLIENT,
+                k: 64,
+                switch_id: 42,
+            },
+            ms(3),
+        );
+        assert!(ap2.is_serving(CLIENT));
+        assert_eq!(ap2.first_unsent(CLIENT), 64);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].to, BackhaulDest::Controller);
+        assert!(matches!(
+            actions[0].msg,
+            BackhaulMsg::SwitchAck { ap, switch_id: 42, .. } if ap == AP2
+        ));
+        // First TXOP resumes exactly at k.
+        let (mpdus, _) = ap2.build_txop(CLIENT, ms(4)).unwrap();
+        assert_eq!(mpdus[0].seq, 64);
+    }
+
+    #[test]
+    fn duplicate_start_is_idempotent() {
+        let mut ap2 = agent(AP2);
+        let mut f = PacketFactory::new();
+        feed_downlink(&mut ap2, &mut f, 100);
+        ap2.on_backhaul(
+            BackhaulMsg::Start {
+                client: CLIENT,
+                k: 10,
+                switch_id: 1,
+            },
+            ms(0),
+        );
+        ap2.build_txop(CLIENT, ms(1)).unwrap();
+        let head = ap2.first_unsent(CLIENT);
+        // Retransmitted stop caused a duplicate start with the same k.
+        let acks = ap2.on_backhaul(
+            BackhaulMsg::Start {
+                client: CLIENT,
+                k: 10,
+                switch_id: 1,
+            },
+            ms(2),
+        );
+        assert_eq!(acks.len(), 1, "re-ack so the controller unblocks");
+        assert_eq!(ap2.first_unsent(CLIENT), head, "no rewind");
+    }
+
+    #[test]
+    fn overheard_ba_forwarded_to_serving_ap_only() {
+        let mut ap2 = agent(AP2);
+        ap2.on_backhaul(
+            BackhaulMsg::AssocSync {
+                client: CLIENT,
+                via_ap: AP1,
+            },
+            ms(0),
+        );
+        let fwd = ap2.on_overheard_block_ack(CLIENT, 0, 0xFF);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].to, BackhaulDest::Ap(AP1));
+        // The serving AP itself (monitor disabled) forwards nothing.
+        let mut ap1 = agent(AP1);
+        ap1.on_backhaul(
+            BackhaulMsg::AssocSync {
+                client: CLIENT,
+                via_ap: AP1,
+            },
+            ms(0),
+        );
+        assert!(ap1.on_overheard_block_ack(CLIENT, 0, 0xFF).is_empty());
+    }
+
+    #[test]
+    fn forwarded_ba_applies_like_native() {
+        let mut ap = agent(AP1);
+        let mut f = PacketFactory::new();
+        feed_downlink(&mut ap, &mut f, 8);
+        make_serving(&mut ap, 0);
+        let (mpdus, _) = ap.build_txop(CLIENT, ms(1)).unwrap();
+        let bitmap = (1u64 << mpdus.len()) - 1;
+        // The BA comes in over the backhaul, not the radio.
+        ap.on_backhaul(
+            BackhaulMsg::BlockAckForward {
+                client: CLIENT,
+                start_seq: 0,
+                bitmap,
+            },
+            ms(2),
+        );
+        assert_eq!(ap.stats.forwarded_ba_used, 1);
+        // Window cleared: timeout has nothing to retransmit.
+        let fb = ap.on_ba_timeout(CLIENT);
+        assert!(fb.delivered.is_empty());
+        assert!(ap.build_txop(CLIENT, ms(3)).is_none(), "queue empty");
+    }
+
+    #[test]
+    fn uplink_data_emits_csi_and_tunnel() {
+        let mut ap = agent(AP1);
+        let mut f = PacketFactory::new();
+        let p = f.udp(
+            FlowId(1),
+            Ipv4Addr::new(172, 16, 0, 100),
+            Ipv4Addr::new(8, 8, 8, 8),
+            0,
+            1200,
+            ms(5),
+        );
+        let actions = ap.on_uplink_data(CLIENT, p, 14.5, ms(5));
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(
+            actions[0].msg,
+            BackhaulMsg::CsiReport { esnr_db, .. } if (esnr_db - 14.5).abs() < 1e-9
+        ));
+        assert!(matches!(actions[1].msg, BackhaulMsg::UplinkData { .. }));
+    }
+
+    #[test]
+    fn assoc_sync_installs_and_corrects_serving() {
+        let mut ap = agent(AP1);
+        make_serving(&mut ap, 0);
+        assert!(ap.is_serving(CLIENT));
+        // Controller announces AP2 serves now (our stop raced the sync).
+        ap.on_backhaul(
+            BackhaulMsg::AssocSync {
+                client: CLIENT,
+                via_ap: AP2,
+            },
+            ms(1),
+        );
+        assert!(!ap.is_serving(CLIENT));
+        assert!(ap.is_associated(CLIENT));
+    }
+
+    #[test]
+    fn round_robin_across_clients() {
+        let mut ap = agent(AP1);
+        let mut f = PacketFactory::new();
+        let c2 = NodeId(101);
+        for (client, base) in [(CLIENT, 0u32), (c2, 1000)] {
+            for i in 0..10u16 {
+                ap.on_backhaul(
+                    BackhaulMsg::DownlinkData {
+                        client,
+                        index: i,
+                        packet: pkt(&mut f, base + i as u32),
+                    },
+                    ms(0),
+                );
+            }
+            ap.on_backhaul(
+                BackhaulMsg::Start {
+                    client,
+                    k: 0,
+                    switch_id: 0,
+                },
+                ms(0),
+            );
+        }
+        let first = ap.next_tx_client().unwrap();
+        let second = ap.next_tx_client().unwrap();
+        assert_ne!(first, second, "round robin must alternate");
+    }
+}

@@ -1,0 +1,120 @@
+//! Client association state replication (paper §4.3).
+//!
+//! All WGTT APs share one BSSID, so the client believes it talks to a
+//! single AP. When the client completes association with the first AP,
+//! that AP extracts the `sta_info`/`hostapd_sta_add_params` state and
+//! pushes it over TCP to every other AP, which installs it into its own
+//! mac80211/driver state (Fig. 12). In the model this reduces to a
+//! replicated registry: an AP may transmit to / accept frames from a
+//! client only once the client's association has been installed locally.
+
+use std::collections::HashMap;
+use wgtt_mac::frame::NodeId;
+use wgtt_sim::time::SimTime;
+
+/// Association state one AP holds for one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientAssoc {
+    /// The AP the client originally associated through.
+    pub via_ap: NodeId,
+    /// When this AP installed the state.
+    pub installed_at: SimTime,
+}
+
+/// Per-AP registry of installed client associations.
+#[derive(Debug, Default)]
+pub struct AssocTable {
+    entries: HashMap<NodeId, ClientAssoc>,
+}
+
+impl AssocTable {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or refresh) a client's association state.
+    pub fn install(&mut self, client: NodeId, via_ap: NodeId, now: SimTime) {
+        self.entries.insert(
+            client,
+            ClientAssoc {
+                via_ap,
+                installed_at: now,
+            },
+        );
+    }
+
+    /// Whether this AP may exchange data frames with `client`.
+    pub fn is_associated(&self, client: NodeId) -> bool {
+        self.entries.contains_key(&client)
+    }
+
+    /// The stored state, if any.
+    pub fn get(&self, client: NodeId) -> Option<&ClientAssoc> {
+        self.entries.get(&client)
+    }
+
+    /// Remove a departed client.
+    pub fn remove(&mut self, client: NodeId) -> bool {
+        self.entries.remove(&client).is_some()
+    }
+
+    /// Number of associated clients.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no clients are associated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: NodeId = NodeId(100);
+    const AP1: NodeId = NodeId(1);
+
+    #[test]
+    fn install_then_query() {
+        let mut t = AssocTable::new();
+        assert!(!t.is_associated(C1));
+        t.install(C1, AP1, SimTime::from_millis(5));
+        assert!(t.is_associated(C1));
+        let e = t.get(C1).unwrap();
+        assert_eq!(e.via_ap, AP1);
+        assert_eq!(e.installed_at, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn replication_across_aps() {
+        // One table per AP; the sync message installs everywhere.
+        let mut tables: Vec<AssocTable> = (0..8).map(|_| AssocTable::new()).collect();
+        tables[0].install(C1, AP1, SimTime::ZERO);
+        for t in tables.iter_mut().skip(1) {
+            t.install(C1, AP1, SimTime::from_micros(500)); // after backhaul
+        }
+        assert!(tables.iter().all(|t| t.is_associated(C1)));
+    }
+
+    #[test]
+    fn remove_departed_client() {
+        let mut t = AssocTable::new();
+        t.install(C1, AP1, SimTime::ZERO);
+        assert!(t.remove(C1));
+        assert!(!t.is_associated(C1));
+        assert!(!t.remove(C1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reinstall_refreshes() {
+        let mut t = AssocTable::new();
+        t.install(C1, AP1, SimTime::ZERO);
+        t.install(C1, NodeId(2), SimTime::from_secs(1));
+        assert_eq!(t.get(C1).unwrap().via_ap, NodeId(2));
+        assert_eq!(t.len(), 1);
+    }
+}

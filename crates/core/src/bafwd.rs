@@ -1,0 +1,58 @@
+//! Block ACK forwarding between APs (paper §3.2.1).
+//!
+//! Each AP runs two virtual interfaces: AP-mode for normal traffic and a
+//! monitor-mode interface that overhears frames. The monitor interface is
+//! *disabled on the AP currently serving the client* (Fig. 8). When a
+//! non-serving AP overhears a Block ACK from a client, it forwards
+//! `(client, start_seq, bitmap)` over the backhaul to the serving AP,
+//! which applies it if its own radio missed the frame — cutting the
+//! retransmission storms that lost Block ACKs otherwise cause at cell
+//! edges. Duplicate suppression on the receiving side lives in
+//! [`wgtt_mac::blockack::BaOriginator`].
+
+use wgtt_mac::frame::NodeId;
+
+/// Decides whether an AP's monitor interface should pick up and forward
+/// an overheard Block ACK.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorPolicy {
+    /// This AP.
+    pub me: NodeId,
+}
+
+impl MonitorPolicy {
+    /// Should `self.me` forward a Block ACK overheard from `client`,
+    /// given the AP currently serving that client?
+    ///
+    /// Forward exactly when we are *not* the serving AP (our monitor
+    /// interface is enabled) and a serving AP exists to forward to.
+    pub fn should_forward(&self, serving: Option<NodeId>) -> Option<NodeId> {
+        match serving {
+            Some(ap) if ap != self.me => Some(ap),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_serving_ap_forwards_to_serving() {
+        let p = MonitorPolicy { me: NodeId(2) };
+        assert_eq!(p.should_forward(Some(NodeId(1))), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn serving_ap_monitor_is_disabled() {
+        let p = MonitorPolicy { me: NodeId(1) };
+        assert_eq!(p.should_forward(Some(NodeId(1))), None);
+    }
+
+    #[test]
+    fn no_serving_ap_nothing_to_forward() {
+        let p = MonitorPolicy { me: NodeId(2) };
+        assert_eq!(p.should_forward(None), None);
+    }
+}

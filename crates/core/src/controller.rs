@@ -1,0 +1,600 @@
+//! The WGTT controller (paper Fig. 5, control plane).
+//!
+//! One controller, connected to every AP over the Ethernet backhaul,
+//! owns per-client state: the ESNR [`selection`](crate::selection)
+//! windows, the [`switching`](crate::switching) protocol driver, the
+//! downlink packet-index counter, and the uplink
+//! [`dedup`](crate::dedup) filter. It is a pure state machine: feed it
+//! backhaul messages and WAN packets with a timestamp, collect actions
+//! (backhaul sends, WAN deliveries) to schedule.
+
+use crate::config::WgttConfig;
+use crate::dedup::DedupFilter;
+use crate::messages::BackhaulMsg;
+use crate::selection::{ApSelector, Verdict};
+use crate::switching::{SwitchEvent, SwitchProtocol};
+use std::collections::HashMap;
+use wgtt_mac::frame::NodeId;
+use wgtt_mac::seq::SEQ_SPACE;
+use wgtt_net::Packet;
+use wgtt_sim::metrics::Distribution;
+use wgtt_sim::time::SimTime;
+
+/// An effect the controller wants performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerAction {
+    /// Deliver `msg` to `ap` over the backhaul.
+    Send {
+        /// Destination AP.
+        ap: NodeId,
+        /// The message.
+        msg: BackhaulMsg,
+    },
+    /// Forward an (de-duplicated) uplink packet to the Internet.
+    ToWan {
+        /// The packet.
+        packet: Packet,
+    },
+}
+
+/// Aggregate controller statistics.
+#[derive(Debug, Default)]
+pub struct ControllerStats {
+    /// Switches initiated.
+    pub switches_started: u64,
+    /// Switches acknowledged complete.
+    pub switches_completed: u64,
+    /// Stop retransmissions due to ack timeout.
+    pub stop_retransmits: u64,
+    /// Protocol execution times (stop sent → ack), seconds.
+    pub switch_durations: Distribution,
+    /// Downlink packets with no in-range AP (dropped).
+    pub downlink_no_ap: u64,
+    /// Uplink duplicates dropped.
+    pub uplink_duplicates: u64,
+    /// Uplink packets forwarded to the WAN.
+    pub uplink_forwarded: u64,
+}
+
+#[derive(Debug)]
+struct ClientState {
+    selector: ApSelector,
+    switcher: SwitchProtocol,
+    next_index: u16,
+    serving: Option<NodeId>,
+}
+
+/// The WGTT controller.
+pub struct Controller {
+    cfg: WgttConfig,
+    clients: HashMap<NodeId, ClientState>,
+    all_aps: Vec<NodeId>,
+    dedup: DedupFilter,
+    /// Run statistics.
+    pub stats: ControllerStats,
+}
+
+impl Controller {
+    /// A controller managing the given AP array.
+    pub fn new(cfg: WgttConfig, aps: Vec<NodeId>) -> Self {
+        Controller {
+            dedup: DedupFilter::new(cfg.dedup_capacity),
+            cfg,
+            clients: HashMap::new(),
+            all_aps: aps,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    fn client_mut(&mut self, client: NodeId) -> &mut ClientState {
+        let cfg = self.cfg;
+        self.clients.entry(client).or_insert_with(|| ClientState {
+            selector: {
+                let mut s = ApSelector::new(
+                    cfg.selection_window,
+                    cfg.switch_hysteresis,
+                    cfg.switch_margin_db,
+                );
+                s.set_policy(cfg.selection_policy);
+                s
+            },
+            switcher: SwitchProtocol::new(cfg.switch_ack_timeout),
+            next_index: 0,
+            serving: None,
+        })
+    }
+
+    /// The AP currently serving `client`, if known.
+    pub fn serving(&self, client: NodeId) -> Option<NodeId> {
+        self.clients.get(&client).and_then(|c| c.serving)
+    }
+
+    /// Direct read access to a client's selector (experiments use this to
+    /// compute the oracle-best AP for the Table 2 accuracy metric).
+    pub fn selector_mut(&mut self, client: NodeId) -> &mut ApSelector {
+        &mut self.client_mut(client).selector
+    }
+
+    /// A client completed 802.11 association through `via_ap`: install it
+    /// as serving and replicate association state to every AP (§4.3).
+    pub fn on_client_associated(
+        &mut self,
+        client: NodeId,
+        via_ap: NodeId,
+        now: SimTime,
+    ) -> Vec<ControllerAction> {
+        let st = self.client_mut(client);
+        st.serving = Some(via_ap);
+        st.selector.set_current(via_ap, now);
+        let k = st.next_index;
+        let mut actions: Vec<ControllerAction> = self
+            .all_aps
+            .iter()
+            .map(|&ap| ControllerAction::Send {
+                ap,
+                msg: BackhaulMsg::AssocSync { client, via_ap },
+            })
+            .collect();
+        // Degenerate "switch": tell the first AP to serve from the current
+        // index.
+        actions.push(ControllerAction::Send {
+            ap: via_ap,
+            msg: BackhaulMsg::Start {
+                client,
+                k,
+                switch_id: u64::MAX, // association, not a protocol attempt
+            },
+        });
+        actions
+    }
+
+    /// A downlink packet for `client` arrived from the WAN: assign the
+    /// next 12-bit index and replicate to every in-range AP (§3.1.2).
+    pub fn on_downlink(
+        &mut self,
+        client: NodeId,
+        packet: Packet,
+        now: SimTime,
+    ) -> Vec<ControllerAction> {
+        let grace = self.cfg.fanout_grace;
+        let st = self.client_mut(client);
+        // Replicate to every AP heard within the grace window — wider
+        // than the selection window W, so that an AP with sporadic CSI
+        // still holds a gap-free cyclic ring when a switch lands on it.
+        let mut fanout = st.selector.heard_set(now, grace);
+        // The serving AP still gets the packet during a short CSI lull
+        // (TCP restarting after an idle period), but once no AP has heard
+        // the client for the grace period it is out of coverage and
+        // queueing more data would only burn airtime on a dark link.
+        if st.selector.heard_within(now, grace) || now < SimTime::ZERO + grace {
+            if let Some(s) = st.serving {
+                if !fanout.contains(&s) {
+                    fanout.push(s);
+                }
+            }
+        }
+        if fanout.is_empty() {
+            self.stats.downlink_no_ap += 1;
+            return Vec::new();
+        }
+        let index = st.next_index;
+        st.next_index = (st.next_index + 1) % SEQ_SPACE;
+        fanout
+            .into_iter()
+            .map(|ap| ControllerAction::Send {
+                ap,
+                msg: BackhaulMsg::DownlinkData {
+                    client,
+                    index,
+                    packet,
+                },
+            })
+            .collect()
+    }
+
+    /// Handle a message arriving from an AP.
+    pub fn on_msg(&mut self, msg: BackhaulMsg, now: SimTime) -> Vec<ControllerAction> {
+        match msg {
+            BackhaulMsg::CsiReport {
+                client,
+                ap,
+                esnr_db,
+                at,
+            } => {
+                self.client_mut(client).selector.record(ap, at, esnr_db);
+                self.evaluate(client, now)
+            }
+            BackhaulMsg::UplinkData { packet, .. } => {
+                if self.dedup.check_and_insert(packet.dedup_key()) {
+                    self.stats.uplink_forwarded += 1;
+                    vec![ControllerAction::ToWan { packet }]
+                } else {
+                    self.stats.uplink_duplicates += 1;
+                    Vec::new()
+                }
+            }
+            BackhaulMsg::SwitchAck {
+                client,
+                ap,
+                switch_id,
+            } => {
+                let st = self.client_mut(client);
+                match st.switcher.on_ack(switch_id, now) {
+                    SwitchEvent::Completed { new_ap, elapsed } => {
+                        debug_assert_eq!(new_ap, ap);
+                        st.serving = Some(new_ap);
+                        st.selector.set_current(new_ap, now);
+                        self.stats.switches_completed += 1;
+                        self.stats.switch_durations.record(elapsed.as_secs_f64());
+                        // Tell every AP who serves now (monitor-mode
+                        // forwarding needs it, §3.2.1).
+                        self.all_aps
+                            .iter()
+                            .map(|&a| ControllerAction::Send {
+                                ap: a,
+                                msg: BackhaulMsg::AssocSync {
+                                    client,
+                                    via_ap: new_ap,
+                                },
+                            })
+                            .collect()
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            // Messages not addressed to the controller are ignored.
+            _ => Vec::new(),
+        }
+    }
+
+    /// Re-run the selection rule for `client` and start a switch if it
+    /// says so and none is outstanding.
+    fn evaluate(&mut self, client: NodeId, now: SimTime) -> Vec<ControllerAction> {
+        let st = self.client_mut(client);
+        if st.switcher.busy() {
+            return Vec::new();
+        }
+        let Some(current) = st.serving else {
+            return Vec::new(); // not yet associated
+        };
+        match st.selector.evaluate(now) {
+            Verdict::SwitchTo(target) if target != current => {
+                match st.switcher.begin(current, target, now) {
+                    Some(SwitchEvent::SendStop {
+                        old_ap,
+                        new_ap,
+                        switch_id,
+                    }) => {
+                        self.stats.switches_started += 1;
+                        vec![ControllerAction::Send {
+                            ap: old_ap,
+                            msg: BackhaulMsg::Stop {
+                                client,
+                                next_ap: new_ap,
+                                switch_id,
+                            },
+                        }]
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Earliest pending protocol timeout across clients, for the event
+    /// loop to schedule a poll.
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        self.clients
+            .values()
+            .filter_map(|c| c.switcher.timeout_at())
+            .min()
+    }
+
+    /// Fire due timeouts: retransmit stops whose ack is overdue.
+    pub fn poll(&mut self, now: SimTime) -> Vec<ControllerAction> {
+        let mut actions = Vec::new();
+        let clients: Vec<NodeId> = self.clients.keys().copied().collect();
+        for client in clients {
+            let st = self.clients.get_mut(&client).expect("key from map");
+            if let SwitchEvent::SendStop {
+                old_ap,
+                new_ap,
+                switch_id,
+            } = st.switcher.poll(now)
+            {
+                self.stats.stop_retransmits += 1;
+                actions.push(ControllerAction::Send {
+                    ap: old_ap,
+                    msg: BackhaulMsg::Stop {
+                        client,
+                        next_ap: new_ap,
+                        switch_id,
+                    },
+                });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgtt_net::packet::{FlowId, PacketFactory};
+    use wgtt_net::wire::Ipv4Addr;
+    use wgtt_sim::time::SimDuration;
+
+    const AP1: NodeId = NodeId(1);
+    const AP2: NodeId = NodeId(2);
+    const AP3: NodeId = NodeId(3);
+    const CLIENT: NodeId = NodeId(100);
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn controller() -> Controller {
+        Controller::new(WgttConfig::default(), vec![AP1, AP2, AP3])
+    }
+
+    fn csi(ap: NodeId, esnr: f64, at: SimTime) -> BackhaulMsg {
+        BackhaulMsg::CsiReport {
+            client: CLIENT,
+            ap,
+            esnr_db: esnr,
+            at,
+        }
+    }
+
+    fn pkt(f: &mut PacketFactory, seq: u32) -> Packet {
+        f.udp(
+            FlowId(0),
+            Ipv4Addr::new(8, 8, 8, 8),
+            Ipv4Addr::new(172, 16, 0, 100),
+            seq,
+            1500,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn association_replicates_and_starts() {
+        let mut c = controller();
+        let actions = c.on_client_associated(CLIENT, AP1, ms(0));
+        let syncs = actions
+            .iter()
+            .filter(|a| matches!(a, ControllerAction::Send { msg: BackhaulMsg::AssocSync { .. }, .. }))
+            .count();
+        assert_eq!(syncs, 3);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ControllerAction::Send { ap, msg: BackhaulMsg::Start { .. } } if *ap == AP1
+        )));
+        assert_eq!(c.serving(CLIENT), Some(AP1));
+    }
+
+    #[test]
+    fn downlink_fans_out_to_in_range_aps() {
+        let mut c = controller();
+        c.on_client_associated(CLIENT, AP1, ms(0));
+        c.on_msg(csi(AP1, 15.0, ms(100)), ms(100));
+        c.on_msg(csi(AP2, 12.0, ms(101)), ms(101));
+        let mut f = PacketFactory::new();
+        let actions = c.on_downlink(CLIENT, pkt(&mut f, 0), ms(102));
+        let targets: Vec<NodeId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                ControllerAction::Send {
+                    ap,
+                    msg: BackhaulMsg::DownlinkData { .. },
+                } => Some(*ap),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![AP1, AP2]);
+    }
+
+    #[test]
+    fn downlink_indices_increment_and_wrap() {
+        let mut c = controller();
+        c.on_client_associated(CLIENT, AP1, ms(0));
+        c.on_msg(csi(AP1, 15.0, ms(0)), ms(0));
+        let mut f = PacketFactory::new();
+        let idx_of = |acts: &[ControllerAction]| -> u16 {
+            acts.iter()
+                .find_map(|a| match a {
+                    ControllerAction::Send {
+                        msg: BackhaulMsg::DownlinkData { index, .. },
+                        ..
+                    } => Some(*index),
+                    _ => None,
+                })
+                .expect("downlink fanned out")
+        };
+        let a = c.on_downlink(CLIENT, pkt(&mut f, 0), ms(1));
+        let b = c.on_downlink(CLIENT, pkt(&mut f, 1), ms(2));
+        assert_eq!(idx_of(&a), 0);
+        assert_eq!(idx_of(&b), 1);
+    }
+
+    #[test]
+    fn downlink_without_aps_is_dropped() {
+        let mut c = controller();
+        let mut f = PacketFactory::new();
+        let actions = c.on_downlink(CLIENT, pkt(&mut f, 0), ms(0));
+        assert!(actions.is_empty());
+        assert_eq!(c.stats.downlink_no_ap, 1);
+    }
+
+    #[test]
+    fn better_ap_triggers_full_switch_protocol() {
+        let mut c = controller();
+        c.on_client_associated(CLIENT, AP1, ms(0));
+        // AP2 becomes clearly better after the hysteresis window.
+        let t = ms(100);
+        c.on_msg(csi(AP1, 8.0, t), t);
+        let actions = c.on_msg(csi(AP2, 16.0, t), t);
+        let stop = actions.iter().find_map(|a| match a {
+            ControllerAction::Send {
+                ap,
+                msg:
+                    BackhaulMsg::Stop {
+                        next_ap, switch_id, ..
+                    },
+            } => Some((*ap, *next_ap, *switch_id)),
+            _ => None,
+        });
+        let (old, new, sid) = stop.expect("switch must start");
+        assert_eq!((old, new), (AP1, AP2));
+        assert_eq!(c.stats.switches_started, 1);
+        // Ack completes it and re-announces the serving AP.
+        let done = c.on_msg(
+            BackhaulMsg::SwitchAck {
+                client: CLIENT,
+                ap: AP2,
+                switch_id: sid,
+            },
+            ms(117),
+        );
+        assert_eq!(c.serving(CLIENT), Some(AP2));
+        assert_eq!(c.stats.switches_completed, 1);
+        assert_eq!(done.len(), 3, "serving update to all APs");
+        let d = c.stats.switch_durations.mean().unwrap();
+        assert!((d - 0.017).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_second_switch_while_outstanding() {
+        let mut c = controller();
+        c.on_client_associated(CLIENT, AP1, ms(0));
+        let t = ms(100);
+        c.on_msg(csi(AP1, 8.0, t), t);
+        let first = c.on_msg(csi(AP2, 16.0, t), t);
+        assert!(!first.is_empty());
+        // Even better AP3 appears, but the AP1→AP2 switch is pending.
+        let second = c.on_msg(csi(AP3, 25.0, t), t);
+        assert!(second.is_empty());
+        assert_eq!(c.stats.switches_started, 1);
+    }
+
+    #[test]
+    fn stop_retransmitted_on_timeout() {
+        let mut c = controller();
+        c.on_client_associated(CLIENT, AP1, ms(0));
+        let t = ms(100);
+        c.on_msg(csi(AP1, 8.0, t), t);
+        c.on_msg(csi(AP2, 16.0, t), t);
+        let deadline = c.next_timeout().expect("switch pending");
+        assert_eq!(deadline, t + SimDuration::from_millis(30));
+        assert!(c.poll(ms(120)).is_empty(), "before timeout: nothing");
+        let re = c.poll(deadline);
+        assert_eq!(re.len(), 1);
+        assert!(matches!(
+            re[0],
+            ControllerAction::Send {
+                msg: BackhaulMsg::Stop { .. },
+                ..
+            }
+        ));
+        assert_eq!(c.stats.stop_retransmits, 1);
+    }
+
+    #[test]
+    fn uplink_dedup_forwards_once() {
+        let mut c = controller();
+        let mut f = PacketFactory::new();
+        let p = f.udp(
+            FlowId(0),
+            Ipv4Addr::new(172, 16, 0, 100),
+            Ipv4Addr::new(8, 8, 8, 8),
+            0,
+            1500,
+            ms(0),
+        );
+        let first = c.on_msg(
+            BackhaulMsg::UplinkData { ap: AP1, packet: p },
+            ms(1),
+        );
+        assert_eq!(first.len(), 1);
+        // Two more APs heard the same packet.
+        for ap in [AP2, AP3] {
+            let dup = c.on_msg(BackhaulMsg::UplinkData { ap, packet: p }, ms(1));
+            assert!(dup.is_empty());
+        }
+        assert_eq!(c.stats.uplink_forwarded, 1);
+        assert_eq!(c.stats.uplink_duplicates, 2);
+    }
+
+    #[test]
+    fn clients_have_independent_switch_state() {
+        let mut c = controller();
+        let c2 = NodeId(101);
+        c.on_client_associated(CLIENT, AP1, ms(0));
+        c.on_client_associated(c2, AP2, ms(0));
+        let t = ms(100);
+        // Client 1 starts a switch; client 2 must still be able to.
+        c.on_msg(csi(AP1, 8.0, t), t);
+        let first = c.on_msg(csi(AP2, 16.0, t), t);
+        assert!(!first.is_empty(), "client 1 switch starts");
+        let mk = |ap, esnr| BackhaulMsg::CsiReport {
+            client: c2,
+            ap,
+            esnr_db: esnr,
+            at: t,
+        };
+        c.on_msg(mk(AP2, 8.0), t);
+        let second = c.on_msg(mk(AP3, 16.0), t);
+        assert!(
+            second.iter().any(|a| matches!(
+                a,
+                ControllerAction::Send { msg: BackhaulMsg::Stop { client, .. }, .. }
+                    if *client == c2
+            )),
+            "client 2's switch must not be blocked by client 1's"
+        );
+        assert_eq!(c.stats.switches_started, 2);
+    }
+
+    #[test]
+    fn per_client_indices_are_independent() {
+        let mut c = controller();
+        let c2 = NodeId(101);
+        c.on_client_associated(CLIENT, AP1, ms(0));
+        c.on_client_associated(c2, AP1, ms(0));
+        c.on_msg(csi(AP1, 15.0, ms(1)), ms(1));
+        let mut f = PacketFactory::new();
+        // Interleave downlink packets; each client's index counts alone.
+        let idx_of = |acts: &[ControllerAction]| -> u16 {
+            acts.iter()
+                .find_map(|a| match a {
+                    ControllerAction::Send {
+                        msg: BackhaulMsg::DownlinkData { index, .. },
+                        ..
+                    } => Some(*index),
+                    _ => None,
+                })
+                .expect("fanned out")
+        };
+        let a0 = c.on_downlink(CLIENT, pkt(&mut f, 0), ms(2));
+        let b0 = c.on_downlink(c2, pkt(&mut f, 1), ms(2));
+        let a1 = c.on_downlink(CLIENT, pkt(&mut f, 2), ms(2));
+        assert_eq!(idx_of(&a0), 0);
+        assert_eq!(idx_of(&b0), 0, "second client starts at its own 0");
+        assert_eq!(idx_of(&a1), 1);
+    }
+
+    #[test]
+    fn serving_ap_kept_in_fanout_during_csi_lull() {
+        let mut c = controller();
+        c.on_client_associated(CLIENT, AP1, ms(0));
+        // No CSI at all: fan-out must still reach the serving AP.
+        let mut f = PacketFactory::new();
+        let actions = c.on_downlink(CLIENT, pkt(&mut f, 0), ms(50));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            ControllerAction::Send { ap, .. } if ap == AP1
+        ));
+    }
+}

@@ -1,0 +1,141 @@
+//! Uplink packet de-duplication (paper §3.2.2–3.2.3).
+//!
+//! Every AP that decodes a client's uplink packet tunnels it to the
+//! controller — that redundancy is WGTT's uplink path diversity (Fig. 18)
+//! — so the controller must drop the copies before forwarding to the
+//! Internet, or TCP sees spurious duplicates. The paper uses a hash set
+//! keyed by a 48-bit value built from the source IP address and the IPv4
+//! identification field. We add bounded memory: keys age out FIFO once
+//! the set reaches capacity (the ident field wraps at 65,536 packets per
+//! source, so unbounded retention would eventually *drop fresh packets*).
+
+use std::collections::{HashSet, VecDeque};
+
+/// Bounded-memory duplicate filter over 48-bit packet keys.
+///
+/// ```
+/// use wgtt::dedup::DedupFilter;
+/// let mut d = DedupFilter::new(1024);
+/// assert!(d.check_and_insert(42));   // first copy → forward
+/// assert!(!d.check_and_insert(42));  // second AP's copy → drop
+/// ```
+#[derive(Debug)]
+pub struct DedupFilter {
+    seen: HashSet<u64>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    /// Packets accepted (first copies).
+    pub accepted: u64,
+    /// Duplicate copies dropped.
+    pub duplicates: u64,
+}
+
+impl DedupFilter {
+    /// Filter remembering at most `capacity` recent keys.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "dedup capacity must be positive");
+        DedupFilter {
+            seen: HashSet::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+            accepted: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Observe `key`. Returns `true` if this is the first (and thus
+    /// forwardable) copy.
+    pub fn check_and_insert(&mut self, key: u64) -> bool {
+        if self.seen.contains(&key) {
+            self.duplicates += 1;
+            return false;
+        }
+        if self.order.len() >= self.capacity {
+            let old = self.order.pop_front().expect("non-empty at capacity");
+            self.seen.remove(&old);
+        }
+        self.seen.insert(key);
+        self.order.push_back(key);
+        self.accepted += 1;
+        true
+    }
+
+    /// Keys currently remembered.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no keys are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_copy_passes_rest_drop() {
+        let mut d = DedupFilter::new(100);
+        assert!(d.check_and_insert(42));
+        assert!(!d.check_and_insert(42));
+        assert!(!d.check_and_insert(42));
+        assert_eq!(d.accepted, 1);
+        assert_eq!(d.duplicates, 2);
+    }
+
+    #[test]
+    fn distinct_keys_all_pass() {
+        let mut d = DedupFilter::new(100);
+        for k in 0..50u64 {
+            assert!(d.check_and_insert(k));
+        }
+        assert_eq!(d.accepted, 50);
+        assert_eq!(d.duplicates, 0);
+    }
+
+    #[test]
+    fn capacity_ages_out_fifo() {
+        let mut d = DedupFilter::new(3);
+        for k in [1u64, 2, 3] {
+            d.check_and_insert(k);
+        }
+        d.check_and_insert(4); // evicts 1
+        assert_eq!(d.len(), 3);
+        // Key 1 forgotten → accepted again (the ident-wrap case).
+        assert!(d.check_and_insert(1));
+        // Key 3 still remembered.
+        assert!(!d.check_and_insert(3));
+    }
+
+    #[test]
+    fn three_ap_duplication_scenario() {
+        // Three APs overhear the same uplink stream: per packet, exactly
+        // one copy reaches the WAN.
+        let mut d = DedupFilter::new(1 << 16);
+        let mut forwarded = 0;
+        for pkt_key in 0..1000u64 {
+            for _ap in 0..3 {
+                if d.check_and_insert(pkt_key) {
+                    forwarded += 1;
+                }
+            }
+        }
+        assert_eq!(forwarded, 1000);
+        assert_eq!(d.duplicates, 2000);
+    }
+
+    proptest! {
+        #[test]
+        fn set_and_queue_stay_consistent(keys in proptest::collection::vec(0u64..50, 1..300)) {
+            let mut d = DedupFilter::new(16);
+            for k in keys {
+                d.check_and_insert(k);
+                prop_assert!(d.len() <= 16);
+                prop_assert_eq!(d.order.len(), d.seen.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # wgtt — Wi-Fi Goes to Town (SIGCOMM 2017)
+//!
+//! The paper's primary contribution, as a library: a controller plus AP
+//! agents that together deliver downlink traffic to vehicular clients over
+//! an array of meter-scale Wi-Fi picocells, switching the serving AP at
+//! millisecond granularity.
+//!
+//! The pieces, mapped to the paper:
+//!
+//! | Module | Paper section | Mechanism |
+//! |---|---|---|
+//! | [`selection`] | §3.1.1 | max-median-ESNR AP selection over a sliding window *W* (Fig. 6), with the time hysteresis studied in §5.3.3 |
+//! | [`cyclic`] | §3.1.2, Fig. 7 | per-client cyclic queue with m = 12-bit packet indices, replicated at every in-range AP |
+//! | [`switching`] | §3.1.2 | the three-step `stop(c)` → `start(c, k)` → `ack` protocol, 30 ms ack timeout, one outstanding switch |
+//! | [`dedup`] | §3.2.2–3.2.3 | controller-side uplink de-duplication on the 48-bit (src IP, IP ident) key |
+//! | [`bafwd`] | §3.2.1 | Block ACK overhearing and forwarding between APs |
+//! | [`assoc`] | §4.3 | single-BSSID association state replication |
+//! | [`controller`] | §3, Fig. 5 | the control-plane state machine gluing the above together |
+//! | [`ap`] | §3.1.2, §3.2.1 | the AP data plane: cyclic queue, NIC staging, A-MPDU/Block-ACK transmission, control-packet priority |
+//!
+//! Everything is an explicit, event-loop-agnostic state machine: methods
+//! take `now` and return actions (backhaul messages to deliver, packets
+//! for the WAN); the `wgtt-scenario` crate owns scheduling, the radio
+//! substrate, and the MAC medium.
+
+pub mod ap;
+pub mod assoc;
+pub mod bafwd;
+pub mod config;
+pub mod controller;
+pub mod cyclic;
+pub mod dedup;
+pub mod messages;
+pub mod selection;
+pub mod switching;
+
+pub use config::WgttConfig;
+pub use selection::SelectionPolicy;
+pub use controller::{Controller, ControllerAction};
+pub use messages::{BackhaulDest, BackhaulMsg};

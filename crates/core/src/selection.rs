@@ -1,0 +1,423 @@
+//! AP selection: maximum median ESNR over a sliding window (paper §3.1.1).
+//!
+//! Each AP computes ESNR from the CSI of every uplink frame it hears and
+//! reports it to the controller. Per client, the controller keeps the
+//! readings of the last *W* = 10 ms per AP and selects
+//! `a* = argmax_a median(E(a))` (Fig. 6). The median — not the mean or
+//! the latest sample — is what makes the choice robust to single-frame
+//! fading spikes while still reacting within a coherence time.
+//!
+//! The module also implements the two dampers the paper applies:
+//! a *time hysteresis* between switches (§5.3.3) and the rule that the
+//! in-range candidate set is "those APs that have received a packet from
+//! the client within the AP selection window W" (§3.1.2 footnote).
+
+use std::collections::{HashMap, VecDeque};
+use wgtt_mac::frame::NodeId;
+use wgtt_sim::time::{SimDuration, SimTime};
+
+/// How long the serving AP may go unheard before it is declared dead and
+/// abandoned regardless of margin. Shorter than this, a CSI lull (a pair
+/// of lost Block ACKs) must not force a panic switch.
+const SILENCE_GRACE: SimDuration = SimDuration::from_millis(100);
+
+/// How the sliding window of ESNR readings reduces to one figure per AP.
+///
+/// The paper picks the **median** (Fig. 6) for robustness to single-frame
+/// fading spikes; the other reducers exist for the ablation study that
+/// quantifies that choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Median of the window — the paper's algorithm.
+    #[default]
+    Median,
+    /// Arithmetic mean of the window.
+    Mean,
+    /// Maximum reading in the window (optimistic).
+    Max,
+    /// Most recent reading only (no smoothing).
+    Latest,
+}
+
+/// Sliding-window ESNR history for one (client, AP) link.
+#[derive(Debug, Default)]
+struct LinkHistory {
+    /// `(time, esnr_db)`, oldest first.
+    readings: VecDeque<(SimTime, f64)>,
+}
+
+impl LinkHistory {
+    fn push(&mut self, at: SimTime, esnr_db: f64, window: SimDuration) {
+        self.readings.push_back((at, esnr_db));
+        self.expire(at, window);
+    }
+
+    fn expire(&mut self, now: SimTime, window: SimDuration) {
+        while let Some(&(t, _)) = self.readings.front() {
+            if t + window < now {
+                self.readings.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn reduce(&self, policy: SelectionPolicy) -> Option<f64> {
+        if self.readings.is_empty() {
+            return None;
+        }
+        match policy {
+            SelectionPolicy::Median => {
+                let mut vals: Vec<f64> =
+                    self.readings.iter().map(|&(_, v)| v).collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).expect("ESNR is never NaN"));
+                Some(vals[vals.len() / 2])
+            }
+            SelectionPolicy::Mean => Some(
+                self.readings.iter().map(|&(_, v)| v).sum::<f64>()
+                    / self.readings.len() as f64,
+            ),
+            SelectionPolicy::Max => self
+                .readings
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v)))),
+            SelectionPolicy::Latest => self.readings.back().map(|&(_, v)| v),
+        }
+    }
+}
+
+/// Per-client AP selection state.
+#[derive(Debug)]
+pub struct ApSelector {
+    window: SimDuration,
+    hysteresis: SimDuration,
+    margin_db: f64,
+    policy: SelectionPolicy,
+    links: HashMap<NodeId, LinkHistory>,
+    /// Most recent reading per AP regardless of window expiry (range
+    /// liveness for the fan-out grace rule).
+    last_reading: HashMap<NodeId, SimTime>,
+    current: Option<NodeId>,
+    last_switch: Option<SimTime>,
+}
+
+/// The selector's verdict after a new reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Keep the current AP.
+    Stay,
+    /// Switch to this AP (hysteresis and margin already applied).
+    SwitchTo(NodeId),
+    /// No AP has any reading in the window (client out of range).
+    NoCandidate,
+}
+
+impl ApSelector {
+    /// Build with the paper's knobs: window *W*, switch hysteresis, and
+    /// the minimum median advantage a challenger needs.
+    pub fn new(window: SimDuration, hysteresis: SimDuration, margin_db: f64) -> Self {
+        ApSelector {
+            window,
+            hysteresis,
+            margin_db,
+            policy: SelectionPolicy::Median,
+            links: HashMap::new(),
+            last_reading: HashMap::new(),
+            current: None,
+            last_switch: None,
+        }
+    }
+
+    /// Override the window-reduction policy (ablation studies; the
+    /// paper's algorithm is the default median).
+    pub fn set_policy(&mut self, policy: SelectionPolicy) {
+        self.policy = policy;
+    }
+
+    /// Record an ESNR reading from `ap` at `at`.
+    pub fn record(&mut self, ap: NodeId, at: SimTime, esnr_db: f64) {
+        self.last_reading
+            .entry(ap)
+            .and_modify(|t| *t = (*t).max(at))
+            .or_insert(at);
+        self.links
+            .entry(ap)
+            .or_default()
+            .push(at, esnr_db, self.window);
+    }
+
+    /// Whether any AP has heard this client within `grace` of `now` —
+    /// if not, the client is out of coverage and downlink fan-out should
+    /// stop rather than burn airtime on a dark link.
+    pub fn heard_within(&self, now: SimTime, grace: wgtt_sim::time::SimDuration) -> bool {
+        self.last_reading
+            .values()
+            .any(|&t| t + grace >= now)
+    }
+
+    /// APs heard from within `grace` — the downlink replication set. This
+    /// is deliberately wider than the selection window: an AP whose CSI
+    /// arrives sporadically must still hold the client's packets in its
+    /// cyclic queue, or a switch to it starts with holes in the ring.
+    pub fn heard_set(&self, now: SimTime, grace: SimDuration) -> Vec<NodeId> {
+        let mut aps: Vec<NodeId> = self
+            .last_reading
+            .iter()
+            .filter(|(_, &t)| t + grace >= now)
+            .map(|(&ap, _)| ap)
+            .collect();
+        aps.sort_unstable();
+        aps
+    }
+
+    /// The AP currently serving this client, if any.
+    pub fn current(&self) -> Option<NodeId> {
+        self.current
+    }
+
+    /// Force the serving AP (initial association, or completion of a
+    /// switch decided elsewhere).
+    pub fn set_current(&mut self, ap: NodeId, now: SimTime) {
+        self.current = Some(ap);
+        self.last_switch = Some(now);
+    }
+
+    /// APs with at least one reading inside the window — the fan-out set
+    /// for downlink replication.
+    pub fn in_range(&mut self, now: SimTime) -> Vec<NodeId> {
+        let window = self.window;
+        let mut aps: Vec<NodeId> = self
+            .links
+            .iter_mut()
+            .filter_map(|(&ap, h)| {
+                h.expire(now, window);
+                if h.readings.is_empty() {
+                    None
+                } else {
+                    Some(ap)
+                }
+            })
+            .collect();
+        aps.sort_unstable();
+        aps
+    }
+
+    /// Reduced (by the configured policy; median by default) ESNR of
+    /// `ap` over the window, if it has readings.
+    pub fn median_esnr(&mut self, ap: NodeId, now: SimTime) -> Option<f64> {
+        let window = self.window;
+        let policy = self.policy;
+        let h = self.links.get_mut(&ap)?;
+        h.expire(now, window);
+        h.reduce(policy)
+    }
+
+    /// The instantaneous argmax-median AP (no hysteresis) — the paper's
+    /// "optimal AP" reference for the Table 2 switching-accuracy metric.
+    pub fn best(&mut self, now: SimTime) -> Option<(NodeId, f64)> {
+        let window = self.window;
+        let mut best: Option<(NodeId, f64)> = None;
+        // Deterministic iteration: sort by AP id.
+        let mut aps: Vec<NodeId> = self.links.keys().copied().collect();
+        aps.sort_unstable();
+        let policy = self.policy;
+        for ap in aps {
+            let h = self.links.get_mut(&ap).expect("key exists");
+            h.expire(now, window);
+            if let Some(m) = h.reduce(policy) {
+                if best.is_none_or(|(_, bm)| m > bm) {
+                    best = Some((ap, m));
+                }
+            }
+        }
+        best
+    }
+
+    /// Evaluate the selection rule at `now`. Returns
+    /// [`Verdict::SwitchTo`] only when the best AP differs from the
+    /// current, beats it by the margin, and the hysteresis has elapsed.
+    pub fn evaluate(&mut self, now: SimTime) -> Verdict {
+        let Some((best_ap, best_median)) = self.best(now) else {
+            return Verdict::NoCandidate;
+        };
+        let Some(current) = self.current else {
+            return Verdict::SwitchTo(best_ap);
+        };
+        if best_ap == current {
+            return Verdict::Stay;
+        }
+        if let Some(last) = self.last_switch {
+            if now.saturating_since(last) < self.hysteresis {
+                return Verdict::Stay;
+            }
+        }
+        let current_median = self.median_esnr(current, now);
+        match current_median {
+            // No reading from the current AP inside the window: only
+            // abandon it once it has been silent for the grace period —
+            // a brief CSI lull is not evidence of a dead link.
+            None => {
+                let silent_long = self
+                    .last_reading
+                    .get(&current)
+                    .is_none_or(|&t| t + SILENCE_GRACE < now);
+                if silent_long {
+                    Verdict::SwitchTo(best_ap)
+                } else {
+                    Verdict::Stay
+                }
+            }
+            Some(cm) if best_median > cm + self.margin_db => Verdict::SwitchTo(best_ap),
+            Some(_) => Verdict::Stay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn selector() -> ApSelector {
+        ApSelector::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(40),
+            1.0,
+        )
+    }
+
+    const AP1: NodeId = NodeId(1);
+    const AP2: NodeId = NodeId(2);
+    const AP3: NodeId = NodeId(3);
+
+    #[test]
+    fn picks_max_median_like_fig6() {
+        // Paper Fig. 6: AP3's window {23, 23, 23, 9, 9} has median 23 and
+        // wins over AP1 {17, 13, 12, 11, 15} (median 13) and AP2
+        // {13, 19, 18, 14, 13} (median 14) — despite AP3's recent dips.
+        let mut s = selector();
+        let t = ms(100);
+        for (ap, vals) in [
+            (AP1, [17.0, 13.0, 12.0, 11.0, 15.0]),
+            (AP2, [13.0, 19.0, 18.0, 14.0, 13.0]),
+            (AP3, [23.0, 23.0, 23.0, 9.0, 9.0]),
+        ] {
+            for (i, v) in vals.iter().enumerate() {
+                s.record(ap, t + SimDuration::from_millis(i as u64), *v);
+            }
+        }
+        let (best, median) = s.best(ms(105)).expect("candidates exist");
+        assert_eq!(best, AP3);
+        assert_eq!(median, 23.0);
+    }
+
+    #[test]
+    fn window_expires_old_readings() {
+        let mut s = selector();
+        s.record(AP1, ms(0), 30.0);
+        s.record(AP2, ms(11), 10.0);
+        // At t=12 ms, AP1's reading (t=0) is outside the 10 ms window.
+        let (best, _) = s.best(ms(12)).unwrap();
+        assert_eq!(best, AP2);
+        assert_eq!(s.in_range(ms(12)), vec![AP2]);
+    }
+
+    #[test]
+    fn first_candidate_selected_immediately() {
+        let mut s = selector();
+        s.record(AP1, ms(1), 12.0);
+        assert_eq!(s.evaluate(ms(1)), Verdict::SwitchTo(AP1));
+    }
+
+    #[test]
+    fn hysteresis_blocks_rapid_flapping() {
+        let mut s = selector();
+        s.record(AP1, ms(0), 20.0);
+        s.set_current(AP1, ms(0));
+        // 10 ms later AP2 looks better, but hysteresis is 40 ms.
+        s.record(AP1, ms(10), 10.0);
+        s.record(AP2, ms(10), 20.0);
+        assert_eq!(s.evaluate(ms(10)), Verdict::Stay);
+        // After the hysteresis elapses the switch goes through.
+        s.record(AP1, ms(45), 10.0);
+        s.record(AP2, ms(45), 20.0);
+        assert_eq!(s.evaluate(ms(45)), Verdict::SwitchTo(AP2));
+    }
+
+    #[test]
+    fn margin_suppresses_noise_switches() {
+        let mut s = selector();
+        s.set_current(AP1, ms(0));
+        s.record(AP1, ms(100), 15.0);
+        s.record(AP2, ms(100), 15.5); // within the 1 dB margin
+        assert_eq!(s.evaluate(ms(100)), Verdict::Stay);
+        s.record(AP1, ms(101), 15.0);
+        s.record(AP2, ms(101), 17.0); // decisive
+        assert!(matches!(s.evaluate(ms(101)), Verdict::SwitchTo(AP2)));
+    }
+
+    #[test]
+    fn current_out_of_range_forces_switch() {
+        let mut s = selector();
+        s.record(AP1, ms(0), 25.0);
+        s.set_current(AP1, ms(0));
+        // AP1 goes silent. Inside the silence grace (100 ms) the selector
+        // holds on — a brief CSI lull is not a dead link.
+        s.record(AP2, ms(90), 3.0);
+        assert_eq!(s.evaluate(ms(90)), Verdict::Stay);
+        // Once the grace elapses, a weak link beats a dead one.
+        s.record(AP2, ms(150), 3.0);
+        assert_eq!(s.evaluate(ms(150)), Verdict::SwitchTo(AP2));
+    }
+
+    #[test]
+    fn no_candidates_reported() {
+        let mut s = selector();
+        assert_eq!(s.evaluate(ms(0)), Verdict::NoCandidate);
+        s.record(AP1, ms(0), 20.0);
+        s.set_current(AP1, ms(0));
+        // Everything expired 100 ms later.
+        assert_eq!(s.evaluate(ms(100)), Verdict::NoCandidate);
+    }
+
+    #[test]
+    fn in_range_is_sorted_and_windowed() {
+        let mut s = selector();
+        s.record(AP3, ms(5), 10.0);
+        s.record(AP1, ms(6), 10.0);
+        s.record(AP2, ms(7), 10.0);
+        assert_eq!(s.in_range(ms(8)), vec![AP1, AP2, AP3]);
+    }
+
+    #[test]
+    fn policies_reduce_differently() {
+        let readings = [5.0, 6.0, 50.0];
+        let build = |policy| {
+            let mut s = selector();
+            s.set_policy(policy);
+            for (i, v) in readings.iter().enumerate() {
+                s.record(AP1, ms(i as u64), *v);
+            }
+            s.median_esnr(AP1, ms(3)).unwrap()
+        };
+        assert_eq!(build(SelectionPolicy::Median), 6.0);
+        assert!((build(SelectionPolicy::Mean) - 61.0 / 3.0).abs() < 1e-9);
+        assert_eq!(build(SelectionPolicy::Max), 50.0);
+        assert_eq!(build(SelectionPolicy::Latest), 50.0);
+    }
+
+    #[test]
+    fn median_is_order_statistic_not_mean() {
+        let mut s = selector();
+        // One huge outlier must not dominate: median of
+        // {5, 6, 50} = 6, mean would be ≈20.
+        for (i, v) in [5.0, 6.0, 50.0].iter().enumerate() {
+            s.record(AP1, ms(i as u64), *v);
+        }
+        assert_eq!(s.median_esnr(AP1, ms(3)), Some(6.0));
+    }
+}

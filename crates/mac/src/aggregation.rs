@@ -1,0 +1,217 @@
+//! A-MPDU assembly.
+//!
+//! Pulls as many queued MPDUs as fit under the 802.11n aggregation limits
+//! (64 MPDUs / 64 kB per A-MPDU, and all MPDUs inside one Block ACK
+//! window). Retransmissions are aggregated ahead of fresh packets so the
+//! Block ACK window can advance.
+
+use crate::blockack::BA_WINDOW;
+use crate::frame::Mpdu;
+use crate::mcs::Mcs;
+use crate::seq::seq_sub;
+
+/// Maximum MPDUs per A-MPDU (compressed Block ACK bitmap width).
+pub const MAX_AMPDU_MPDUS: usize = 64;
+
+/// Maximum aggregate payload bytes per A-MPDU (802.11n cap).
+pub const MAX_AMPDU_BYTES: u32 = 65_535;
+
+/// Aggregation policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AggregationPolicy {
+    /// Cap on MPDUs per aggregate (≤ 64).
+    pub max_mpdus: usize,
+    /// Cap on aggregate payload bytes.
+    pub max_bytes: u32,
+    /// Cap on the aggregate's *airtime* in microseconds: ath9k limits
+    /// every A-MPDU to ≈4 ms on the air, so a sender stuck at a low MCS
+    /// emits short aggregates instead of monopolizing the channel.
+    pub max_airtime_us: u64,
+}
+
+impl Default for AggregationPolicy {
+    fn default() -> Self {
+        AggregationPolicy {
+            // The testbed's ath9k defaults aggregate up to 32 MPDUs.
+            max_mpdus: 32,
+            max_bytes: MAX_AMPDU_BYTES,
+            max_airtime_us: 4_000,
+        }
+    }
+}
+
+impl AggregationPolicy {
+    /// The effective byte cap once the airtime limit at `mcs` is applied.
+    pub fn byte_cap_at(&self, mcs: Mcs) -> u32 {
+        let airtime_bytes = (self.max_airtime_us as f64 * mcs.rate_mbps() / 8.0) as u32;
+        self.max_bytes.min(airtime_bytes.max(1))
+    }
+}
+
+/// Assemble the next A-MPDU from `retries` (MPDUs that must go again,
+/// already holding sequence numbers) and `fresh` (a FIFO of new MPDUs),
+/// for transmission at `mcs` (which sets the airtime-derived byte cap).
+/// Consumes from the fronts of both; retries first. All selected MPDUs
+/// must fall within one Block ACK window of the first — MPDUs beyond it
+/// are left queued.
+pub fn build_ampdu(
+    retries: &mut Vec<Mpdu>,
+    fresh: &mut std::collections::VecDeque<Mpdu>,
+    policy: &AggregationPolicy,
+    mcs: Mcs,
+) -> Vec<Mpdu> {
+    let mut out: Vec<Mpdu> = Vec::new();
+    let mut bytes: u32 = 0;
+    let max_mpdus = policy.max_mpdus.min(MAX_AMPDU_MPDUS);
+    let byte_cap = policy.byte_cap_at(mcs);
+
+    let fits = |out: &[Mpdu], bytes: u32, m: &Mpdu, max_bytes: u32| -> bool {
+        if !out.is_empty() && bytes + m.packet.len as u32 > max_bytes {
+            return false;
+        }
+        if let Some(first) = out.first() {
+            // Stay inside one Block ACK window of the first MPDU.
+            if seq_sub(m.seq, first.seq) >= BA_WINDOW {
+                return false;
+            }
+        }
+        true
+    };
+
+    while out.len() < max_mpdus {
+        let candidate = if !retries.is_empty() {
+            Some(retries[0])
+        } else {
+            fresh.front().copied()
+        };
+        let Some(m) = candidate else { break };
+        if !fits(&out, bytes, &m, byte_cap) {
+            break;
+        }
+        if !retries.is_empty() {
+            retries.remove(0);
+        } else {
+            fresh.pop_front();
+        }
+        bytes += m.packet.len as u32;
+        out.push(m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PacketRef;
+    use crate::mcs::Mcs;
+    use std::collections::VecDeque;
+
+    fn mpdu(seq: u16, len: u16) -> Mpdu {
+        Mpdu {
+            seq,
+            packet: PacketRef {
+                id: seq as u64,
+                len,
+            },
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn drains_fifo_up_to_count_limit() {
+        // With a huge airtime budget, the 32-MPDU count cap binds.
+        let mut retries = Vec::new();
+        let mut fresh: VecDeque<Mpdu> = (0..50).map(|s| mpdu(s, 1500)).collect();
+        let policy = AggregationPolicy {
+            max_airtime_us: 100_000,
+            ..AggregationPolicy::default()
+        };
+        let a = build_ampdu(&mut retries, &mut fresh, &policy, Mcs::Mcs7);
+        assert_eq!(a.len(), 32);
+        assert_eq!(fresh.len(), 18);
+        assert_eq!(a[0].seq, 0);
+        assert_eq!(a[31].seq, 31);
+    }
+
+    #[test]
+    fn airtime_cap_binds_at_low_mcs() {
+        // At MCS0 a 4 ms budget holds only ≈2 × 1500 B MPDUs — the cap
+        // that stops a dying link from monopolizing the channel.
+        let mut retries = Vec::new();
+        let mut fresh: VecDeque<Mpdu> = (0..50).map(|s| mpdu(s, 1500)).collect();
+        let a = build_ampdu(
+            &mut retries,
+            &mut fresh,
+            &AggregationPolicy::default(),
+            Mcs::Mcs0,
+        );
+        assert!(a.len() <= 3, "got {} MPDUs at MCS0", a.len());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn byte_limit_respected() {
+        let mut retries = Vec::new();
+        let mut fresh: VecDeque<Mpdu> = (0..64).map(|s| mpdu(s, 1500)).collect();
+        let policy = AggregationPolicy {
+            max_mpdus: 64,
+            max_bytes: 6000,
+            max_airtime_us: 100_000,
+        };
+        let a = build_ampdu(&mut retries, &mut fresh, &policy, Mcs::Mcs7);
+        assert_eq!(a.len(), 4); // 4 × 1500 = 6000
+    }
+
+    #[test]
+    fn retries_go_first() {
+        let mut retries = vec![mpdu(5, 1500), mpdu(7, 1500)];
+        let mut fresh: VecDeque<Mpdu> = (10..20).map(|s| mpdu(s, 1500)).collect();
+        let a = build_ampdu(&mut retries, &mut fresh, &AggregationPolicy::default(), Mcs::Mcs7);
+        assert_eq!(a[0].seq, 5);
+        assert_eq!(a[1].seq, 7);
+        assert_eq!(a[2].seq, 10);
+        assert!(retries.is_empty());
+    }
+
+    #[test]
+    fn window_constraint_cuts_aggregate() {
+        // A retry at seq 0 plus fresh far ahead: anything ≥ 64 away stays.
+        let mut retries = vec![mpdu(0, 1500)];
+        let mut fresh: VecDeque<Mpdu> = (60..70).map(|s| mpdu(s, 1500)).collect();
+        let a = build_ampdu(&mut retries, &mut fresh, &AggregationPolicy::default(), Mcs::Mcs7);
+        let max_seq = a.iter().map(|m| m.seq).max().unwrap();
+        assert!(max_seq < 64, "max seq {max_seq} must stay in BA window");
+        assert!(fresh.iter().any(|m| m.seq >= 64));
+    }
+
+    #[test]
+    fn single_oversize_mpdu_still_sent() {
+        // The byte cap never blocks the first MPDU (progress guarantee).
+        let mut retries = Vec::new();
+        let mut fresh: VecDeque<Mpdu> = VecDeque::from(vec![mpdu(0, 9000)]);
+        let policy = AggregationPolicy {
+            max_mpdus: 8,
+            max_bytes: 4000,
+            max_airtime_us: 100_000,
+        };
+        let a = build_ampdu(&mut retries, &mut fresh, &policy, Mcs::Mcs7);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn empty_queues_build_nothing() {
+        let mut retries = Vec::new();
+        let mut fresh = VecDeque::new();
+        let a = build_ampdu(&mut retries, &mut fresh, &AggregationPolicy::default(), Mcs::Mcs7);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn wraparound_window_ok() {
+        let mut retries = Vec::new();
+        let mut fresh: VecDeque<Mpdu> =
+            (0..10).map(|i| mpdu((4090 + i) % 4096, 1500)).collect();
+        let a = build_ampdu(&mut retries, &mut fresh, &AggregationPolicy::default(), Mcs::Mcs7);
+        assert_eq!(a.len(), 10, "wrap inside window must aggregate fully");
+    }
+}

@@ -1,0 +1,172 @@
+//! MAC frame vocabulary shared by the medium, the APs, and the clients.
+//!
+//! The MAC layer does not carry real payload bytes: upper layers keep
+//! packet identity through opaque [`PacketRef`] handles (id + length),
+//! which is all the link layer needs to compute airtime, apply the error
+//! model, and report delivery. The `wgtt-net` crate owns actual headers.
+
+use crate::mcs::Mcs;
+
+/// Identity of a radio node (AP or client) in a scenario. Dense small
+/// integers; the scenario crate assigns them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Opaque handle to an upper-layer packet: the id keys a packet store in
+/// the scenario; the length drives airtime and error modelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef {
+    /// Scenario-unique packet id.
+    pub id: u64,
+    /// Length on the wire, bytes.
+    pub len: u16,
+}
+
+/// One MPDU inside an A-MPDU: a packet plus its 12-bit MAC sequence
+/// number and retry count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mpdu {
+    /// 12-bit MAC sequence number (mod 4096).
+    pub seq: u16,
+    /// The upper-layer packet this MPDU carries.
+    pub packet: PacketRef,
+    /// How many times this MPDU has been (re)transmitted before.
+    pub retries: u8,
+}
+
+/// What kind of PHY transmission a [`Frame`] is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameKind {
+    /// Aggregated data frame (1..=64 MPDUs) expecting a Block ACK.
+    Ampdu {
+        /// The aggregated MPDUs in sequence order.
+        mpdus: Vec<Mpdu>,
+    },
+    /// Block ACK response: window start + 64-bit bitmap.
+    BlockAck {
+        /// First sequence number the bitmap covers.
+        start_seq: u16,
+        /// Bit `i` acknowledges `start_seq + i` (mod 4096).
+        bitmap: u64,
+    },
+    /// Single unaggregated data frame expecting a legacy ACK (used for
+    /// management-sized payloads and the baseline's association frames).
+    Data {
+        /// The carried packet.
+        packet: PacketRef,
+        /// 12-bit sequence number.
+        seq: u16,
+    },
+    /// Legacy ACK for a [`FrameKind::Data`] frame.
+    Ack,
+    /// AP beacon (baseline roaming discovers APs from these).
+    Beacon,
+    /// Management exchange frame (auth/assoc/reassoc), payload-free in the
+    /// model; `kind` distinguishes the handshake step for the roamers.
+    Mgmt {
+        /// Which management step this is.
+        step: MgmtStep,
+    },
+}
+
+/// Management handshake steps used by association and fast roaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MgmtStep {
+    /// Authentication request (client → AP).
+    AuthReq,
+    /// Authentication response (AP → client).
+    AuthResp,
+    /// (Re)association request (client → AP).
+    AssocReq,
+    /// (Re)association response (AP → client).
+    AssocResp,
+}
+
+/// A PHY-layer transmission on the shared medium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Intended receiver. Other nodes may still overhear the frame —
+    /// that is how WGTT's Block ACK forwarding works.
+    pub to: NodeId,
+    /// Payload class.
+    pub kind: FrameKind,
+    /// Modulation/coding the payload is sent at (control responses use
+    /// robust basic rates internally; see `airtime`).
+    pub mcs: Mcs,
+}
+
+impl Frame {
+    /// Total payload bytes carried (0 for control/management frames).
+    pub fn payload_bytes(&self) -> u32 {
+        match &self.kind {
+            FrameKind::Ampdu { mpdus } => mpdus.iter().map(|m| m.packet.len as u32).sum(),
+            FrameKind::Data { packet, .. } => packet.len as u32,
+            _ => 0,
+        }
+    }
+
+    /// Number of MPDUs (1 for unaggregated kinds).
+    pub fn mpdu_count(&self) -> usize {
+        match &self.kind {
+            FrameKind::Ampdu { mpdus } => mpdus.len(),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u64, len: u16) -> PacketRef {
+        PacketRef { id, len }
+    }
+
+    #[test]
+    fn payload_bytes_sums_ampdu() {
+        let f = Frame {
+            from: NodeId(1),
+            to: NodeId(2),
+            kind: FrameKind::Ampdu {
+                mpdus: vec![
+                    Mpdu {
+                        seq: 0,
+                        packet: pkt(1, 1500),
+                        retries: 0,
+                    },
+                    Mpdu {
+                        seq: 1,
+                        packet: pkt(2, 500),
+                        retries: 0,
+                    },
+                ],
+            },
+            mcs: Mcs::Mcs7,
+        };
+        assert_eq!(f.payload_bytes(), 2000);
+        assert_eq!(f.mpdu_count(), 2);
+    }
+
+    #[test]
+    fn control_frames_have_no_payload() {
+        let f = Frame {
+            from: NodeId(1),
+            to: NodeId(2),
+            kind: FrameKind::BlockAck {
+                start_seq: 0,
+                bitmap: u64::MAX,
+            },
+            mcs: Mcs::Mcs0,
+        };
+        assert_eq!(f.payload_bytes(), 0);
+        assert_eq!(f.mpdu_count(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Minstrel-style rate adaptation.
+//!
+//! The paper runs the TP-Link APs "without modification of the default
+//! rate control algorithm" (§4) — i.e. Linux Minstrel-HT — and shows in
+//! Table 2's discussion that WGTT's gain comes from *switching decisions*,
+//! not from better bit-rate adaptation. We therefore model a faithful
+//! Minstrel abstraction: per-MCS EWMA success probability learned from
+//! Block ACK feedback, pick the rate maximizing expected goodput, and
+//! spend a fraction of frames probing other rates.
+
+use crate::mcs::{Mcs, ALL_MCS};
+use wgtt_sim::rng::Xoshiro256;
+
+/// EWMA weight for new observations (Minstrel default ≈ 25 %).
+const EWMA_ALPHA: f64 = 0.25;
+
+/// Probe every Nth A-MPDU.
+const PROBE_INTERVAL: u32 = 10;
+
+/// Per-peer rate controller state.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    /// EWMA MPDU delivery probability per MCS.
+    prob: [f64; 8],
+    /// Whether an MCS has ever been sampled.
+    sampled: [bool; 8],
+    frames_since_probe: u32,
+    rng: Xoshiro256,
+}
+
+impl RateController {
+    /// New controller with optimistic priors (start fast, back off on
+    /// evidence — Minstrel's behaviour after a reset).
+    pub fn new(rng: Xoshiro256) -> Self {
+        RateController {
+            prob: [1.0; 8],
+            sampled: [false; 8],
+            frames_since_probe: 0,
+            rng,
+        }
+    }
+
+    /// EWMA delivery probability currently estimated for `mcs`.
+    ///
+    /// An MCS that has never been sampled inherits the estimate of the
+    /// nearest *sampled higher* MCS: since PER is monotone in constellation
+    /// density, a lower rate succeeds at least as often as a higher one,
+    /// so that neighbour's probability is a sound lower bound. With no
+    /// sampled rate above, the prior stays optimistic (1.0) so the
+    /// controller starts fast — Minstrel's post-reset behaviour.
+    pub fn probability(&self, mcs: Mcs) -> f64 {
+        let i = mcs.index();
+        if self.sampled[i] {
+            return self.prob[i];
+        }
+        for j in (i + 1)..8 {
+            if self.sampled[j] {
+                return self.prob[j];
+            }
+        }
+        1.0
+    }
+
+    /// Expected goodput of `mcs` under current estimates, Mbit/s.
+    fn expected_goodput(&self, mcs: Mcs) -> f64 {
+        mcs.rate_mbps() * self.probability(mcs)
+    }
+
+    /// The rate to use for the next A-MPDU. Mostly the max-goodput rate;
+    /// every `PROBE_INTERVAL`th (10th) call samples a random other rate so
+    /// estimates stay fresh (critical when the channel improves).
+    pub fn select(&mut self) -> Mcs {
+        self.frames_since_probe += 1;
+        let best = self.best_rate();
+        if self.frames_since_probe >= PROBE_INTERVAL {
+            self.frames_since_probe = 0;
+            // Probe an adjacent or random rate ≠ best.
+            let candidates: Vec<Mcs> = ALL_MCS
+                .iter()
+                .copied()
+                .filter(|m| *m != best)
+                .collect();
+            let pick = self.rng.below(candidates.len() as u64) as usize;
+            return candidates[pick];
+        }
+        best
+    }
+
+    /// Current max-expected-goodput rate (no probing).
+    pub fn best_rate(&self) -> Mcs {
+        ALL_MCS
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                self.expected_goodput(*a)
+                    .partial_cmp(&self.expected_goodput(*b))
+                    .expect("goodput is never NaN")
+            })
+            .expect("MCS table is non-empty")
+    }
+
+    /// Feed back the outcome of one A-MPDU: `attempted` MPDUs at `mcs`,
+    /// of which `delivered` were acknowledged.
+    pub fn on_feedback(&mut self, mcs: Mcs, attempted: usize, delivered: usize) {
+        if attempted == 0 {
+            return;
+        }
+        let observed = delivered as f64 / attempted as f64;
+        let i = mcs.index();
+        if self.sampled[i] {
+            self.prob[i] = (1.0 - EWMA_ALPHA) * self.prob[i] + EWMA_ALPHA * observed;
+        } else {
+            self.prob[i] = observed;
+            self.sampled[i] = true;
+        }
+    }
+
+    /// Forget learned state (e.g. after a long idle period).
+    pub fn reset(&mut self) {
+        self.prob = [1.0; 8];
+        self.sampled = [false; 8];
+        self.frames_since_probe = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgtt_sim::rng::RngStream;
+
+    fn ctl(seed: u64) -> RateController {
+        RateController::new(RngStream::root(seed).derive("rate").rng())
+    }
+
+    #[test]
+    fn starts_at_top_rate() {
+        let c = ctl(1);
+        assert_eq!(c.best_rate(), Mcs::Mcs7);
+    }
+
+    #[test]
+    fn failures_drive_rate_down() {
+        let mut c = ctl(2);
+        // MCS7 keeps failing, MCS3 keeps succeeding.
+        for _ in 0..20 {
+            c.on_feedback(Mcs::Mcs7, 32, 0);
+            c.on_feedback(Mcs::Mcs3, 32, 32);
+        }
+        assert_eq!(c.best_rate(), Mcs::Mcs3);
+        assert!(c.probability(Mcs::Mcs7) < 0.05);
+    }
+
+    #[test]
+    fn recovery_after_channel_improves() {
+        let mut c = ctl(3);
+        for _ in 0..20 {
+            c.on_feedback(Mcs::Mcs7, 32, 0);
+        }
+        assert!(c.probability(Mcs::Mcs7) < 0.05);
+        // The channel improves: everything now succeeds. Selection (and
+        // its probing) must climb back to the top rate.
+        for _ in 0..300 {
+            let m = c.select();
+            c.on_feedback(m, 32, 32);
+        }
+        assert_eq!(c.best_rate(), Mcs::Mcs7, "must recover to top rate");
+    }
+
+    #[test]
+    fn select_probes_periodically() {
+        let mut c = ctl(4);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            distinct.insert(c.select());
+        }
+        assert!(distinct.len() > 1, "probing must try other rates");
+    }
+
+    #[test]
+    fn ewma_is_gradual() {
+        let mut c = ctl(5);
+        c.on_feedback(Mcs::Mcs5, 32, 32); // first sample pins to 1.0
+        c.on_feedback(Mcs::Mcs5, 32, 0);
+        let p = c.probability(Mcs::Mcs5);
+        assert!((p - 0.75).abs() < 1e-9, "one bad frame: p = {p}");
+    }
+
+    #[test]
+    fn zero_attempts_ignored() {
+        let mut c = ctl(6);
+        let before = c.probability(Mcs::Mcs4);
+        c.on_feedback(Mcs::Mcs4, 0, 0);
+        assert_eq!(c.probability(Mcs::Mcs4), before);
+    }
+
+    #[test]
+    fn mid_rate_wins_under_partial_loss() {
+        let mut c = ctl(7);
+        for _ in 0..30 {
+            c.on_feedback(Mcs::Mcs7, 32, 4); // 12.5 % at 72.2 ⇒ ~9 Mbps
+            c.on_feedback(Mcs::Mcs4, 32, 30); // 94 % at 43.3 ⇒ ~40 Mbps
+            c.on_feedback(Mcs::Mcs0, 32, 32); // 100 % at 7.2 ⇒ 7.2 Mbps
+        }
+        assert_eq!(c.best_rate(), Mcs::Mcs4);
+    }
+
+    #[test]
+    fn reset_restores_optimism() {
+        let mut c = ctl(8);
+        for _ in 0..20 {
+            c.on_feedback(Mcs::Mcs7, 32, 0);
+        }
+        c.reset();
+        assert_eq!(c.best_rate(), Mcs::Mcs7);
+    }
+}

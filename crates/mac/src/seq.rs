@@ -1,0 +1,123 @@
+//! 802.11 sequence-number arithmetic.
+//!
+//! MAC sequence numbers are 12 bits (0–4095) and wrap; Block ACK windows
+//! and WGTT's cyclic-queue indices (§3.1.2 uses the same m = 12 bits) must
+//! compare and advance them modulo 4096. Getting wraparound arithmetic
+//! wrong is the classic Block ACK bug, so it is isolated here and
+//! property-tested.
+
+/// Size of the 802.11 sequence space (12 bits).
+///
+/// ```
+/// use wgtt_mac::seq::{seq_add, seq_lt, seq_sub};
+/// // Wraparound-aware arithmetic:
+/// assert_eq!(seq_add(4095, 2), 1);
+/// assert_eq!(seq_sub(1, 4095), 2);
+/// assert!(seq_lt(4090, 5)); // 4090 is "before" 5 across the wrap
+/// ```
+pub const SEQ_SPACE: u16 = 4096;
+
+/// Half the sequence space; the threshold for "ahead vs behind".
+const HALF: u16 = SEQ_SPACE / 2;
+
+/// Increment a sequence number, wrapping mod 4096.
+#[inline]
+pub fn seq_next(s: u16) -> u16 {
+    (s + 1) % SEQ_SPACE
+}
+
+/// Add `n` to a sequence number, wrapping mod 4096.
+#[inline]
+pub fn seq_add(s: u16, n: u16) -> u16 {
+    (s + n) % SEQ_SPACE
+}
+
+/// Forward distance from `from` to `to` in `[0, 4096)`.
+#[inline]
+pub fn seq_sub(to: u16, from: u16) -> u16 {
+    (to + SEQ_SPACE - from) % SEQ_SPACE
+}
+
+/// True if `a` is strictly before `b` in the wrapped ordering — i.e. the
+/// forward distance from `a` to `b` is in `(0, 2048)`.
+#[inline]
+pub fn seq_lt(a: u16, b: u16) -> bool {
+    let d = seq_sub(b, a);
+    d != 0 && d < HALF
+}
+
+/// True if `s` falls inside the window `[start, start + len)` mod 4096.
+#[inline]
+pub fn seq_in_window(s: u16, start: u16, len: u16) -> bool {
+    seq_sub(s, start) < len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn next_wraps() {
+        assert_eq!(seq_next(0), 1);
+        assert_eq!(seq_next(4094), 4095);
+        assert_eq!(seq_next(4095), 0);
+    }
+
+    #[test]
+    fn sub_is_forward_distance() {
+        assert_eq!(seq_sub(5, 3), 2);
+        assert_eq!(seq_sub(3, 5), 4094);
+        assert_eq!(seq_sub(0, 4095), 1);
+        assert_eq!(seq_sub(7, 7), 0);
+    }
+
+    #[test]
+    fn lt_handles_wrap() {
+        assert!(seq_lt(4090, 5));
+        assert!(!seq_lt(5, 4090));
+        assert!(seq_lt(0, 1));
+        assert!(!seq_lt(1, 1));
+        // Exactly half the space apart: neither is "before" the other.
+        assert!(!seq_lt(0, 2048));
+    }
+
+    #[test]
+    fn window_membership() {
+        assert!(seq_in_window(10, 10, 64));
+        assert!(seq_in_window(73, 10, 64));
+        assert!(!seq_in_window(74, 10, 64));
+        // Window wrapping the origin.
+        assert!(seq_in_window(4095, 4090, 64));
+        assert!(seq_in_window(3, 4090, 64));
+        assert!(!seq_in_window(60, 4090, 64));
+    }
+
+    proptest! {
+        #[test]
+        fn add_then_sub_roundtrip(s in 0u16..4096, n in 0u16..4096) {
+            prop_assert_eq!(seq_sub(seq_add(s, n), s), n);
+        }
+
+        #[test]
+        fn lt_is_antisymmetric_off_half(a in 0u16..4096, b in 0u16..4096) {
+            let d = seq_sub(b, a);
+            if d != 0 && d != HALF {
+                prop_assert!(seq_lt(a, b) != seq_lt(b, a));
+            }
+        }
+
+        #[test]
+        fn window_has_exactly_len_members(start in 0u16..4096, len in 0u16..512) {
+            let count = (0..SEQ_SPACE)
+                .filter(|&s| seq_in_window(s, start, len))
+                .count();
+            prop_assert_eq!(count, len as usize);
+        }
+
+        #[test]
+        fn next_is_add_one(s in 0u16..4096) {
+            prop_assert_eq!(seq_next(s), seq_add(s, 1));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Traffic generators.
+//!
+//! The paper's workloads: constant-rate UDP streams (iperf3, §2 and the
+//! UDP rows of every figure) and bulk TCP downloads. Application-level
+//! workloads (video, conferencing, web) build on these in `wgtt-apps`.
+
+use crate::packet::{FlowId, Packet, PacketFactory};
+use crate::wire::Ipv4Addr;
+use wgtt_sim::time::{SimDuration, SimTime};
+
+/// Constant-bit-rate UDP source (an iperf3 `-u -b <rate>` equivalent).
+#[derive(Debug)]
+pub struct CbrUdpSource {
+    flow: FlowId,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    packet_len: u16,
+    interval: SimDuration,
+    next_seq: u32,
+    next_due: SimTime,
+}
+
+impl CbrUdpSource {
+    /// A source emitting `rate_mbps` of `packet_len`-byte datagrams from
+    /// `start` onwards.
+    pub fn new(
+        flow: FlowId,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        rate_mbps: f64,
+        packet_len: u16,
+        start: SimTime,
+    ) -> Self {
+        assert!(rate_mbps > 0.0, "CBR rate must be positive");
+        let interval =
+            SimDuration::from_secs_f64(f64::from(packet_len) * 8.0 / (rate_mbps * 1e6));
+        CbrUdpSource {
+            flow,
+            src,
+            dst,
+            packet_len,
+            interval,
+            next_seq: 0,
+            next_due: start,
+        }
+    }
+
+    /// The instant the next packet is due.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    /// Defer the first emission to `t` (no back-fill burst).
+    pub fn defer_start(&mut self, t: SimTime) {
+        if t > self.next_due {
+            self.next_due = t;
+        }
+    }
+
+    /// Emit every packet due at or before `now`.
+    pub fn poll(&mut self, now: SimTime, factory: &mut PacketFactory) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while self.next_due <= now {
+            out.push(factory.udp(
+                self.flow,
+                self.src,
+                self.dst,
+                self.next_seq,
+                self.packet_len,
+                self.next_due,
+            ));
+            self.next_seq += 1;
+            self.next_due += self.interval;
+        }
+        out
+    }
+
+    /// Packets emitted so far.
+    pub fn emitted(&self) -> u32 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn rate_is_honoured() {
+        // 12 Mbit/s of 1500 B packets = 1000 packets/s.
+        let mut src = CbrUdpSource::new(
+            FlowId(0),
+            addr(1),
+            addr(2),
+            12.0,
+            1500,
+            SimTime::ZERO,
+        );
+        let mut f = PacketFactory::new();
+        let pkts = src.poll(SimTime::from_secs(1), &mut f);
+        assert!((999..=1001).contains(&pkts.len()), "{} pkts", pkts.len());
+    }
+
+    #[test]
+    fn sequences_are_contiguous() {
+        let mut src =
+            CbrUdpSource::new(FlowId(0), addr(1), addr(2), 50.0, 1500, SimTime::ZERO);
+        let mut f = PacketFactory::new();
+        let pkts = src.poll(SimTime::from_millis(10), &mut f);
+        for (i, p) in pkts.iter().enumerate() {
+            match p.transport {
+                crate::packet::Transport::Udp { seq } => assert_eq!(seq as usize, i),
+                _ => panic!("CBR must emit UDP"),
+            }
+        }
+    }
+
+    #[test]
+    fn poll_is_incremental() {
+        let mut src =
+            CbrUdpSource::new(FlowId(0), addr(1), addr(2), 8.0, 1000, SimTime::ZERO);
+        let mut f = PacketFactory::new();
+        let first = src.poll(SimTime::from_millis(500), &mut f).len();
+        let second = src.poll(SimTime::from_secs(1), &mut f).len();
+        assert!(first > 0 && second > 0);
+        assert_eq!(src.emitted() as usize, first + second);
+        // Polling the same instant again yields nothing.
+        assert!(src.poll(SimTime::from_secs(1), &mut f).is_empty());
+    }
+
+    #[test]
+    fn next_due_advances() {
+        let mut src =
+            CbrUdpSource::new(FlowId(0), addr(1), addr(2), 1.0, 1250, SimTime::ZERO);
+        let mut f = PacketFactory::new();
+        assert_eq!(src.next_due(), SimTime::ZERO);
+        src.poll(SimTime::ZERO, &mut f);
+        assert_eq!(src.next_due(), SimTime::from_millis(10)); // 1250B@1Mbps
+    }
+}

@@ -1,0 +1,88 @@
+//! Channel State Information snapshots.
+//!
+//! A 20 MHz 802.11n channel occupies 56 subcarriers (52 data + 4 pilots,
+//! indices −28…−1 and +1…+28 at 312.5 kHz spacing), and the Atheros CSI
+//! Tool used in the paper reports one complex coefficient per subcarrier
+//! per received frame. [`Csi`] is that report; it is what the APs forward
+//! to the controller and what [`crate::esnr`] reduces to a single
+//! Effective SNR figure.
+
+use crate::complex::Complex;
+
+/// Number of occupied subcarriers in a 20 MHz 802.11n channel.
+pub const NUM_SUBCARRIERS: usize = 56;
+
+/// OFDM subcarrier spacing, Hz.
+pub const SUBCARRIER_SPACING_HZ: f64 = 312_500.0;
+
+/// Baseband frequency offset of occupied subcarrier `i` (0-based index into
+/// a [`Csi`]) relative to the channel centre, Hz. Skips DC.
+pub fn subcarrier_offset_hz(i: usize) -> f64 {
+    debug_assert!(i < NUM_SUBCARRIERS);
+    // Map 0..28 → −28..−1 and 28..56 → +1..+28.
+    let k: i32 = if i < 28 { i as i32 - 28 } else { i as i32 - 27 };
+    k as f64 * SUBCARRIER_SPACING_HZ
+}
+
+/// One frame's channel state: a complex coefficient per occupied
+/// subcarrier, normalized so that unit average power corresponds to the
+/// link's large-scale mean (path loss × antenna gains).
+#[derive(Debug, Clone, Copy)]
+pub struct Csi {
+    /// Per-subcarrier complex channel coefficients.
+    pub h: [Complex; NUM_SUBCARRIERS],
+}
+
+impl Csi {
+    /// A flat (frequency-non-selective) unit channel.
+    pub fn flat() -> Self {
+        Csi {
+            h: [Complex::ONE; NUM_SUBCARRIERS],
+        }
+    }
+
+    /// Per-subcarrier power `|H_k|²`.
+    pub fn powers(&self) -> [f64; NUM_SUBCARRIERS] {
+        let mut out = [0.0; NUM_SUBCARRIERS];
+        for (o, h) in out.iter_mut().zip(self.h.iter()) {
+            *o = h.norm_sq();
+        }
+        out
+    }
+
+    /// Mean power across subcarriers — what a scalar RSSI-style metric sees.
+    pub fn mean_power(&self) -> f64 {
+        self.h.iter().map(|h| h.norm_sq()).sum::<f64>() / NUM_SUBCARRIERS as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subcarrier_offsets_skip_dc_and_are_symmetric() {
+        // First occupied subcarrier is −28, last is +28; DC never appears.
+        assert_eq!(subcarrier_offset_hz(0), -28.0 * SUBCARRIER_SPACING_HZ);
+        assert_eq!(subcarrier_offset_hz(27), -SUBCARRIER_SPACING_HZ);
+        assert_eq!(subcarrier_offset_hz(28), 1.0 * SUBCARRIER_SPACING_HZ);
+        assert_eq!(subcarrier_offset_hz(55), 28.0 * SUBCARRIER_SPACING_HZ);
+        for i in 0..NUM_SUBCARRIERS {
+            assert_ne!(subcarrier_offset_hz(i), 0.0, "DC must be skipped");
+        }
+    }
+
+    #[test]
+    fn offsets_are_strictly_increasing() {
+        for i in 1..NUM_SUBCARRIERS {
+            assert!(subcarrier_offset_hz(i) > subcarrier_offset_hz(i - 1));
+        }
+    }
+
+    #[test]
+    fn flat_channel_has_unit_power() {
+        let c = Csi::flat();
+        assert!((c.mean_power() - 1.0).abs() < 1e-12);
+        assert!(c.powers().iter().all(|&p| (p - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,204 @@
+//! Effective SNR (Halperin et al., SIGCOMM 2010).
+//!
+//! The WGTT controller ranks APs not by RSSI but by *Effective SNR*: map
+//! each subcarrier's SNR through the modulation's AWGN bit-error-rate
+//! curve, average the BERs (errors are what actually accumulate across a
+//! frequency-selective channel), and invert the curve to get the flat-
+//! channel SNR that would produce the same average BER. ESNR therefore
+//! punishes deeply faded subcarriers the way real decoding does, which is
+//! why it predicts delivery far better than RSSI in strong multipath —
+//! the property the paper's AP selection depends on (§3.1.1).
+
+use crate::csi::Csi;
+use crate::{db_to_linear, linear_to_db};
+
+/// Modulation schemes of 802.11n MCS 0–7 (single spatial stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// Binary PSK (MCS 0).
+    Bpsk,
+    /// Quadrature PSK (MCS 1–2).
+    Qpsk,
+    /// 16-QAM (MCS 3–4).
+    Qam16,
+    /// 64-QAM (MCS 5–7).
+    Qam64,
+}
+
+/// Gaussian Q-function via the complementary error function.
+fn q(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function, Abramowitz & Stegun 7.1.26 rational
+/// approximation (|ε| ≤ 1.5·10⁻⁷ — ample for BER curves).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let tau = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        tau
+    } else {
+        2.0 - tau
+    }
+}
+
+impl Modulation {
+    /// Uncoded AWGN bit error rate at per-symbol SNR `snr` (linear).
+    /// Standard Gray-coded approximations (Halperin et al., Table 1).
+    pub fn ber(self, snr: f64) -> f64 {
+        let s = snr.max(0.0);
+        match self {
+            Modulation::Bpsk => q((2.0 * s).sqrt()),
+            Modulation::Qpsk => q(s.sqrt()),
+            Modulation::Qam16 => 0.75 * q((s / 5.0).sqrt()),
+            Modulation::Qam64 => (7.0 / 12.0) * q((s / 21.0).sqrt()),
+        }
+    }
+
+    /// Invert [`Modulation::ber`]: the linear SNR at which this modulation
+    /// produces bit error rate `ber`. Monotone bisection; `ber` is clamped
+    /// into the curve's achievable range.
+    pub fn snr_for_ber(self, ber: f64) -> f64 {
+        let target = ber.clamp(1e-12, self.ber(0.0));
+        let (mut lo, mut hi) = (0.0f64, 1e7f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.ber(mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Effective SNR in dB for a CSI snapshot, a mean (large-scale) SNR in dB,
+/// and a reference modulation.
+///
+/// ```
+/// use wgtt_radio::{effective_snr_db, Csi, Modulation};
+/// // A flat channel's ESNR equals its mean SNR…
+/// let flat = effective_snr_db(&Csi::flat(), 20.0, Modulation::Qam16);
+/// assert!((flat - 20.0).abs() < 0.1);
+/// ```
+///
+/// `csi` carries the normalized frequency response; `mean_snr_db` carries
+/// the link budget (tx power + antenna gains − path loss − noise). The
+/// per-subcarrier SNR is their product.
+pub fn effective_snr_db(csi: &Csi, mean_snr_db: f64, modulation: Modulation) -> f64 {
+    let mean_snr = db_to_linear(mean_snr_db);
+    let mut ber_acc = 0.0;
+    for h in &csi.h {
+        ber_acc += modulation.ber(mean_snr * h.norm_sq());
+    }
+    let mean_ber = ber_acc / csi.h.len() as f64;
+    linear_to_db(modulation.snr_for_ber(mean_ber))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::csi::NUM_SUBCARRIERS;
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 2e-11);
+    }
+
+    #[test]
+    fn ber_monotone_decreasing_in_snr() {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
+            let mut prev = m.ber(0.0);
+            for snr_db in 1..30 {
+                let b = m.ber(db_to_linear(snr_db as f64));
+                assert!(b <= prev, "{m:?} BER must fall with SNR");
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn denser_constellations_need_more_snr() {
+        let snr = db_to_linear(12.0);
+        assert!(Modulation::Bpsk.ber(snr) < Modulation::Qpsk.ber(snr));
+        assert!(Modulation::Qpsk.ber(snr) < Modulation::Qam16.ber(snr));
+        assert!(Modulation::Qam16.ber(snr) < Modulation::Qam64.ber(snr));
+    }
+
+    #[test]
+    fn snr_for_ber_inverts_ber() {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
+            for snr_db in [3.0, 8.0, 15.0, 22.0] {
+                let snr = db_to_linear(snr_db);
+                let ber = m.ber(snr);
+                if ber < 1e-11 {
+                    continue; // outside the invertible floor
+                }
+                let back = m.snr_for_ber(ber);
+                assert!(
+                    (linear_to_db(back) - snr_db).abs() < 0.05,
+                    "{m:?} at {snr_db} dB inverted to {} dB",
+                    linear_to_db(back)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_channel_esnr_equals_mean_snr() {
+        let csi = Csi::flat();
+        for snr_db in [5.0, 10.0, 20.0] {
+            let e = effective_snr_db(&csi, snr_db, Modulation::Qam16);
+            assert!((e - snr_db).abs() < 0.1, "flat ESNR {e} vs {snr_db}");
+        }
+    }
+
+    #[test]
+    fn faded_subcarriers_drag_esnr_below_mean() {
+        // Half the subcarriers in a deep fade: ESNR must fall well below
+        // the mean SNR, unlike an RSSI-style average.
+        let mut h = [Complex::ONE; NUM_SUBCARRIERS];
+        for hk in h.iter_mut().take(NUM_SUBCARRIERS / 2) {
+            *hk = Complex::new(0.05, 0.0); // −26 dB fade
+        }
+        let csi = Csi { h };
+        let e = effective_snr_db(&csi, 20.0, Modulation::Qam16);
+        let rssi_like = linear_to_db(csi.mean_power()) + 20.0;
+        assert!(e < rssi_like - 5.0, "ESNR {e} vs RSSI-equivalent {rssi_like}");
+    }
+
+    #[test]
+    fn esnr_zero_channel_is_floor() {
+        let csi = Csi {
+            h: [Complex::ZERO; NUM_SUBCARRIERS],
+        };
+        let e = effective_snr_db(&csi, 20.0, Modulation::Qpsk);
+        assert!(e < -20.0, "dead channel should have very low ESNR, got {e}");
+    }
+}

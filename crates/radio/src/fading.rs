@@ -1,0 +1,341 @@
+//! Small-scale multipath fading.
+//!
+//! Each client↔AP link carries a tapped-delay-line channel whose taps
+//! evolve by Clarke's sum-of-sinusoids model with the Doppler spread set by
+//! the vehicle speed (`f_d = v/λ`; 15 mph → ≈ 55 Hz → coherence time of a
+//! few milliseconds at 2.4 GHz — exactly the regime of paper Fig. 2). The
+//! first tap is Rician (a line-of-sight component exists when the client is
+//! in the antenna mainlobe across an open road); later taps are Rayleigh
+//! with an exponential power-delay profile whose RMS delay spread is small
+//! (≈ 75 ns), consistent with the paper's note (§4) that WGTT's small cells
+//! keep the delay spread indoor-like.
+//!
+//! Tap gains are *pure deterministic functions of simulation time*: the
+//! sinusoid frequencies and phases are fixed at construction from the
+//! experiment seed, so the channel can be sampled at arbitrary instants by
+//! any subsystem and is identical across compared systems.
+
+use crate::complex::Complex;
+use crate::csi::{subcarrier_offset_hz, Csi, NUM_SUBCARRIERS};
+use wgtt_sim::rng::RngStream;
+use wgtt_sim::time::SimTime;
+
+/// Number of multipath taps in the delay line.
+pub const NUM_TAPS: usize = 6;
+
+/// Tap spacing in nanoseconds (sampling at 20 MHz ⇒ 50 ns).
+pub const TAP_SPACING_NS: f64 = 50.0;
+
+/// Sinusoids per tap in the sum-of-sinusoids synthesizer. Eight is enough
+/// for a close-to-Rayleigh envelope while staying cheap to evaluate.
+const SINUSOIDS_PER_TAP: usize = 8;
+
+#[derive(Debug, Clone)]
+struct Sinusoid {
+    /// Angular Doppler frequency of this path, rad/s.
+    omega: f64,
+    /// Phase offset for the real (in-phase) component.
+    phase_i: f64,
+    /// Phase offset for the quadrature component.
+    phase_q: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Tap {
+    /// Mean linear power of this tap (all taps sum to 1).
+    power: f64,
+    /// Excess delay, seconds.
+    delay_s: f64,
+    /// Scattered (Rayleigh) component synthesizer.
+    sinusoids: Vec<Sinusoid>,
+    /// Line-of-sight component: `Some((amplitude, omega, phase))`.
+    los: Option<(f64, f64, f64)>,
+}
+
+impl Tap {
+    /// Complex gain at time `t` (seconds).
+    fn gain_at(&self, t: f64) -> Complex {
+        let n = self.sinusoids.len() as f64;
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for s in &self.sinusoids {
+            re += (s.omega * t + s.phase_i).cos();
+            im += (s.omega * t + s.phase_q).sin();
+        }
+        // Scattered power: each of the I/Q sums has variance n/2, so this
+        // scaling gives the scattered part unit mean power.
+        let scatter_scale = (1.0 / n).sqrt();
+        let mut g = Complex::new(re * scatter_scale, im * scatter_scale);
+        if let Some((amp, omega, phase)) = self.los {
+            // Rician: deterministic LoS phasor plus scaled scatter.
+            let k_scale = (1.0 / (1.0 + amp * amp)).sqrt();
+            g = g.scale(k_scale) + Complex::from_polar(amp * k_scale, omega * t + phase);
+        }
+        g.scale(self.power.sqrt())
+    }
+}
+
+/// The time-varying small-scale channel of one link.
+#[derive(Debug, Clone)]
+pub struct FadingProcess {
+    taps: Vec<Tap>,
+    /// Maximum Doppler shift, Hz.
+    doppler_hz: f64,
+}
+
+impl FadingProcess {
+    /// Build a fading process.
+    ///
+    /// * `stream` — per-link RNG stream (derive it from the link id so each
+    ///   link gets an independent realization).
+    /// * `speed_mps` — relative speed of the endpoints, metres/second. Zero
+    ///   is allowed: a small residual Doppler (1 Hz) models environmental
+    ///   motion so that a parked client still sees a slowly breathing
+    ///   channel.
+    /// * `rician_k_db` — K-factor of the first tap, dB. Use ≈ 6 dB for the
+    ///   open-road mainlobe geometry; `f64::NEG_INFINITY` for pure Rayleigh.
+    pub fn new(stream: RngStream, speed_mps: f64, rician_k_db: f64) -> Self {
+        let mut rng = stream.derive("fading-taps").rng();
+        let doppler_hz = (speed_mps / crate::WAVELENGTH_M).max(1.0);
+        let omega_max = std::f64::consts::TAU * doppler_hz;
+
+        // Exponential power-delay profile with ≈50 ns RMS delay spread
+        // (the paper notes WGTT's small cells keep delay spread indoor-like).
+        let decay_ns = 50.0;
+        let mut powers: Vec<f64> = (0..NUM_TAPS)
+            .map(|l| (-(l as f64) * TAP_SPACING_NS / decay_ns).exp())
+            .collect();
+        let total: f64 = powers.iter().sum();
+        for p in &mut powers {
+            *p /= total;
+        }
+
+        let taps = powers
+            .iter()
+            .enumerate()
+            .map(|(l, &power)| {
+                let sinusoids = (0..SINUSOIDS_PER_TAP)
+                    .map(|_| {
+                        // Clarke: arrival angles uniform on the circle give
+                        // Doppler shifts fd·cos(α).
+                        let alpha = rng.uniform_range(0.0, std::f64::consts::TAU);
+                        Sinusoid {
+                            omega: omega_max * alpha.cos(),
+                            phase_i: rng.uniform_range(0.0, std::f64::consts::TAU),
+                            phase_q: rng.uniform_range(0.0, std::f64::consts::TAU),
+                        }
+                    })
+                    .collect();
+                let los = if l == 0 && rician_k_db.is_finite() {
+                    let k_lin = crate::db_to_linear(rician_k_db);
+                    // LoS Doppler: direct path at a random but fixed angle.
+                    let alpha0 = rng.uniform_range(0.0, std::f64::consts::TAU);
+                    Some((
+                        k_lin.sqrt(),
+                        omega_max * alpha0.cos(),
+                        rng.uniform_range(0.0, std::f64::consts::TAU),
+                    ))
+                } else {
+                    None
+                };
+                Tap {
+                    power,
+                    delay_s: l as f64 * TAP_SPACING_NS * 1e-9,
+                    sinusoids,
+                    los,
+                }
+            })
+            .collect();
+
+        FadingProcess { taps, doppler_hz }
+    }
+
+    /// Maximum Doppler shift, Hz.
+    pub fn doppler_hz(&self) -> f64 {
+        self.doppler_hz
+    }
+
+    /// Approximate channel coherence time (Clarke: `9/(16π·f_d)`), seconds.
+    pub fn coherence_time_s(&self) -> f64 {
+        9.0 / (16.0 * std::f64::consts::PI * self.doppler_hz)
+    }
+
+    /// Per-subcarrier frequency response at instant `t`, normalized to
+    /// unit mean power: `H_k(t) = Σ_l g_l(t)·e^{−j2π f_k τ_l}`.
+    pub fn csi_at(&self, t: SimTime) -> Csi {
+        let ts = t.as_secs_f64();
+        let gains: Vec<Complex> = self.taps.iter().map(|tap| tap.gain_at(ts)).collect();
+        let mut h = [Complex::ZERO; NUM_SUBCARRIERS];
+        for (i, hk) in h.iter_mut().enumerate() {
+            let f = subcarrier_offset_hz(i);
+            let mut acc = Complex::ZERO;
+            for (tap, &g) in self.taps.iter().zip(gains.iter()) {
+                let phase = -std::f64::consts::TAU * f * tap.delay_s;
+                acc += g * Complex::from_polar(1.0, phase);
+            }
+            *hk = acc;
+        }
+        Csi { h }
+    }
+
+    /// Wideband (subcarrier-averaged) instantaneous power gain at `t`,
+    /// relative to the large-scale mean. This is what an RSSI measurement
+    /// fluctuates with.
+    pub fn wideband_gain_at(&self, t: SimTime) -> f64 {
+        self.csi_at(t).mean_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgtt_sim::time::SimDuration;
+
+    fn process(speed_mps: f64, k_db: f64, seed: u64) -> FadingProcess {
+        FadingProcess::new(RngStream::root(seed).derive("test-link"), speed_mps, k_db)
+    }
+
+    #[test]
+    fn unit_mean_power() {
+        // Time-average of the wideband gain must be ≈ 1 (0 dB) so fading
+        // never biases the link budget.
+        let p = process(6.7, f64::NEG_INFINITY, 1);
+        let mut acc = 0.0;
+        let n = 4000;
+        for i in 0..n {
+            acc += p.wideband_gain_at(SimTime::from_micros(i * 500));
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean power = {mean}");
+    }
+
+    #[test]
+    fn rician_mean_power_also_unit() {
+        let p = process(6.7, 6.0, 2);
+        let mut acc = 0.0;
+        let n = 4000;
+        for i in 0..n {
+            acc += p.wideband_gain_at(SimTime::from_micros(i * 500));
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 1.0).abs() < 0.12, "mean power = {mean}");
+    }
+
+    #[test]
+    fn doppler_scales_with_speed() {
+        let slow = process(2.2, 6.0, 3); // 5 mph
+        let fast = process(15.6, 6.0, 3); // 35 mph
+        assert!(fast.doppler_hz() > 6.0 * slow.doppler_hz() / 1.01);
+        // Coherence time at 15 mph ≈ few ms (paper: 2–3 ms at 2.4 GHz).
+        let p15 = process(6.7, 6.0, 3);
+        let tc_ms = p15.coherence_time_s() * 1e3;
+        assert!((1.0..10.0).contains(&tc_ms), "Tc = {tc_ms} ms");
+    }
+
+    #[test]
+    fn channel_decorrelates_beyond_coherence_time() {
+        let p = process(6.7, f64::NEG_INFINITY, 4);
+        // Correlation of wideband gain at lag 0.1·Tc should far exceed the
+        // correlation at lag 20·Tc.
+        let series = |lag: SimDuration| -> f64 {
+            let mut num = 0.0;
+            let mut d0 = 0.0;
+            let mut d1 = 0.0;
+            let n = 600;
+            for i in 0..n {
+                let t0 = SimTime::from_millis(10 * i);
+                let a = p.wideband_gain_at(t0) - 1.0;
+                let b = p.wideband_gain_at(t0 + lag) - 1.0;
+                num += a * b;
+                d0 += a * a;
+                d1 += b * b;
+            }
+            num / (d0.sqrt() * d1.sqrt())
+        };
+        let near = series(SimDuration::from_secs_f64(p.coherence_time_s() * 0.1));
+        let far = series(SimDuration::from_secs_f64(p.coherence_time_s() * 20.0));
+        assert!(near > 0.7, "near-lag correlation = {near}");
+        assert!(far.abs() < 0.35, "far-lag correlation = {far}");
+    }
+
+    #[test]
+    fn static_client_channel_still_breathes_slowly() {
+        let p = process(0.0, 6.0, 5);
+        assert!((p.doppler_hz() - 1.0).abs() < 1e-9);
+        // Over 10 ms the channel should be essentially frozen.
+        let g0 = p.wideband_gain_at(SimTime::ZERO);
+        let g1 = p.wideband_gain_at(SimTime::from_millis(10));
+        assert!((g0 - g1).abs() / g0 < 0.05);
+    }
+
+    #[test]
+    fn frequency_selectivity_present() {
+        // With multiple taps the per-subcarrier powers must differ — this
+        // is the frequency selectivity that motivates ESNR over plain RSSI.
+        let p = process(6.7, f64::NEG_INFINITY, 6);
+        let csi = p.csi_at(SimTime::from_millis(3));
+        let powers = csi.powers();
+        let max = powers.iter().cloned().fold(f64::MIN, f64::max);
+        let min = powers.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min.max(1e-12) > 2.0,
+            "expected ≥3 dB spread across subcarriers, got {max}/{min}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_stream() {
+        let a = process(6.7, 6.0, 7);
+        let b = process(6.7, 6.0, 7);
+        let t = SimTime::from_micros(12_345);
+        assert_eq!(a.wideband_gain_at(t), b.wideband_gain_at(t));
+    }
+
+    #[test]
+    fn different_links_are_independent() {
+        let root = RngStream::root(8);
+        let a = FadingProcess::new(root.derive_indexed("link", 0), 6.7, 6.0);
+        let b = FadingProcess::new(root.derive_indexed("link", 1), 6.7, 6.0);
+        let t = SimTime::from_millis(1);
+        assert_ne!(a.wideband_gain_at(t), b.wideband_gain_at(t));
+    }
+
+    #[test]
+    fn rayleigh_power_is_exponential() {
+        // For pure Rayleigh taps the narrowband power |h|² is Exp(1):
+        // check the CDF at a few quantiles (P[X ≤ x] = 1 − e^{−x}).
+        let p = process(6.7, f64::NEG_INFINITY, 11);
+        let n = 6000u64;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| {
+                // Sample far apart (≥ 5 Tc) so draws are ~independent; use
+                // one subcarrier (narrowband) rather than the wideband mean.
+                let t = SimTime::from_millis(i * 40);
+                p.csi_at(t).h[0].norm_sq()
+            })
+            .collect();
+        for (x, expected) in [(0.5f64, 0.3935), (1.0, 0.6321), (2.0, 0.8647)] {
+            let got = samples.iter().filter(|&&v| v <= x).count() as f64 / n as f64;
+            assert!(
+                (got - expected).abs() < 0.04,
+                "P[|h|² ≤ {x}] = {got}, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rician_has_shallower_fades_than_rayleigh() {
+        // Count deep (< −10 dB) fades over the same horizon: Rayleigh should
+        // see strictly more of them than Rician K=9 dB.
+        let ray = process(6.7, f64::NEG_INFINITY, 9);
+        let ric = process(6.7, 9.0, 9);
+        let deep = |p: &FadingProcess| {
+            (0..8000)
+                .filter(|&i| p.wideband_gain_at(SimTime::from_micros(i * 250)) < 0.1)
+                .count()
+        };
+        let dr = deep(&ray);
+        let dc = deep(&ric);
+        assert!(dr > dc, "rayleigh deep fades {dr} vs rician {dc}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Planar geometry for the roadside deployment.
+//!
+//! The testbed (paper Fig. 9) is effectively two-dimensional: APs sit in
+//! third-floor windows along one side of a straight road, boresight
+//! pointed across/at the road, and clients drive along lanes parallel to
+//! the building. We model positions in metres on that plane; the constant
+//! height offset is folded into the path-loss reference.
+
+/// A position on the deployment plane, metres. `x` runs along the road,
+/// `y` across it (the AP building sits at positive `y`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Along-road coordinate, metres.
+    pub x: f64,
+    /// Across-road coordinate, metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Construct a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, metres.
+    pub fn distance_to(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Bearing of `other` as seen from `self`, radians in `(-π, π]`,
+    /// measured from the +x axis.
+    pub fn bearing_to(self, other: Position) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x)
+    }
+}
+
+/// Smallest absolute angle between two bearings, radians in `[0, π]`.
+pub fn angle_between(a: f64, b: f64) -> f64 {
+    let mut d = (a - b) % std::f64::consts::TAU;
+    if d > std::f64::consts::PI {
+        d -= std::f64::consts::TAU;
+    } else if d < -std::f64::consts::PI {
+        d += std::f64::consts::TAU;
+    }
+    d.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+        assert!((b.distance_to(a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = Position::new(0.0, 0.0);
+        assert!((o.bearing_to(Position::new(1.0, 0.0)) - 0.0).abs() < 1e-12);
+        assert!((o.bearing_to(Position::new(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((o.bearing_to(Position::new(-1.0, 0.0)) - PI).abs() < 1e-12);
+        assert!((o.bearing_to(Position::new(0.0, -1.0)) + FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_wraps() {
+        assert!((angle_between(0.1, -0.1) - 0.2).abs() < 1e-12);
+        // Across the ±π discontinuity the short way is 0.2 rad.
+        assert!((angle_between(PI - 0.1, -(PI - 0.1)) - 0.2).abs() < 1e-12);
+        assert!((angle_between(0.0, PI) - PI).abs() < 1e-12);
+    }
+}

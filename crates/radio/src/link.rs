@@ -1,0 +1,219 @@
+//! The composed client↔AP link model.
+//!
+//! A [`Link`] bundles the static radio configuration of one AP (position,
+//! boresight, antenna pattern, link budget, path-loss model) with the
+//! link's [`FadingProcess`]. Sampling it at `(time, client position)`
+//! yields a [`LinkSnapshot`] with everything the layers above consume:
+//! per-subcarrier CSI, instantaneous RSSI, and Effective SNR.
+//!
+//! The channel is treated as reciprocal (Wi-Fi is TDD on one carrier):
+//! the same snapshot describes uplink reception at the AP and downlink
+//! reception at the client, which is precisely the property WGTT exploits
+//! when it predicts downlink delivery from uplink CSI (§3.1.1).
+
+use crate::antenna::{Antenna, ParabolicAntenna};
+use crate::csi::Csi;
+use crate::esnr::{effective_snr_db, Modulation};
+use crate::fading::FadingProcess;
+use crate::geometry::{angle_between, Position};
+use crate::linear_to_db;
+use crate::pathloss::PathLossModel;
+use wgtt_sim::time::SimTime;
+
+/// Transmit power and noise assumptions shared by every node.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkBudget {
+    /// Transmit power, dBm (per-direction EIRP before antenna gains).
+    pub tx_power_dbm: f64,
+    /// Receiver noise floor over 20 MHz including noise figure, dBm.
+    pub noise_floor_dbm: f64,
+}
+
+impl Default for LinkBudget {
+    fn default() -> Self {
+        // Calibrated so a boresight client at the road (≈12 m) sees ≈25 dB
+        // mean SNR, falling through the MCS range within ±5–6 m along the
+        // road — the ≈5 m picocell with 6–10 m overlap of paper Figs. 9–10.
+        LinkBudget {
+            tx_power_dbm: 10.0,
+            noise_floor_dbm: -92.0,
+        }
+    }
+}
+
+/// One client↔AP radio link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// AP position on the plane, metres.
+    pub ap_pos: Position,
+    /// AP antenna boresight bearing, radians from +x.
+    pub ap_boresight_rad: f64,
+    /// AP directional antenna.
+    pub ap_antenna: ParabolicAntenna,
+    /// Client antenna gain (omnidirectional), dBi.
+    pub client_antenna_dbi: f64,
+    /// Power/noise budget.
+    pub budget: LinkBudget,
+    /// Large-scale propagation model.
+    pub pathloss: PathLossModel,
+    /// Small-scale fading realization for this link.
+    pub fading: FadingProcess,
+    /// Optional spatially correlated shadowing field (the short,
+    /// line-of-sight testbed road carries none; see
+    /// [`crate::shadowing`]).
+    pub shadowing: Option<crate::shadowing::Shadowing>,
+}
+
+/// Everything measurable about a link at one instant and client position.
+#[derive(Debug, Clone)]
+pub struct LinkSnapshot {
+    /// Large-scale mean SNR (budget + antennas − path loss − noise), dB.
+    pub mean_snr_db: f64,
+    /// Per-subcarrier normalized frequency response.
+    pub csi: Csi,
+    /// Instantaneous received power, dBm (what RSSI reports).
+    pub rssi_dbm: f64,
+    /// Instantaneous wideband SNR, dB.
+    pub snr_db: f64,
+}
+
+impl LinkSnapshot {
+    /// Effective SNR in dB under `modulation` — the controller's metric.
+    pub fn esnr_db(&self, modulation: Modulation) -> f64 {
+        effective_snr_db(&self.csi, self.mean_snr_db, modulation)
+    }
+}
+
+impl Link {
+    /// Large-scale mean SNR for a client at `client_pos`, dB. Pure
+    /// geometry — no fading.
+    pub fn mean_snr_db(&self, client_pos: Position) -> f64 {
+        let dist = self.ap_pos.distance_to(client_pos);
+        let bearing = self.ap_pos.bearing_to(client_pos);
+        let off_boresight = angle_between(bearing, self.ap_boresight_rad);
+        let gain = self.ap_antenna.gain_dbi(off_boresight) + self.client_antenna_dbi;
+        let shadow = self
+            .shadowing
+            .as_ref()
+            .map_or(0.0, |s| s.gain_db(client_pos));
+        self.budget.tx_power_dbm + gain + shadow - self.pathloss.loss_db(dist)
+            - self.budget.noise_floor_dbm
+    }
+
+    /// Sample the full link state at instant `t` with the client at
+    /// `client_pos`.
+    pub fn snapshot(&self, t: SimTime, client_pos: Position) -> LinkSnapshot {
+        let mean_snr_db = self.mean_snr_db(client_pos);
+        let csi = self.fading.csi_at(t);
+        let fade_db = linear_to_db(csi.mean_power());
+        let snr_db = mean_snr_db + fade_db;
+        let rssi_dbm = snr_db + self.budget.noise_floor_dbm;
+        LinkSnapshot {
+            mean_snr_db,
+            csi,
+            rssi_dbm,
+            snr_db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgtt_sim::rng::RngStream;
+
+    /// An AP at (0, 12) pointing straight down at the road (y = 0).
+    fn test_link(seed: u64) -> Link {
+        Link {
+            ap_pos: Position::new(0.0, 12.0),
+            ap_boresight_rad: -std::f64::consts::FRAC_PI_2,
+            ap_antenna: ParabolicAntenna::laird_gd24bp(),
+            client_antenna_dbi: 0.0,
+            budget: LinkBudget::default(),
+            pathloss: PathLossModel::roadside(),
+            fading: FadingProcess::new(RngStream::root(seed).derive("link"), 6.7, 6.0),
+            shadowing: None,
+        }
+    }
+
+    #[test]
+    fn boresight_snr_in_calibrated_range() {
+        let link = test_link(1);
+        let snr = link.mean_snr_db(Position::new(0.0, 0.0));
+        assert!(
+            (20.0..32.0).contains(&snr),
+            "boresight SNR {snr} dB outside calibration"
+        );
+    }
+
+    #[test]
+    fn picocell_size_is_metres() {
+        // SNR must fall below the lowest usable MCS (≈2 dB) within ±10 m
+        // along the road but stay usable within ±4 m: a meter-scale cell.
+        let link = test_link(2);
+        let at = |x: f64| link.mean_snr_db(Position::new(x, 0.0));
+        assert!(at(0.0) > 18.0);
+        assert!(at(4.0) > 8.0, "4 m off: {}", at(4.0));
+        assert!(at(10.0) < 4.0, "10 m off: {}", at(10.0));
+        assert!(at(-10.0) < 4.0);
+    }
+
+    #[test]
+    fn overlap_region_between_adjacent_aps() {
+        // Two APs 7.5 m apart (paper §2): midway between them both links
+        // must still be usable — the grey-zone overlap WGTT exploits.
+        let a = test_link(3);
+        let mut b = test_link(4);
+        b.ap_pos = Position::new(7.5, 12.0);
+        let mid = Position::new(3.75, 0.0);
+        assert!(a.mean_snr_db(mid) > 6.0, "A at mid: {}", a.mean_snr_db(mid));
+        assert!(b.mean_snr_db(mid) > 6.0, "B at mid: {}", b.mean_snr_db(mid));
+    }
+
+    #[test]
+    fn snapshot_consistency() {
+        let link = test_link(5);
+        let pos = Position::new(1.0, 0.0);
+        let s = link.snapshot(SimTime::from_millis(7), pos);
+        // Instantaneous SNR = mean + fade; RSSI = SNR + noise floor.
+        assert!((s.rssi_dbm - (s.snr_db + link.budget.noise_floor_dbm)).abs() < 1e-9);
+        // ESNR should be within a plausible band of the wideband SNR.
+        let e = s.esnr_db(Modulation::Qam16);
+        assert!(e <= s.snr_db + 1.0, "ESNR {e} vs SNR {}", s.snr_db);
+        assert!(e > s.snr_db - 15.0, "ESNR {e} vs SNR {}", s.snr_db);
+    }
+
+    #[test]
+    fn shadowing_shifts_the_mean_snr() {
+        let mut link = test_link(9);
+        let pos = Position::new(1.0, 0.0);
+        let base = link.mean_snr_db(pos);
+        link.shadowing = Some(crate::shadowing::Shadowing::new(
+            RngStream::root(9).derive("shadow"),
+            4.0,
+            8.0,
+        ));
+        let shadowed = link.mean_snr_db(pos);
+        assert_ne!(base, shadowed);
+        assert!((base - shadowed).abs() < 20.0, "shadow within sane bounds");
+    }
+
+    #[test]
+    fn fading_moves_snapshots_at_ms_scale() {
+        // At 15 mph the channel decorrelates in a few ms: snapshots 5 ms
+        // apart should frequently differ by >1 dB — the fast fading that
+        // flips the best AP (paper Fig. 2).
+        let link = test_link(6);
+        let pos = Position::new(0.5, 0.0);
+        let mut moved = 0;
+        for i in 0..100 {
+            let t0 = SimTime::from_millis(10 * i);
+            let t1 = t0 + wgtt_sim::time::SimDuration::from_millis(5);
+            let d = (link.snapshot(t0, pos).snr_db - link.snapshot(t1, pos).snr_db).abs();
+            if d > 1.0 {
+                moved += 1;
+            }
+        }
+        assert!(moved > 30, "only {moved}/100 snapshot pairs moved >1 dB");
+    }
+}

@@ -1,0 +1,131 @@
+//! Spatially correlated log-normal shadowing (opt-in).
+//!
+//! Large obstacles (parked trucks, street furniture, foliage) add a slow
+//! position-dependent gain on top of path loss. The classic model is
+//! log-normal shadowing with an exponential spatial autocorrelation
+//! (Gudmundson): here it is synthesized as a fixed sum of 2-D sinusoids,
+//! which keeps it a *pure deterministic function of position* like the
+//! rest of the channel — any subsystem may query it anywhere, and a
+//! client driving back over the same spot sees the same shadow.
+//!
+//! The paper's testbed road is short and line-of-sight, so the default
+//! [`crate::link::Link`] carries no shadowing; scenarios exploring rougher
+//! streets attach one explicitly.
+
+use wgtt_sim::rng::RngStream;
+
+use crate::geometry::Position;
+
+/// Number of sinusoidal components in the synthesizer.
+const COMPONENTS: usize = 24;
+
+/// A deterministic spatial shadowing field.
+#[derive(Debug, Clone)]
+pub struct Shadowing {
+    /// Target standard deviation, dB.
+    sigma_db: f64,
+    /// `(kx, ky, phase)` per component; spatial frequencies in rad/m.
+    components: Vec<(f64, f64, f64)>,
+}
+
+impl Shadowing {
+    /// Build a field with standard deviation `sigma_db` and correlation
+    /// distance `correlation_m` (the distance at which correlation decays
+    /// substantially — typically 5–20 m outdoors).
+    pub fn new(stream: RngStream, sigma_db: f64, correlation_m: f64) -> Self {
+        assert!(sigma_db >= 0.0);
+        assert!(correlation_m > 0.0);
+        let mut rng = stream.derive("shadowing").rng();
+        // Spatial frequencies drawn around 1/correlation so the field's
+        // features have roughly that footprint.
+        let k0 = std::f64::consts::TAU / (2.0 * correlation_m);
+        let components = (0..COMPONENTS)
+            .map(|_| {
+                let theta = rng.uniform_range(0.0, std::f64::consts::TAU);
+                let k = k0 * rng.uniform_range(0.3, 1.7);
+                (
+                    k * theta.cos(),
+                    k * theta.sin(),
+                    rng.uniform_range(0.0, std::f64::consts::TAU),
+                )
+            })
+            .collect();
+        Shadowing {
+            sigma_db,
+            components,
+        }
+    }
+
+    /// Shadow gain at `pos`, dB (zero-mean, std ≈ `sigma_db`).
+    pub fn gain_db(&self, pos: Position) -> f64 {
+        // Sum of N equal-amplitude sinusoids: variance N·a²/2 ⇒ scale for
+        // the target σ.
+        let amp = self.sigma_db * (2.0 / COMPONENTS as f64).sqrt();
+        self.components
+            .iter()
+            .map(|&(kx, ky, phase)| amp * (kx * pos.x + ky * pos.y + phase).cos())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(sigma: f64, corr: f64, seed: u64) -> Shadowing {
+        Shadowing::new(RngStream::root(seed).derive("t"), sigma, corr)
+    }
+
+    #[test]
+    fn zero_mean_and_target_std() {
+        let f = field(3.0, 10.0, 1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| {
+                // Sample a wide area so spatial averaging applies.
+                let x = (i % 200) as f64 * 3.1;
+                let y = (i / 200) as f64 * 2.7;
+                f.gain_db(Position::new(x, y))
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.3, "mean = {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.6, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn nearby_points_are_correlated() {
+        let f = field(3.0, 10.0, 2);
+        let mut close_diff = 0.0;
+        let mut far_diff = 0.0;
+        let n = 500;
+        for i in 0..n {
+            let p = Position::new(i as f64 * 4.3, 0.0);
+            let near = Position::new(p.x + 0.5, 0.0);
+            let far = Position::new(p.x + 50.0, 7.0);
+            close_diff += (f.gain_db(p) - f.gain_db(near)).abs();
+            far_diff += (f.gain_db(p) - f.gain_db(far)).abs();
+        }
+        assert!(
+            close_diff < far_diff * 0.5,
+            "0.5 m apart must be much more similar than 50 m apart ({close_diff} vs {far_diff})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = field(3.0, 10.0, 3);
+        let b = field(3.0, 10.0, 3);
+        let p = Position::new(12.3, 4.5);
+        assert_eq!(a.gain_db(p), b.gain_db(p));
+        let c = field(3.0, 10.0, 4);
+        assert_ne!(a.gain_db(p), c.gain_db(p));
+    }
+
+    #[test]
+    fn zero_sigma_is_flat() {
+        let f = field(0.0, 10.0, 5);
+        assert_eq!(f.gain_db(Position::new(1.0, 2.0)), 0.0);
+    }
+}

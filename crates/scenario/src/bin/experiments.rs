@@ -1,0 +1,117 @@
+//! `wgtt-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! wgtt-experiments [--seed N] [--quick] [ids...]
+//! wgtt-experiments --list
+//! ```
+//!
+//! With no ids, runs every experiment in paper order. Output is one
+//! aligned text table per artifact (the data behind the paper's plot or
+//! table); EXPERIMENTS.md records paper-vs-measured comparisons.
+
+use wgtt_scenario::experiments;
+
+/// Run `ids` in parallel on up to `jobs` threads, printing outputs in
+/// the requested order as they complete (each experiment is internally
+/// deterministic, so parallelism never changes results).
+fn run_parallel(ids: &[String], seed: u64, quick: bool, csv: bool, jobs: usize) {
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<String>>> =
+        ids.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= ids.len() {
+                    break;
+                }
+                let rendered = match experiments::run(&ids[i], seed, quick) {
+                    Some(out) => {
+                        if csv {
+                            out.render_csv()
+                        } else {
+                            out.render()
+                        }
+                    }
+                    None => format!("unknown experiment id: {} (try --list)\n", ids[i]),
+                };
+                *results[i].lock().expect("no panics hold this lock") = Some(rendered);
+            });
+        }
+    });
+    for r in &results {
+        if let Some(s) = r.lock().expect("threads joined").take() {
+            println!("{s}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 1u64;
+    let mut quick = false;
+    let mut csv = false;
+    let mut jobs = 1usize;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--quick" => quick = true,
+            "--csv" => csv = true,
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs an integer"));
+            }
+            "--list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: wgtt-experiments [--seed N] [--quick] [--csv] [--jobs N] [ids...]");
+                eprintln!("ids: {}", experiments::ALL.join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    if jobs > 1 {
+        run_parallel(&ids, seed, quick, csv, jobs);
+        return;
+    }
+    for id in &ids {
+        match experiments::run(id, seed, quick) {
+            Some(out) => {
+                if csv {
+                    println!("{}", out.render_csv());
+                } else {
+                    println!("{}", out.render());
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,223 @@
+//! Microbenchmarks: Table 1, Fig. 21, Table 3, Fig. 22, Fig. 23.
+
+use crate::experiments::common::{drive, mps};
+use crate::experiments::motivation::radio_links;
+use crate::results::{f, ExperimentOutput};
+use crate::testbed::{ClientPlan, TestbedConfig};
+use crate::world::{FlowSpec, SystemKind, World};
+use wgtt::WgttConfig;
+use wgtt_mac::mcs::capacity_mbps;
+use wgtt_radio::Modulation;
+use wgtt_sim::time::{SimDuration, SimTime};
+
+fn wgtt() -> SystemKind {
+    SystemKind::Wgtt(WgttConfig::default())
+}
+
+/// Table 1: switching-protocol execution time (stop → ack) under
+/// different offered UDP loads.
+pub fn table1(seed: u64, quick: bool) -> ExperimentOutput {
+    let rates: &[f64] = if quick {
+        &[50.0, 90.0]
+    } else {
+        &[50.0, 60.0, 70.0, 80.0, 90.0]
+    };
+    let mut out = ExperimentOutput::new(
+        "table1",
+        "Switching-protocol execution time vs offered UDP load",
+        &["rate (Mbit/s)", "switches", "mean (ms)", "std (ms)"],
+    );
+    for &rate in rates {
+        let run = drive(wgtt(), 15.0, FlowSpec::DownlinkUdp { rate_mbps: rate }, seed);
+        let d = &run.world.report.switch_durations;
+        out.row(vec![
+            f(rate, 0),
+            d.len().to_string(),
+            d.mean().map(|m| f(m * 1e3, 1)).unwrap_or("-".into()),
+            d.std_dev().map(|s| f(s * 1e3, 1)).unwrap_or("-".into()),
+        ]);
+    }
+    out.note("paper: 17–21 ms mean, 3–5 ms std, flat across offered load");
+    out
+}
+
+/// Fig. 21: capacity loss against the selection window size *W* —
+/// the paper's trace-driven emulation. We sample per-AP ESNR traces from
+/// the radio model at CSI-report granularity and replay the max-median
+/// selection rule offline for each W.
+pub fn fig21(seed: u64) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig21",
+        "Mean capacity loss vs selection window W (15 mph emulation)",
+        &["W (ms)", "capacity loss (Mbit/s)"],
+    );
+    let (links, plan) = radio_links(8, 15.0, seed);
+    // CSI readings arrive roughly every millisecond under load.
+    const CSI_PERIOD_MS: u64 = 1;
+    let t_start = SimTime::from_secs_f64(7.0 / plan.speed_mps);
+    let span_s = 73.0 / plan.speed_mps;
+    let steps = (span_s * 1000.0 / CSI_PERIOD_MS as f64) as usize;
+    // Pre-sample every link's true ESNR and a noisy *measured* reading
+    // (CSI estimation error ≈1.5 dB) at every step — the paper's readings
+    // are measurements, and the noise is exactly why small windows lose.
+    let mut esnr: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); links.len()];
+    let mut meas: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); links.len()];
+    let mut noise_rng = wgtt_sim::rng::RngStream::root(seed).derive("csi-noise").rng();
+    for i in 0..steps {
+        let t = t_start + SimDuration::from_millis(i as u64 * CSI_PERIOD_MS);
+        let pos = plan.position_at(t);
+        for (l, link) in links.iter().enumerate() {
+            let e = link.snapshot(t, pos).esnr_db(Modulation::Qam16);
+            esnr[l].push(e);
+            meas[l].push(e + noise_rng.normal_with(0.0, 2.5));
+        }
+    }
+    for &w_ms in &[2u64, 5, 10, 20, 50, 100, 200, 400] {
+        let w_steps = (w_ms / CSI_PERIOD_MS).max(1) as usize;
+        let mut loss_acc = 0.0;
+        let mut n = 0u64;
+        for i in 0..steps {
+            let lo = i.saturating_sub(w_steps - 1);
+            // Median ESNR per AP over the window.
+            let chosen = (0..links.len())
+                .max_by(|&a, &b| {
+                    let ma = median(&meas[a][lo..=i]);
+                    let mb = median(&meas[b][lo..=i]);
+                    ma.partial_cmp(&mb).expect("finite")
+                })
+                .expect("links");
+            let oracle = (0..links.len())
+                .max_by(|&a, &b| {
+                    esnr[a][i].partial_cmp(&esnr[b][i]).expect("finite")
+                })
+                .expect("links");
+            if esnr[oracle][i] > 2.0 {
+                loss_acc += capacity_mbps(esnr[oracle][i]) - capacity_mbps(esnr[chosen][i]);
+                n += 1;
+            }
+        }
+        out.row(vec![
+            w_ms.to_string(),
+            f(if n > 0 { loss_acc / n as f64 } else { 0.0 }, 2),
+        ]);
+    }
+    out.note("paper: loss is minimized at W = 10 ms, rising on both sides");
+    out
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+/// Table 3: link-layer (Block) ACK collision rate at the client during
+/// uplink UDP at high offered loads.
+pub fn table3(seed: u64, quick: bool) -> ExperimentOutput {
+    let rates: &[f64] = if quick { &[70.0] } else { &[70.0, 80.0, 90.0] };
+    let mut out = ExperimentOutput::new(
+        "table3",
+        "AP acknowledgement collision rate at the client (uplink UDP)",
+        &["rate (Mbit/s)", "AP BAs sent", "collisions", "rate (%)"],
+    );
+    for &rate in rates {
+        let run = drive(wgtt(), 15.0, FlowSpec::UplinkUdp { rate_mbps: rate }, seed);
+        let sent = run.world.report.ba_responses.get();
+        let coll = run.world.report.ba_collisions.get();
+        out.row(vec![
+            f(rate, 0),
+            sent.to_string(),
+            coll.to_string(),
+            f(
+                if sent > 0 {
+                    100.0 * coll as f64 / sent as f64
+                } else {
+                    0.0
+                },
+                3,
+            ),
+        ]);
+    }
+    out.note("paper: 0.001–0.004 % — response jitter + sidelobes make collisions rare");
+    out
+}
+
+/// Fig. 22: TCP throughput for switching hysteresis T ∈ {40, 80, 120} ms.
+pub fn fig22(seed: u64) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig22",
+        "TCP throughput vs switching time hysteresis (15 mph)",
+        &["T (ms)", "mean Mbit/s", "switches"],
+    );
+    for &t_ms in &[40u64, 80, 120] {
+        let cfg = WgttConfig {
+            switch_hysteresis: SimDuration::from_millis(t_ms),
+            ..WgttConfig::default()
+        };
+        let run = drive(
+            SystemKind::Wgtt(cfg),
+            15.0,
+            FlowSpec::DownlinkTcpBulk,
+            seed,
+        );
+        out.row(vec![
+            t_ms.to_string(),
+            f(run.mean_mbps(), 2),
+            run.world.report.switches.to_string(),
+        ]);
+    }
+    out.note("paper: smaller hysteresis adapts faster — throughput grows as T shrinks to 40 ms");
+    out
+}
+
+/// Fig. 23: UDP throughput in the dense (AP1–AP4) vs sparse (AP5–AP8)
+/// halves of the array at low speeds.
+pub fn fig23(seed: u64, quick: bool) -> ExperimentOutput {
+    let speeds: &[f64] = if quick { &[5.0, 10.0] } else { &[2.0, 5.0, 8.0, 10.0] };
+    let mut out = ExperimentOutput::new(
+        "fig23",
+        "UDP throughput in dense vs sparse AP segments (Mbit/s)",
+        &["speed", "dense WGTT", "dense 802.11r", "sparse WGTT", "sparse 802.11r"],
+    );
+    // Segment bounds along the road (paper array: dense 0–18 m, sparse
+    // 26–53 m).
+    let segment = |sys: SystemKind, speed: f64, x0: f64, x1: f64, seed: u64| -> f64 {
+        let v = mps(speed);
+        let plan = ClientPlan {
+            start: wgtt_radio::Position::new(x0 - 8.0, 0.0),
+            speed_mps: v,
+            direction: crate::testbed::Direction::East,
+            stop: None,
+        };
+        let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
+        let start = SimTime::from_secs_f64(8.0 / v);
+        let end = start + SimDuration::from_secs_f64((x1 - x0) / v);
+        let mut w = World::new(
+            cfg,
+            sys,
+            vec![FlowSpec::DownlinkUdp { rate_mbps: 15.0 }],
+            seed,
+        );
+        w.traffic_start = start;
+        w.run(end.saturating_since(SimTime::ZERO));
+        w.report
+            .flow_meters
+            .get(&wgtt_net::packet::FlowId(0))
+            .map(|m| m.mbps_over(start, end))
+            .unwrap_or(0.0)
+    };
+    for &speed in speeds {
+        out.row(vec![
+            format!("{speed} mph"),
+            f(segment(wgtt(), speed, 0.0, 18.0, seed), 2),
+            f(segment(SystemKind::Enhanced80211r, speed, 0.0, 18.0, seed), 2),
+            f(segment(wgtt(), speed, 26.0, 53.0, seed), 2),
+            f(
+                segment(SystemKind::Enhanced80211r, speed, 26.0, 53.0, seed),
+                2,
+            ),
+        ]);
+    }
+    out.note("paper: denser deployment lifts WGTT throughput (≈6.7 → ≈9.3 Mbit/s)");
+    out
+}

@@ -1,0 +1,78 @@
+//! One driver per table and figure of the paper's evaluation (§2, §5).
+//!
+//! Every experiment is a function from a seed to an
+//! [`crate::results::ExperimentOutput`] whose rows have
+//! the same shape as the paper's artifact. DESIGN.md §4 maps each id to
+//! the paper's section; EXPERIMENTS.md records paper-vs-measured values.
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | `fig2` | ESNR vs time and best-AP flips (the vehicular picocell regime) |
+//! | `fig4` | stock 802.11r failure at speed, capacity loss |
+//! | `table1` | switching-protocol execution time vs offered load |
+//! | `fig13` | TCP/UDP throughput vs speed, WGTT vs Enhanced 802.11r |
+//! | `fig14`/`fig15` | TCP/UDP throughput + serving-AP timeline @15 mph |
+//! | `fig16` | link bit-rate CDF |
+//! | `table2` | switching accuracy |
+//! | `fig17` | per-client throughput vs client count |
+//! | `fig18` | uplink loss, multi-AP reception vs single link |
+//! | `fig20` | following / parallel / opposing two-car cases |
+//! | `fig21` | capacity loss vs selection window *W* |
+//! | `table3` | link-layer ACK collision rate |
+//! | `fig22` | time-hysteresis sweep |
+//! | `fig23` | AP density (sparse vs dense segments) |
+//! | `table4` | video rebuffer ratio |
+//! | `fig24` | conferencing fps CDF |
+//! | `table5` | web page load time |
+//!
+//! Extensions beyond the paper's artifacts: `fig10` (coverage heatmap),
+//! `ablation_selector`, `ablation_back_fwd`, `ext_stop_and_go`, and
+//! `ext_multichannel` (the §7 discussion, implemented).
+
+pub mod apps;
+pub mod common;
+pub mod endtoend;
+pub mod extensions;
+pub mod micro;
+pub mod motivation;
+pub mod multiclient;
+
+use crate::results::ExperimentOutput;
+
+/// Run an experiment by id. `quick` shrinks sweeps for smoke testing.
+pub fn run(id: &str, seed: u64, quick: bool) -> Option<ExperimentOutput> {
+    Some(match id {
+        "fig2" => motivation::fig2(seed),
+        "fig4" => motivation::fig4(seed),
+        "table1" => micro::table1(seed, quick),
+        "fig13" => endtoend::fig13(seed, quick),
+        "fig14" => endtoend::fig14(seed),
+        "fig15" => endtoend::fig15(seed),
+        "fig16" => endtoend::fig16(seed),
+        "table2" => endtoend::table2(seed),
+        "fig17" => multiclient::fig17(seed, quick),
+        "fig18" => multiclient::fig18(seed),
+        "fig20" => multiclient::fig20(seed),
+        "fig21" => micro::fig21(seed),
+        "table3" => micro::table3(seed, quick),
+        "fig22" => micro::fig22(seed),
+        "fig23" => micro::fig23(seed, quick),
+        "table4" => apps::table4(seed, quick),
+        "fig24" => apps::fig24(seed),
+        "table5" => apps::table5(seed, quick),
+        "fig10" => extensions::fig10(seed),
+        "ablation_selector" => extensions::ablation_selector(seed),
+        "ablation_back_fwd" => extensions::ablation_back_fwd(seed),
+        "ext_stop_and_go" => extensions::ext_stop_and_go(seed),
+        "ext_multichannel" => extensions::ext_multichannel(seed),
+        _ => return None,
+    })
+}
+
+/// Every experiment id: the paper's artifacts in paper order, then the
+/// extension/ablation studies.
+pub const ALL: [&str; 23] = [
+    "fig2", "fig4", "table1", "fig13", "fig14", "fig15", "fig16", "table2", "fig17", "fig18",
+    "fig20", "fig21", "table3", "fig22", "fig23", "table4", "fig24", "table5", "fig10",
+    "ablation_selector", "ablation_back_fwd", "ext_stop_and_go", "ext_multichannel",
+];

@@ -1,0 +1,27 @@
+//! # wgtt-scenario — end-to-end testbed scenarios
+//!
+//! The event-driven world that glues every substrate together into the
+//! paper's Fig. 9 deployment: eight roadside APs on one 2.4 GHz channel,
+//! an Ethernet backhaul to a controller (or a plain distribution system
+//! for the baseline), and clients driving past at 0–35 mph carrying UDP,
+//! TCP, and application workloads.
+//!
+//! * [`testbed`] — deployment geometry and client mobility;
+//! * [`world`] — the discrete-event simulation: medium access, A-MPDU
+//!   exchanges, Block ACK responses and forwarding, CSI reporting, the
+//!   switching protocol in flight, TCP/UDP endpoints, and the baseline's
+//!   beacon/roam machinery — all on one deterministic event queue;
+//! * [`experiments`] — one driver per table/figure of the paper's
+//!   evaluation, each returning printable rows (see DESIGN.md §4 for the
+//!   index);
+//! * [`pcap`] — Wireshark-compatible capture of the backhaul tunnels;
+//! * [`results`] — small formatting helpers for paper-style output.
+
+pub mod experiments;
+pub mod pcap;
+pub mod results;
+pub mod testbed;
+pub mod world;
+
+pub use testbed::{ClientPlan, Direction, TestbedConfig};
+pub use world::{RunReport, SystemKind, World};

@@ -1,0 +1,132 @@
+//! Experiment output containers and paper-style table printing.
+
+/// One experiment's printable result: a title, column headers, and rows.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Experiment id (e.g. "fig13", "table2").
+    pub id: String,
+    /// Human title matching the paper artifact.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (observations the EXPERIMENTS.md log records).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Start an output with headers.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        ExperimentOutput {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as CSV (header row + data rows; notes become `#` comments).
+    pub fn render_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = format!("# {} — {}\n", self.id, self.title);
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("# note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format a float with `d` decimals.
+pub fn f(v: f64, d: usize) -> String {
+    format!("{v:.d$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut o = ExperimentOutput::new("t1", "demo", &["speed", "tput"]);
+        o.row(vec!["5".into(), "6.6".into()]);
+        o.row(vec!["25".into(), "10.25".into()]);
+        o.note("shape holds");
+        let s = o.render();
+        assert!(s.contains("t1"));
+        assert!(s.contains("speed"));
+        assert!(s.contains("10.25"));
+        assert!(s.contains("note: shape holds"));
+    }
+
+    #[test]
+    fn csv_escapes_and_renders() {
+        let mut o = ExperimentOutput::new("t2", "demo", &["a", "b"]);
+        o.row(vec!["1,5".into(), "x".into()]);
+        let csv = o.render_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.starts_with("# t2"));
+        assert!(csv.contains("a,b"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(10.0, 1), "10.0");
+    }
+}

@@ -1,0 +1,308 @@
+//! The Fig. 9 deployment: eight APs along a side road, and client drive
+//! plans.
+//!
+//! The paper deploys eight APs in third-floor windows overlooking a road
+//! with a 25 mph limit; adjacent coverage overlaps by 6–10 m (Fig. 10),
+//! with a *denser* group (AP2–AP4) and a *sparser* group (AP5–AP7) that
+//! §5.3.4 compares. Clients drive along the road in either direction at
+//! 5–35 mph, singly or in the §5.2.2 multi-client patterns (following at
+//! 3 m spacing, parallel, opposing).
+
+use wgtt_radio::Position;
+use wgtt_sim::time::{SimDuration, SimTime};
+
+/// Metres per second per mile-per-hour.
+pub const MPH: f64 = 0.44704;
+
+/// Distance from the AP building line to the near lane, metres.
+pub const ROAD_OFFSET_M: f64 = 12.0;
+
+/// Travel direction along the road.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Increasing x.
+    East,
+    /// Decreasing x.
+    West,
+}
+
+/// An optional mid-drive stop (traffic light / congestion): the car
+/// halts when it reaches `at_x` and resumes after `pause_s` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopAndGo {
+    /// Along-road coordinate where the car stops, metres.
+    pub at_x: f64,
+    /// Pause duration, seconds.
+    pub pause_s: f64,
+}
+
+/// One client's drive plan: straight-line constant-speed motion, with an
+/// optional stop-and-go pause.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientPlan {
+    /// Position at t = 0, metres.
+    pub start: Position,
+    /// Speed, m/s (0 allowed: parked client).
+    pub speed_mps: f64,
+    /// Travel direction.
+    pub direction: Direction,
+    /// Optional mid-drive stop.
+    pub stop: Option<StopAndGo>,
+}
+
+impl ClientPlan {
+    /// A drive past the whole array at `speed_mph`, starting west of the
+    /// first AP in the near lane.
+    pub fn drive_by(speed_mph: f64) -> Self {
+        ClientPlan {
+            start: Position::new(-15.0, 0.0),
+            speed_mps: speed_mph * MPH,
+            direction: Direction::East,
+            stop: None,
+        }
+    }
+
+    /// A drive-by with a stop-and-go pause at `at_x` for `pause_s`
+    /// seconds (the traffic-light scenario).
+    pub fn stop_and_go(speed_mph: f64, at_x: f64, pause_s: f64) -> Self {
+        ClientPlan {
+            stop: Some(StopAndGo { at_x, pause_s }),
+            ..Self::drive_by(speed_mph)
+        }
+    }
+
+    /// Same drive delayed by `gap_m` metres behind another car (the
+    /// "following at 3 m spacing" pattern).
+    pub fn following(speed_mph: f64, gap_m: f64) -> Self {
+        ClientPlan {
+            start: Position::new(-15.0 - gap_m, 0.0),
+            speed_mps: speed_mph * MPH,
+            direction: Direction::East,
+            stop: None,
+        }
+    }
+
+    /// Parallel car in the far lane, side by side.
+    pub fn parallel(speed_mph: f64) -> Self {
+        ClientPlan {
+            start: Position::new(-15.0, -3.5),
+            speed_mps: speed_mph * MPH,
+            direction: Direction::East,
+            stop: None,
+        }
+    }
+
+    /// Opposing-direction car in the far lane, starting east of the
+    /// array.
+    pub fn opposing(speed_mph: f64, road_len: f64) -> Self {
+        ClientPlan {
+            start: Position::new(road_len + 15.0, -3.5),
+            speed_mps: speed_mph * MPH,
+            direction: Direction::West,
+            stop: None,
+        }
+    }
+
+    /// Position at simulation time `t`.
+    pub fn position_at(&self, t: SimTime) -> Position {
+        let mut travel = t.as_secs_f64() * self.speed_mps;
+        if let Some(stop) = self.stop {
+            // Distance from start to the stop point along the travel
+            // direction (only a stop ahead of the start applies).
+            let to_stop = match self.direction {
+                Direction::East => stop.at_x - self.start.x,
+                Direction::West => self.start.x - stop.at_x,
+            };
+            if to_stop > 0.0 && self.speed_mps > 0.0 && travel > to_stop {
+                let pause_travel = stop.pause_s * self.speed_mps;
+                travel = if travel <= to_stop + pause_travel {
+                    to_stop // parked at the stop line
+                } else {
+                    travel - pause_travel
+                };
+            }
+        }
+        match self.direction {
+            Direction::East => Position::new(self.start.x + travel, self.start.y),
+            Direction::West => Position::new(self.start.x - travel, self.start.y),
+        }
+    }
+
+    /// Time to traverse `dist` metres (`None` for a parked client).
+    pub fn time_to_cover(&self, dist: f64) -> Option<SimDuration> {
+        if self.speed_mps <= 0.0 {
+            None
+        } else {
+            Some(SimDuration::from_secs_f64(dist / self.speed_mps))
+        }
+    }
+}
+
+/// Deployment + drive configuration for one run.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// AP x-coordinates along the road (all at `y = ROAD_OFFSET_M`).
+    pub ap_x: Vec<f64>,
+    /// Per-AP wireless channel (empty = everything on channel 0, the
+    /// paper's single-channel deployment; the §7 multi-channel extension
+    /// alternates channels between adjacent APs).
+    pub ap_channels: Vec<u8>,
+    /// Client drive plans.
+    pub clients: Vec<ClientPlan>,
+}
+
+impl TestbedConfig {
+    /// The paper's eight-AP roadside array: a dense group (AP1–AP4,
+    /// 6 m spacing) and a sparser group (AP5–AP8, 9 m spacing). Coverage
+    /// overlaps everywhere (Fig. 10 shows 6–10 m overlaps with no dead
+    /// zones), with the dense/sparse contrast §5.3.4 compares.
+    pub fn paper_array() -> Self {
+        TestbedConfig {
+            ap_x: vec![0.0, 6.0, 12.0, 18.0, 26.0, 35.0, 44.0, 53.0],
+            ap_channels: Vec::new(),
+            clients: Vec::new(),
+        }
+    }
+
+    /// The §7 multi-channel variant: adjacent APs alternate between two
+    /// channels (interference avoidance at the cost of overhearing).
+    pub fn paper_array_dual_channel() -> Self {
+        let mut cfg = Self::paper_array();
+        cfg.ap_channels = (0..cfg.ap_x.len()).map(|i| (i % 2) as u8).collect();
+        cfg
+    }
+
+    /// The two-AP §2 motivation testbed (7.5 m apart).
+    pub fn two_ap() -> Self {
+        TestbedConfig {
+            ap_x: vec![0.0, 7.5],
+            ap_channels: Vec::new(),
+            clients: Vec::new(),
+        }
+    }
+
+    /// Attach client plans.
+    pub fn with_clients(mut self, clients: Vec<ClientPlan>) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// AP positions on the plane.
+    pub fn ap_positions(&self) -> Vec<Position> {
+        self.ap_x
+            .iter()
+            .map(|&x| Position::new(x, ROAD_OFFSET_M))
+            .collect()
+    }
+
+    /// Road length covered by the array (first to last AP).
+    pub fn road_len(&self) -> f64 {
+        match (self.ap_x.first(), self.ap_x.last()) {
+            (Some(&a), Some(&b)) => b - a,
+            _ => 0.0,
+        }
+    }
+
+    /// Time for `plan` to transit from its start past the last AP plus a
+    /// 15 m tail.
+    pub fn transit_time(&self, plan: &ClientPlan) -> Option<SimDuration> {
+        let total = self.road_len() + 30.0 + 15.0;
+        plan.time_to_cover(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mph_conversion() {
+        assert!((15.0 * MPH - 6.7056).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drive_by_moves_east() {
+        let p = ClientPlan::drive_by(15.0);
+        let a = p.position_at(SimTime::ZERO);
+        let b = p.position_at(SimTime::from_secs(1));
+        assert!((b.x - a.x - 15.0 * MPH).abs() < 1e-9);
+        assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn opposing_moves_west() {
+        let p = ClientPlan::opposing(15.0, 58.0);
+        let a = p.position_at(SimTime::ZERO);
+        let b = p.position_at(SimTime::from_secs(1));
+        assert!(b.x < a.x);
+    }
+
+    #[test]
+    fn parked_client_stays() {
+        let p = ClientPlan {
+            start: Position::new(3.0, 0.0),
+            speed_mps: 0.0,
+            direction: Direction::East,
+            stop: None,
+        };
+        assert_eq!(p.position_at(SimTime::from_secs(100)), p.start);
+        assert!(p.time_to_cover(10.0).is_none());
+    }
+
+    #[test]
+    fn paper_array_shape() {
+        let t = TestbedConfig::paper_array();
+        assert_eq!(t.ap_x.len(), 8);
+        assert_eq!(t.road_len(), 53.0);
+        // Dense group spacing < sparse group spacing.
+        let dense = t.ap_x[1] - t.ap_x[0];
+        let sparse = t.ap_x[5] - t.ap_x[4];
+        assert!(dense < sparse);
+        // All APs sit on the building line.
+        for p in t.ap_positions() {
+            assert_eq!(p.y, ROAD_OFFSET_M);
+        }
+    }
+
+    #[test]
+    fn transit_time_scales_inversely_with_speed() {
+        let t = TestbedConfig::paper_array();
+        let slow = t.transit_time(&ClientPlan::drive_by(5.0)).unwrap();
+        let fast = t.transit_time(&ClientPlan::drive_by(25.0)).unwrap();
+        let ratio = slow.as_secs_f64() / fast.as_secs_f64();
+        assert!((ratio - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stop_and_go_pauses_then_resumes() {
+        let p = ClientPlan::stop_and_go(15.0, 10.0, 5.0);
+        let v = p.speed_mps;
+        let t_reach = 25.0 / v; // start.x = −15 → 25 m to the stop line
+        // Before the stop: moving.
+        let before = p.position_at(SimTime::from_secs_f64(t_reach - 1.0));
+        assert!(before.x < 10.0);
+        // During the pause: parked at the stop line.
+        let during = p.position_at(SimTime::from_secs_f64(t_reach + 2.0));
+        assert!((during.x - 10.0).abs() < 1e-6, "x = {}", during.x);
+        // After: resumed, offset by exactly the pause.
+        let after = p.position_at(SimTime::from_secs_f64(t_reach + 5.0 + 2.0));
+        assert!((after.x - (10.0 + 2.0 * v)).abs() < 1e-6, "x = {}", after.x);
+    }
+
+    #[test]
+    fn dual_channel_alternates() {
+        let t = TestbedConfig::paper_array_dual_channel();
+        assert_eq!(t.ap_channels, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn following_keeps_gap() {
+        let lead = ClientPlan::drive_by(15.0);
+        let tail = ClientPlan::following(15.0, 3.0);
+        for s in 0..10 {
+            let t = SimTime::from_secs(s);
+            let gap = lead.position_at(t).x - tail.position_at(t).x;
+            assert!((gap - 3.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,1133 @@
+//! The discrete-event world: radios, MAC exchanges, backhaul, transports.
+//!
+//! One [`World`] is one run: a system under test (WGTT or a baseline
+//! roaming scheme), the Fig. 9 testbed, a set of client flows, and a
+//! deterministic event queue. The MAC pipeline follows real 802.11n
+//! timing — DIFS + backoff contention, A-MPDU data PPDUs, SIFS-spaced
+//! Block ACK responses (with the small response jitter the paper observed
+//! on the TP-Link hardware, §5.3.2), retransmission on Block ACK loss —
+//! and the WGTT control plane runs on top exactly as the core crate
+//! defines it.
+//!
+//! The chain for one downlink packet under WGTT:
+//! server → controller (`on_downlink`, 12-bit index assignment) →
+//! backhaul fan-out → per-AP cyclic queues → serving AP's NIC staging →
+//! A-MPDU on the air → client `BaRecipient` → flow sink (and, for TCP,
+//! an ACK packet into the client's uplink queue, which every in-range AP
+//! may decode, tunnel, and the controller de-duplicates).
+
+use std::collections::HashMap;
+
+use wgtt::ap::ApAgent;
+use wgtt::controller::{Controller, ControllerAction};
+use wgtt::messages::{BackhaulDest, BackhaulMsg};
+use wgtt::WgttConfig;
+use wgtt_apps::conference::{ConferenceSink, ConferenceSource};
+use wgtt_baseline::ap::BaselineAp;
+use wgtt_baseline::distribution::DistributionSystem;
+use wgtt_baseline::roamer::{Roamer, RoamerAction, RoamerMode};
+use wgtt_mac::airtime::{frame_airtime, SIFS_US};
+use wgtt_mac::blockack::{BaOriginator, BaRecipient};
+use wgtt_mac::frame::{Frame, FrameKind, MgmtStep, Mpdu, NodeId, PacketRef};
+use wgtt_mac::medium::{Medium, TxId, TxOutcome};
+use wgtt_mac::rate::RateController;
+use wgtt_mac::seq::seq_next;
+use wgtt_mac::Mcs;
+use wgtt_net::packet::{FlowId, Packet, PacketFactory, Transport};
+use wgtt_net::tcp::{TcpConfig, TcpReceiver, TcpSender};
+use wgtt_net::traffic::CbrUdpSource;
+use wgtt_net::wire::Ipv4Addr;
+use wgtt_radio::fading::FadingProcess;
+use wgtt_radio::link::{Link, LinkBudget};
+use wgtt_radio::{Modulation, ParabolicAntenna, PathLossModel};
+use wgtt_sim::metrics::{Counter, Distribution, ThroughputMeter, TimeSeries};
+use wgtt_sim::queue::{EventId, EventQueue};
+use wgtt_sim::rng::{RngStream, Xoshiro256};
+use wgtt_sim::time::{SimDuration, SimTime};
+
+use crate::testbed::{ClientPlan, TestbedConfig};
+
+/// Which system serves the clients.
+#[derive(Debug, Clone, Copy)]
+pub enum SystemKind {
+    /// Wi-Fi Goes to Town with the given configuration.
+    Wgtt(WgttConfig),
+    /// The §5.1 Enhanced 802.11r baseline (threshold roam, 1 s
+    /// hysteresis).
+    Enhanced80211r,
+    /// Stock 802.11r as measured in §2 (5 s RSSI history requirement).
+    Stock80211r,
+}
+
+/// A traffic workload attached to one client.
+#[derive(Debug, Clone, Copy)]
+pub enum FlowSpec {
+    /// Server → client constant-bit-rate UDP.
+    DownlinkUdp {
+        /// Offered load, Mbit/s.
+        rate_mbps: f64,
+    },
+    /// Client → server constant-bit-rate UDP.
+    UplinkUdp {
+        /// Offered load, Mbit/s.
+        rate_mbps: f64,
+    },
+    /// Server → client bulk TCP (iperf-style; also progressive video
+    /// download).
+    DownlinkTcpBulk,
+    /// Server → client finite TCP transfer (web objects).
+    DownlinkTcpBytes {
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Server → client conferencing video over UDP.
+    DownlinkConference {
+        /// Adaptive (Hangouts-like) vs fixed (Skype-like) frame sizing.
+        adaptive: bool,
+    },
+    /// Client → server conferencing video over UDP.
+    UplinkConference {
+        /// Adaptive vs fixed frame sizing.
+        adaptive: bool,
+    },
+}
+
+/// Conference frame reassembly bookkeeping.
+#[derive(Debug, Default)]
+struct FrameAssembly {
+    /// frame id → (chunks needed, chunks received).
+    pending: HashMap<u64, (u32, u32)>,
+    /// seq → frame id mapping recorded at send time.
+    seq_to_frame: HashMap<u32, (u64, u32)>,
+    /// Frames fully generated in the current feedback window.
+    window_sent: u64,
+    /// Frames completed in the current feedback window.
+    window_done: u64,
+}
+
+enum FlowKind {
+    DownUdp {
+        src: CbrUdpSource,
+        sink: wgtt_net::flow::UdpFlowSink,
+    },
+    UpUdp {
+        src: CbrUdpSource,
+        sink: wgtt_net::flow::UdpFlowSink,
+    },
+    DownTcp {
+        snd: TcpSender,
+        rcv: TcpReceiver,
+        meter: ThroughputMeter,
+        delivered_trace: Vec<(SimTime, u64)>,
+        /// Total application bytes for finite transfers (`None` = bulk).
+        limit: Option<u64>,
+    },
+    DownConf {
+        src: ConferenceSource,
+        asm: FrameAssembly,
+        sink: ConferenceSink,
+        next_seq: u32,
+    },
+    UpConf {
+        src: ConferenceSource,
+        asm: FrameAssembly,
+        sink: ConferenceSink,
+        next_seq: u32,
+    },
+}
+
+struct Flow {
+    id: FlowId,
+    client: NodeId,
+    kind: FlowKind,
+}
+
+/// Client-side MAC and transport state.
+struct ClientNode {
+    id: NodeId,
+    plan: ClientPlan,
+    ip: Ipv4Addr,
+    /// Downlink data receive windows, keyed by transmitter identity.
+    /// WGTT APs share one BSSID (one window, which survives switches by
+    /// design); baseline APs are distinct transmitters with independent
+    /// Block ACK sessions.
+    ba_rx: HashMap<NodeId, BaRecipient>,
+    /// Uplink originator state.
+    up_fresh: std::collections::VecDeque<Mpdu>,
+    up_retries: Vec<Mpdu>,
+    up_ba: BaOriginator,
+    up_next_seq: u16,
+    up_rate: RateController,
+    up_in_flight_meta: Option<(Mcs, usize)>,
+    /// Baseline roamer (None under WGTT).
+    roamer: Option<Roamer>,
+    /// MAC pipeline gates.
+    tx_scheduled: bool,
+    exchange_pending: bool,
+    backoff_stage: u8,
+    ba_timeout_ev: Option<EventId>,
+    /// Uplink MPDU (re)transmission counters (Table 3).
+    up_mpdus_sent: u64,
+    up_mpdu_retx: u64,
+}
+
+/// Per-run observables the experiments reduce into figures and tables.
+#[derive(Default)]
+pub struct RunReport {
+    /// Per-flow delivered-byte meters (downlink goodput at the client,
+    /// uplink goodput at the server).
+    pub flow_meters: HashMap<FlowId, ThroughputMeter>,
+    /// Per-flow UDP loss (sent, unique received).
+    pub udp_counts: HashMap<FlowId, (u64, u64)>,
+    /// Serving-AP timeseries per client (AP index as f64).
+    pub serving_series: HashMap<NodeId, TimeSeries>,
+    /// Instantaneous per-frame PHY bit rate samples (Mbit/s) per client.
+    pub bitrate_series: HashMap<NodeId, Distribution>,
+    /// ESNR traces per (client, AP) — Fig. 2 style.
+    pub esnr_traces: HashMap<(NodeId, NodeId), TimeSeries>,
+    /// Time spent (s) where the serving AP equalled the oracle-best AP,
+    /// and total observed time (Table 2).
+    pub accuracy_hits: f64,
+    /// Total accuracy observations.
+    pub accuracy_total: f64,
+    /// Switch protocol execution times (s) — Table 1.
+    pub switch_durations: Distribution,
+    /// Completed switches.
+    pub switches: u64,
+    /// Block ACK responses that collided on the air (Table 3).
+    pub ba_collisions: Counter,
+    /// Block ACK responses sent.
+    pub ba_responses: Counter,
+    /// Uplink MPDUs sent / retransmitted per client.
+    pub uplink_mpdus: HashMap<NodeId, (u64, u64)>,
+    /// Uplink packets forwarded vs duplicate-dropped at the controller.
+    pub uplink_dedup: (u64, u64),
+    /// Per-flow conference fps sinks.
+    pub conference_sinks: HashMap<FlowId, Vec<f64>>,
+    /// Per-flow TCP delivered-byte traces (for offline video replay).
+    pub tcp_delivery_traces: HashMap<FlowId, Vec<(SimTime, u64)>>,
+    /// TCP sender stats per flow (timeouts etc.).
+    pub tcp_timeouts: HashMap<FlowId, u64>,
+    /// Time of each completed finite TCP flow.
+    pub tcp_completion: HashMap<FlowId, SimTime>,
+    /// Baseline: reassociation failures.
+    pub failed_handshakes: u64,
+    /// Debug: client BA responses scheduled / transmitted / decoded at
+    /// their target AP.
+    pub dbg_ba: (u64, u64, u64),
+    /// The run's duration.
+    pub duration: SimDuration,
+}
+
+/// World events.
+enum Ev {
+    Backhaul {
+        to: BackhaulDest,
+        msg: BackhaulMsg,
+    },
+    CtlPoll,
+    ApTxStart {
+        ap: NodeId,
+    },
+    ClientTxStart {
+        client: NodeId,
+    },
+    TxEnd {
+        tx: TxId,
+        frame: Frame,
+    },
+    /// A (Block) ACK response due after SIFS + hardware jitter.
+    BaResponse {
+        from: NodeId,
+        to: NodeId,
+        client: NodeId,
+        start_seq: u16,
+        bitmap: u64,
+    },
+    /// Bare ACK response for management frames.
+    MgmtResponse {
+        from: NodeId,
+        to: NodeId,
+        step: MgmtStep,
+    },
+    /// A contended management transmission attempt (reassociation
+    /// request) granted at this instant.
+    MgmtTx {
+        from: NodeId,
+        to: NodeId,
+        step: MgmtStep,
+        attempt: u8,
+    },
+    BaTimeout {
+        ap: NodeId,
+        client: NodeId,
+    },
+    ClientBaTimeout {
+        client: NodeId,
+    },
+    Traffic {
+        flow: FlowId,
+    },
+    TcpTimer {
+        flow: FlowId,
+    },
+    Beacon {
+        ap: NodeId,
+        /// True for a deferred retry after finding the medium busy (does
+        /// not reschedule the periodic chain).
+        retry: bool,
+    },
+    RoamPoll {
+        client: NodeId,
+    },
+    Mobility,
+    ConfFeedback {
+        flow: FlowId,
+    },
+    SampleState,
+    /// Small periodic uplink frame every client emits (NULL-data /
+    /// control-connection chatter) — the CSI heartbeat that lets the
+    /// controller track a client through downlink-only workloads.
+    Keepalive {
+        client: NodeId,
+    },
+}
+
+#[allow(clippy::large_enum_variant)] // one per world; boxing buys nothing
+enum SystemState {
+    Wgtt {
+        controller: Controller,
+        aps: Vec<ApAgent>,
+    },
+    Baseline {
+        ds: DistributionSystem,
+        aps: Vec<BaselineAp>,
+    },
+}
+
+/// The simulation world.
+pub struct World {
+    cfg: TestbedConfig,
+    system_kind: SystemKind,
+    queue: EventQueue<Ev>,
+    medium: Medium,
+    links: HashMap<(NodeId, NodeId), Link>,
+    system: SystemState,
+    clients: Vec<ClientNode>,
+    flows: Vec<Flow>,
+    factory: PacketFactory,
+    packets: HashMap<u64, Packet>,
+    rng: Xoshiro256,
+    wgtt_cfg: WgttConfig,
+    /// AP MAC pipeline gates (indexed by AP id).
+    ap_tx_scheduled: Vec<bool>,
+    ap_exchange_pending: Vec<bool>,
+    ap_backoff: Vec<u8>,
+    ap_ba_timeout_ev: Vec<Option<EventId>>,
+    /// Which client the pending exchange addresses (per AP).
+    ap_current_peer: Vec<Option<NodeId>>,
+    /// Uplink Block-ACK receive windows per (AP, client).
+    ap_up_rx: HashMap<(NodeId, NodeId), BaRecipient>,
+    /// Collected observables.
+    pub report: RunReport,
+    /// Instant at which the traffic sources start (the paper starts its
+    /// flows with the client connected; a flow started toward a client
+    /// that is still approaching coverage spends its time in TCP RTO
+    /// backoff instead). Defaults to time zero.
+    pub traffic_start: SimTime,
+    /// Protect data A-MPDUs with an RTS/CTS handshake. Off by default —
+    /// the testbed runs without it (§5.3.2) — and the ablation bench
+    /// shows the fixed overhead outweighs the protection when collisions
+    /// are rare.
+    pub rts_cts: bool,
+    /// Emit a per-event MAC trace to stderr (debugging only).
+    pub trace: bool,
+    /// When enabled, a tcpdump-style line is recorded for every frame
+    /// that finishes on the air (see [`World::enable_frame_log`]).
+    frame_log: Option<Vec<String>>,
+    /// When enabled, every tunnelled data packet on the backhaul is
+    /// captured as a real Ethernet/IP/UDP frame (Wireshark-compatible).
+    backhaul_capture: Option<crate::pcap::PcapWriter>,
+    /// IP ident counter for the capture's outer headers.
+    capture_ident: u16,
+    /// Trace only at or after this instant.
+    pub trace_from: SimTime,
+    end_at: SimTime,
+}
+
+const SERVER_IP: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
+/// Period of mobility/position refresh.
+const MOBILITY_TICK: SimDuration = SimDuration::from_millis(10);
+/// Period of serving-AP/accuracy sampling.
+const SAMPLE_TICK: SimDuration = SimDuration::from_millis(10);
+/// How long a sender waits for a Block ACK before declaring it lost
+/// (covers SIFS + response + a forwarded copy over the backhaul).
+const BA_WAIT: SimDuration = SimDuration::from_micros(1500);
+/// Beacon interval for the baseline schemes (§5.1: 100 ms).
+const BEACON_INTERVAL: SimDuration = SimDuration::from_millis(100);
+/// Roamer poll cadence (drives handshake retries between beacons).
+const ROAM_POLL: SimDuration = SimDuration::from_millis(25);
+/// Conference loss-feedback cadence.
+const CONF_FEEDBACK: SimDuration = SimDuration::from_secs(1);
+/// UDP payload size used by the CBR sources (iperf3-style).
+const UDP_LEN: u16 = 1500;
+/// Conference UDP chunk payload size.
+const CONF_CHUNK: u32 = 1200;
+/// Client keepalive (NULL-data) interval.
+const KEEPALIVE_INTERVAL: SimDuration = SimDuration::from_millis(50);
+/// CSI estimation error applied to *measured* ESNR readings (the true
+/// channel still decides delivery) — the reason a single reading is noisy
+/// and the paper's median-over-W smoothing matters (Fig. 21).
+const CSI_NOISE_DB: f64 = 1.5;
+/// Capture threshold: a reception survives an overlap when the wanted
+/// signal exceeds the strongest interferer by this margin at the receiver.
+const CAPTURE_MARGIN_DB: f64 = 10.0;
+/// Sentinel packet id for keepalive frames (no packet-store entry).
+const KEEPALIVE_PKT_ID: u64 = u64::MAX;
+
+impl World {
+    /// Build a world: testbed geometry + system + per-client flows
+    /// (parallel arrays: `flow_specs[i]` applies to `clients[i]` of the
+    /// testbed config; use [`World::new_multi`] for several flows per
+    /// client).
+    pub fn new(cfg: TestbedConfig, system: SystemKind, flow_specs: Vec<FlowSpec>, seed: u64) -> Self {
+        let specs: Vec<(usize, FlowSpec)> = flow_specs.into_iter().enumerate().collect();
+        Self::new_multi(cfg, system, specs, seed)
+    }
+
+    /// Build a world with `(client_index, spec)` flow attachments.
+    pub fn new_multi(
+        cfg: TestbedConfig,
+        system: SystemKind,
+        flow_specs: Vec<(usize, FlowSpec)>,
+        seed: u64,
+    ) -> Self {
+        let root = RngStream::root(seed);
+        let mut medium = Medium::roadside();
+        let ap_positions = cfg.ap_positions();
+        let n_aps = ap_positions.len();
+
+        // Radio links: one fading realization per (AP, client) pair,
+        // shared verbatim between compared systems at equal seeds.
+        let mut links = HashMap::new();
+        for (ai, &ap_pos) in ap_positions.iter().enumerate() {
+            let ap_id = NodeId(ai as u32);
+            medium.set_position(ap_id, ap_pos);
+            if let Some(&ch) = cfg.ap_channels.get(ai) {
+                medium.set_channel(ap_id, ch);
+            }
+            for (ci, plan) in cfg.clients.iter().enumerate() {
+                let client_id = NodeId(100 + ci as u32);
+                let stream = root
+                    .derive("link")
+                    .derive_indexed("ap", ai as u64)
+                    .derive_indexed("client", ci as u64);
+                links.insert(
+                    (ap_id, client_id),
+                    Link {
+                        ap_pos,
+                        ap_boresight_rad: -std::f64::consts::FRAC_PI_2,
+                        ap_antenna: ParabolicAntenna::laird_gd24bp(),
+                        client_antenna_dbi: 0.0,
+                        budget: LinkBudget::default(),
+                        pathloss: PathLossModel::roadside(),
+                        fading: FadingProcess::new(stream, plan.speed_mps.max(0.3), 9.0),
+                        shadowing: None,
+                    },
+                );
+            }
+        }
+
+        let wgtt_cfg = match system {
+            SystemKind::Wgtt(c) => c,
+            _ => WgttConfig::default(),
+        };
+
+        let ap_ids: Vec<NodeId> = (0..n_aps as u32).map(NodeId).collect();
+        let system_state = match system {
+            SystemKind::Wgtt(c) => SystemState::Wgtt {
+                controller: Controller::new(c, ap_ids.clone()),
+                aps: ap_ids
+                    .iter()
+                    .map(|&id| ApAgent::new(id, c, root.derive_indexed("ap-agent", id.0 as u64)))
+                    .collect(),
+            },
+            SystemKind::Enhanced80211r | SystemKind::Stock80211r => SystemState::Baseline {
+                ds: DistributionSystem::new(),
+                aps: ap_ids
+                    .iter()
+                    .map(|&id| {
+                        BaselineAp::new(id, root.derive_indexed("bl-ap", id.0 as u64))
+                    })
+                    .collect(),
+            },
+        };
+
+        let clients: Vec<ClientNode> = cfg
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(ci, &plan)| {
+                let id = NodeId(100 + ci as u32);
+                medium.set_position(id, plan.position_at(SimTime::ZERO));
+                let roamer = match system {
+                    SystemKind::Wgtt(_) => None,
+                    SystemKind::Enhanced80211r => Some(Roamer::new(RoamerMode::Enhanced {
+                        hysteresis: SimDuration::from_secs(1),
+                    })),
+                    SystemKind::Stock80211r => Some(Roamer::new(RoamerMode::Stock {
+                        history: SimDuration::from_secs(5),
+                    })),
+                };
+                ClientNode {
+                    id,
+                    plan,
+                    ip: Ipv4Addr::new(172, 16, 0, 100 + ci as u8),
+                    ba_rx: HashMap::new(),
+                    up_fresh: std::collections::VecDeque::new(),
+                    up_retries: Vec::new(),
+                    up_ba: BaOriginator::default(),
+                    up_next_seq: 0,
+                    up_rate: RateController::new(
+                        root.derive_indexed("client-rate", ci as u64).rng(),
+                    ),
+                    up_in_flight_meta: None,
+                    roamer,
+                    tx_scheduled: false,
+                    exchange_pending: false,
+                    backoff_stage: 0,
+                    ba_timeout_ev: None,
+                    up_mpdus_sent: 0,
+                    up_mpdu_retx: 0,
+                }
+            })
+            .collect();
+
+        let mut world = World {
+            system_kind: system,
+            queue: EventQueue::new(),
+            medium,
+            links,
+            system: system_state,
+            clients,
+            flows: Vec::new(),
+            factory: PacketFactory::new(),
+            packets: HashMap::new(),
+            rng: root.derive("world").rng(),
+            wgtt_cfg,
+            ap_tx_scheduled: vec![false; n_aps],
+            ap_exchange_pending: vec![false; n_aps],
+            ap_backoff: vec![0; n_aps],
+            ap_ba_timeout_ev: vec![None; n_aps],
+            ap_current_peer: vec![None; n_aps],
+            ap_up_rx: HashMap::new(),
+            report: RunReport::default(),
+            traffic_start: SimTime::ZERO,
+            rts_cts: false,
+            trace: false,
+            frame_log: None,
+            backhaul_capture: None,
+            capture_ident: 0,
+            trace_from: SimTime::ZERO,
+            end_at: SimTime::ZERO,
+            cfg,
+        };
+        for (ci, spec) in flow_specs {
+            world.attach_flow(ci, spec);
+        }
+        world
+    }
+
+    /// Attach one flow to client index `ci`.
+    fn attach_flow(&mut self, ci: usize, spec: FlowSpec) {
+        let flow_id = FlowId(self.flows.len() as u32);
+        let client = self.clients[ci].id;
+        let client_ip = self.clients[ci].ip;
+        let kind = match spec {
+            FlowSpec::DownlinkUdp { rate_mbps } => FlowKind::DownUdp {
+                src: CbrUdpSource::new(
+                    flow_id,
+                    SERVER_IP,
+                    client_ip,
+                    rate_mbps,
+                    UDP_LEN,
+                    SimTime::ZERO,
+                ),
+                sink: wgtt_net::flow::UdpFlowSink::new(),
+            },
+            FlowSpec::UplinkUdp { rate_mbps } => FlowKind::UpUdp {
+                src: CbrUdpSource::new(
+                    flow_id,
+                    client_ip,
+                    SERVER_IP,
+                    rate_mbps,
+                    UDP_LEN,
+                    SimTime::ZERO,
+                ),
+                sink: wgtt_net::flow::UdpFlowSink::new(),
+            },
+            FlowSpec::DownlinkTcpBulk => FlowKind::DownTcp {
+                snd: TcpSender::bulk(TcpConfig::default()),
+                rcv: TcpReceiver::new(),
+                meter: ThroughputMeter::new(),
+                delivered_trace: Vec::new(),
+                limit: None,
+            },
+            FlowSpec::DownlinkTcpBytes { bytes } => FlowKind::DownTcp {
+                snd: TcpSender::with_limit(TcpConfig::default(), bytes),
+                rcv: TcpReceiver::new(),
+                meter: ThroughputMeter::new(),
+                delivered_trace: Vec::new(),
+                limit: Some(bytes),
+            },
+            FlowSpec::DownlinkConference { adaptive } => FlowKind::DownConf {
+                src: if adaptive {
+                    ConferenceSource::adaptive(SimTime::ZERO)
+                } else {
+                    ConferenceSource::fixed(SimTime::ZERO)
+                },
+                asm: FrameAssembly::default(),
+                sink: ConferenceSink::new(),
+                next_seq: 0,
+            },
+            FlowSpec::UplinkConference { adaptive } => FlowKind::UpConf {
+                src: if adaptive {
+                    ConferenceSource::adaptive(SimTime::ZERO)
+                } else {
+                    ConferenceSource::fixed(SimTime::ZERO)
+                },
+                asm: FrameAssembly::default(),
+                sink: ConferenceSink::new(),
+                next_seq: 0,
+            },
+        };
+        self.flows.push(Flow {
+            id: flow_id,
+            client,
+            kind,
+        });
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    fn client_index(&self, id: NodeId) -> usize {
+        (id.0 - 100) as usize
+    }
+
+    fn is_ap(&self, id: NodeId) -> bool {
+        (id.0 as usize) < self.cfg.ap_x.len()
+    }
+
+    fn client_pos(&self, id: NodeId, now: SimTime) -> wgtt_radio::Position {
+        self.clients[self.client_index(id)].plan.position_at(now)
+    }
+
+    fn link(&self, ap: NodeId, client: NodeId) -> &Link {
+        self.links
+            .get(&(ap, client))
+            .expect("link exists for every (AP, client) pair")
+    }
+
+    /// ESNR of the (ap, client) link right now, under the reference
+    /// 16-QAM constellation (the controller's selection metric).
+    fn esnr_now(&self, ap: NodeId, client: NodeId, now: SimTime) -> f64 {
+        let pos = self.client_pos(client, now);
+        self.link(ap, client)
+            .snapshot(now, pos)
+            .esnr_db(Modulation::Qam16)
+    }
+
+    /// The ESNR an AP *measures* from one frame's CSI: the true value
+    /// plus estimation noise. Selection consumes these; delivery rolls
+    /// use the true channel.
+    fn measured_esnr(&mut self, ap: NodeId, client: NodeId, now: SimTime) -> f64 {
+        self.esnr_now(ap, client, now) + self.rng.normal_with(0.0, CSI_NOISE_DB)
+    }
+
+    /// Received power of a transmission from `a` at `b`, dBm, for
+    /// capture comparisons. Uses the modelled link where one exists
+    /// (AP↔client); AP↔AP and client↔client interference falls back to
+    /// the path-loss model with omni gains.
+    fn rssi_between(&self, a: NodeId, b: NodeId, now: SimTime) -> f64 {
+        let (ap, client) = if self.is_ap(a) && !self.is_ap(b) {
+            (a, b)
+        } else if self.is_ap(b) && !self.is_ap(a) {
+            (b, a)
+        } else {
+            // No fading model for same-kind pairs; large-scale only.
+            let pa = if self.is_ap(a) {
+                self.medium.position(a)
+            } else {
+                self.client_pos(a, now)
+            };
+            let pb = if self.is_ap(b) {
+                self.medium.position(b)
+            } else {
+                self.client_pos(b, now)
+            };
+            let pl = PathLossModel::roadside().loss_db(pa.distance_to(pb));
+            return LinkBudget::default().tx_power_dbm - pl;
+        };
+        let pos = self.client_pos(client, now);
+        self.link(ap, client).snapshot(now, pos).rssi_dbm
+    }
+
+    /// Capture-aware reception check: a temporal overlap only corrupts
+    /// the frame when the strongest interferer is within
+    /// [`CAPTURE_MARGIN_DB`] of the wanted signal at the receiver — the
+    /// power disparity the paper credits (sidelobes) for its negligible
+    /// ACK collision rate (§5.3.2).
+    fn rx_survives(&self, tx: TxId, from: NodeId, rx: NodeId, now: SimTime) -> bool {
+        if self.medium.outcome_for(tx, rx) == TxOutcome::Clean {
+            return true;
+        }
+        // RTS/CTS-protected data frames reserve the medium: neighbours
+        // that heard the CTS defer, so a recorded overlap cannot corrupt
+        // the protected payload (the RTS itself risks collision, but it
+        // is short — we fold that into the fixed overhead).
+        if self.rts_cts && self.is_ap(from) {
+            return true;
+        }
+        let wanted = self.rssi_between(from, rx, now);
+        let worst = self
+            .medium
+            .overlappers(tx)
+            .into_iter()
+            .filter(|&n| n != rx)
+            .map(|n| self.rssi_between(n, rx, now))
+            .fold(f64::NEG_INFINITY, f64::max);
+        wanted - worst >= CAPTURE_MARGIN_DB
+    }
+
+    /// Roll delivery of one MPDU of `len` bytes at `mcs` over the
+    /// (ap, client) link at `now`.
+    fn roll_mpdu(&mut self, ap: NodeId, client: NodeId, now: SimTime, mcs: Mcs, len: u16) -> bool {
+        let pos = self.client_pos(client, now);
+        let snap = self.link(ap, client).snapshot(now, pos);
+        let esnr = wgtt_radio::effective_snr_db(&snap.csi, snap.mean_snr_db, mcs.modulation());
+        let per = mcs.per(esnr, len);
+        !self.rng.chance(per)
+    }
+
+    /// Roll reception of a short control frame (Block ACK, ACK, beacon,
+    /// management) which is sent at a robust basic rate.
+    fn roll_control(&mut self, ap: NodeId, client: NodeId, now: SimTime) -> bool {
+        let pos = self.client_pos(client, now);
+        let snap = self.link(ap, client).snapshot(now, pos);
+        let esnr = wgtt_radio::effective_snr_db(&snap.csi, snap.mean_snr_db, Modulation::Qpsk);
+        // 32-byte control frame at the 24 Mbit/s basic rate ≈ MCS2 PER.
+        let per = Mcs::Mcs2.per(esnr, 64);
+        !self.rng.chance(per)
+    }
+
+    fn store_packet(&mut self, p: Packet) {
+        self.packets.insert(p.id, p);
+    }
+
+    /// The Block ACK receive-window key for a downlink transmitter: the
+    /// shared BSSID under WGTT, the individual AP otherwise.
+    fn ba_rx_key(&self, ap: NodeId) -> NodeId {
+        match self.system {
+            SystemState::Wgtt { .. } => NodeId(u32::MAX),
+            SystemState::Baseline { .. } => ap,
+        }
+    }
+
+    fn packet_by_ref(&self, r: PacketRef) -> Packet {
+        *self
+            .packets
+            .get(&r.id)
+            .expect("packet store holds every in-flight packet")
+    }
+
+    // -------------------------------------------------------- run control
+
+    /// Run the world for `duration`, returning when the queue drains past
+    /// it. Consumes nothing; results accumulate in [`World::report`].
+    pub fn run(&mut self, duration: SimDuration) {
+        self.end_at = SimTime::ZERO + duration;
+        self.report.duration = duration;
+        self.bootstrap();
+        while let Some((now, ev)) = self.queue.pop_until(self.end_at) {
+            self.handle(now, ev);
+        }
+        self.finalize();
+    }
+
+    fn bootstrap(&mut self) {
+        // Initial association: strongest mean-SNR AP at the start position.
+        let client_ids: Vec<NodeId> = self.clients.iter().map(|c| c.id).collect();
+        for client in client_ids {
+            let pos = self.client_pos(client, SimTime::ZERO);
+            let best_ap = (0..self.cfg.ap_x.len() as u32)
+                .map(NodeId)
+                .max_by(|&a, &b| {
+                    let sa = self.link(a, client).mean_snr_db(pos);
+                    let sb = self.link(b, client).mean_snr_db(pos);
+                    sa.partial_cmp(&sb).expect("SNR is never NaN")
+                })
+                .expect("at least one AP");
+            match &mut self.system {
+                SystemState::Wgtt { controller, .. } => {
+                    let actions = controller.on_client_associated(client, best_ap, SimTime::ZERO);
+                    self.dispatch_controller_actions(actions, SimTime::ZERO);
+                }
+                SystemState::Baseline { ds, .. } => {
+                    ds.attach(client, best_ap);
+                    let ci = self.client_index(client);
+                    self.clients[ci]
+                        .roamer
+                        .as_mut()
+                        .expect("baseline clients roam")
+                        .set_associated(best_ap, SimTime::ZERO);
+                }
+            }
+        }
+        // Periodic machinery.
+        self.queue.schedule(SimTime::ZERO + MOBILITY_TICK, Ev::Mobility);
+        self.queue
+            .schedule(SimTime::ZERO + SAMPLE_TICK, Ev::SampleState);
+        if matches!(
+            self.system_kind,
+            SystemKind::Enhanced80211r | SystemKind::Stock80211r
+        ) {
+            for ai in 0..self.cfg.ap_x.len() {
+                // Stagger beacons across APs as real deployments do.
+                let offset = SimDuration::from_millis((ai as u64 * 100) / self.cfg.ap_x.len() as u64);
+                self.queue.schedule(
+                    SimTime::ZERO + offset,
+                    Ev::Beacon {
+                        ap: NodeId(ai as u32),
+                        retry: false,
+                    },
+                );
+            }
+            for c in &self.clients {
+                self.queue
+                    .schedule(SimTime::ZERO + ROAM_POLL, Ev::RoamPoll { client: c.id });
+            }
+        }
+        // Client keepalives (staggered so they never systematically
+        // collide with each other).
+        for (ci, c) in self.clients.iter().enumerate() {
+            self.queue.schedule(
+                SimTime::ZERO + SimDuration::from_millis(1 + ci as u64 * 7),
+                Ev::Keepalive { client: c.id },
+            );
+        }
+        // Traffic.
+        let t0 = self.traffic_start;
+        for fi in 0..self.flows.len() {
+            let id = self.flows[fi].id;
+            match &mut self.flows[fi].kind {
+                FlowKind::DownUdp { src, .. } | FlowKind::UpUdp { src, .. } => {
+                    src.defer_start(t0)
+                }
+                FlowKind::DownConf { src, .. } | FlowKind::UpConf { src, .. } => {
+                    src.defer_start(t0)
+                }
+                FlowKind::DownTcp { .. } => {}
+            }
+            self.queue.schedule(t0, Ev::Traffic { flow: id });
+            if matches!(self.flows[fi].kind, FlowKind::DownConf { .. } | FlowKind::UpConf { .. }) {
+                self.queue
+                    .schedule(t0 + CONF_FEEDBACK, Ev::ConfFeedback { flow: id });
+            }
+        }
+    }
+
+    /// One-line diagnostic summary of internal counters (for examples and
+    /// debugging; not part of the experiment surface).
+    pub fn debug_summary(&self) -> String {
+        match &self.system {
+            SystemState::Wgtt { controller, aps } => {
+                let ap_stats: Vec<String> = aps
+                    .iter()
+                    .map(|a| {
+                        format!(
+                            "ap{}[ampdu={} mpdu={} ba={} fwd={} to={} stop={} start={}]",
+                            a.id.0,
+                            a.stats.ampdus_sent,
+                            a.stats.mpdus_sent,
+                            a.stats.block_acks_applied,
+                            a.stats.forwarded_ba_used,
+                            a.stats.ba_timeouts,
+                            a.stats.stops_handled,
+                            a.stats.starts_handled
+                        )
+                    })
+                    .collect();
+                format!(
+                    "ctl: started={} completed={} retx={} no_ap={} up_fwd={} up_dup={}\n{}",
+                    controller.stats.switches_started,
+                    controller.stats.switches_completed,
+                    controller.stats.stop_retransmits,
+                    controller.stats.downlink_no_ap,
+                    controller.stats.uplink_forwarded,
+                    controller.stats.uplink_duplicates,
+                    ap_stats.join("\n")
+                )
+            }
+            SystemState::Baseline { ds, aps } => {
+                let drops: u64 = aps.iter().map(|a| a.queue_drops).sum();
+                format!("ds moves={} unbound={} q_drops={}", ds.moves, ds.unbound_drops, drops)
+            }
+        }
+    }
+
+    fn trace_at(&self, now: SimTime) -> bool {
+        self.trace && now >= self.trace_from
+    }
+
+    /// Record a tcpdump-style line for every frame that completes on the
+    /// air. Read the result with [`World::frame_log`] after `run`.
+    pub fn enable_frame_log(&mut self) {
+        self.frame_log = Some(Vec::new());
+    }
+
+    /// Capture the backhaul's tunnelled data packets as a pcap (see
+    /// [`crate::pcap`]); retrieve it with [`World::backhaul_capture`].
+    pub fn enable_backhaul_capture(&mut self) {
+        self.backhaul_capture = Some(crate::pcap::PcapWriter::new());
+    }
+
+    /// The backhaul capture, if enabled.
+    pub fn backhaul_capture(&self) -> Option<&crate::pcap::PcapWriter> {
+        self.backhaul_capture.as_ref()
+    }
+
+    fn capture_backhaul(&mut self, to: &BackhaulDest, msg: &BackhaulMsg, now: SimTime) {
+        if self.backhaul_capture.is_none() {
+            return;
+        }
+        // Node numbering in the capture: APs by id, controller = 0xFE.
+        let dst = match to {
+            BackhaulDest::Controller => 0xFEu8,
+            BackhaulDest::Ap(id) => id.0 as u8,
+        };
+        let (src, kind, client, index, inner) = match msg {
+            BackhaulMsg::DownlinkData {
+                client,
+                index,
+                packet,
+            } => (
+                0xFEu8,
+                wgtt_net::wire::TunnelKind::Downlink,
+                client.0,
+                *index,
+                *packet,
+            ),
+            BackhaulMsg::UplinkData { ap, packet } => (
+                ap.0 as u8,
+                wgtt_net::wire::TunnelKind::Uplink,
+                packet.flow.0,
+                0,
+                *packet,
+            ),
+            _ => return, // control/CSI messages are not data tunnels
+        };
+        let ident = self.capture_ident;
+        self.capture_ident = self.capture_ident.wrapping_add(1);
+        let frame =
+            crate::pcap::encode_tunnel_frame(src, dst, ident, kind, client, index, &inner);
+        self.backhaul_capture
+            .as_mut()
+            .expect("checked above")
+            .record(now, frame);
+    }
+
+    /// The recorded frame log (empty unless enabled).
+    pub fn frame_log(&self) -> &[String] {
+        self.frame_log.as_deref().unwrap_or(&[])
+    }
+
+    fn log_frame(&mut self, now: SimTime, frame: &Frame) {
+        let Some(log) = self.frame_log.as_mut() else {
+            return;
+        };
+        let desc = match &frame.kind {
+            FrameKind::Ampdu { mpdus } => format!(
+                "A-MPDU {} MPDUs seq {}..{} @{:?}",
+                mpdus.len(),
+                mpdus.first().map(|m| m.seq).unwrap_or(0),
+                mpdus.last().map(|m| m.seq).unwrap_or(0),
+                frame.mcs
+            ),
+            FrameKind::BlockAck { start_seq, bitmap } => {
+                format!("BlockAck start {} bitmap {:#x}", start_seq, bitmap)
+            }
+            FrameKind::Beacon => "Beacon".to_string(),
+            FrameKind::Mgmt { step } => format!("Mgmt {step:?}"),
+            FrameKind::Data { packet, .. } => format!("Data {} B", packet.len),
+            FrameKind::Ack => "Ack".to_string(),
+        };
+        log.push(format!("{now} {} > {}: {desc}", frame.from, frame.to));
+    }
+
+    fn finalize(&mut self) {
+        // Pull per-flow observables into the report.
+        for flow in &self.flows {
+            match &flow.kind {
+                FlowKind::DownUdp { src, sink } | FlowKind::UpUdp { src, sink } => {
+                    self.report
+                        .udp_counts
+                        .insert(flow.id, (u64::from(src.emitted()), sink.received()));
+                    self.report.flow_meters.insert(flow.id, sink.meter.clone());
+                }
+                FlowKind::DownTcp {
+                    meter,
+                    delivered_trace,
+                    snd,
+                    ..
+                } => {
+                    self.report.flow_meters.insert(flow.id, meter.clone());
+                    self.report
+                        .tcp_delivery_traces
+                        .insert(flow.id, delivered_trace.clone());
+                    self.report.tcp_timeouts.insert(flow.id, snd.stats.timeouts);
+                }
+                FlowKind::DownConf { sink, .. } | FlowKind::UpConf { sink, .. } => {
+                    let secs = self.report.duration.as_secs_f64().ceil() as usize;
+                    self.report
+                        .conference_sinks
+                        .insert(flow.id, sink.fps_per_second(SimTime::ZERO, secs));
+                }
+            }
+        }
+        for c in &self.clients {
+            self.report
+                .uplink_mpdus
+                .insert(c.id, (c.up_mpdus_sent, c.up_mpdu_retx));
+            if let Some(r) = &c.roamer {
+                self.report.failed_handshakes += r.failed_handshakes;
+            }
+        }
+        match &self.system {
+            SystemState::Wgtt { controller, .. } => {
+                self.report.switches = controller.stats.switches_completed;
+                self.report.switch_durations = controller.stats.switch_durations.clone();
+                self.report.uplink_dedup = (
+                    controller.stats.uplink_forwarded,
+                    controller.stats.uplink_duplicates,
+                );
+            }
+            SystemState::Baseline { ds, .. } => {
+                self.report.switches = ds.moves;
+            }
+        }
+    }
+}
+
+include!("world_events.rs");
+include!("world_mac.rs");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::ClientPlan;
+
+    fn quick_world(system: SystemKind, spec: FlowSpec, seed: u64) -> World {
+        let cfg = TestbedConfig::paper_array()
+            .with_clients(vec![ClientPlan::drive_by(15.0)]);
+        World::new(cfg, system, vec![spec], seed)
+    }
+
+    #[test]
+    fn wgtt_udp_drive_delivers_data() {
+        let mut w = quick_world(
+            SystemKind::Wgtt(WgttConfig::default()),
+            FlowSpec::DownlinkUdp { rate_mbps: 20.0 },
+            1,
+        );
+        // The drive starts 15 m before the array; measure once in range.
+        w.run(SimDuration::from_secs(6));
+        let meter = w.report.flow_meters.get(&FlowId(0)).expect("flow exists");
+        let mbps = meter.mbps_over(SimTime::from_millis(1500), SimTime::from_secs(6));
+        assert!(mbps > 3.0, "WGTT UDP goodput only {mbps} Mbit/s");
+    }
+
+    #[test]
+    fn wgtt_switches_between_aps_during_drive() {
+        let mut w = quick_world(
+            SystemKind::Wgtt(WgttConfig::default()),
+            FlowSpec::DownlinkUdp { rate_mbps: 20.0 },
+            2,
+        );
+        w.run(SimDuration::from_secs(5));
+        assert!(
+            w.report.switches >= 3,
+            "only {} switches over a 5 s drive",
+            w.report.switches
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut w = quick_world(
+                SystemKind::Wgtt(WgttConfig::default()),
+                FlowSpec::DownlinkUdp { rate_mbps: 20.0 },
+                seed,
+            );
+            w.run(SimDuration::from_secs(2));
+            (
+                w.report.switches,
+                w.report
+                    .flow_meters
+                    .get(&FlowId(0))
+                    .map(|m| m.total_bytes())
+                    .unwrap_or(0),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn baseline_udp_also_delivers_some() {
+        let mut w = quick_world(
+            SystemKind::Enhanced80211r,
+            FlowSpec::DownlinkUdp { rate_mbps: 20.0 },
+            3,
+        );
+        w.run(SimDuration::from_secs(3));
+        let meter = w.report.flow_meters.get(&FlowId(0)).expect("flow exists");
+        assert!(meter.total_bytes() > 0, "baseline must deliver something");
+    }
+
+    // The WGTT-vs-baseline throughput comparison lives in
+    // tests/integration_baseline.rs with full-transit windows and seed
+    // averaging — a single short window is too noisy to assert on.
+
+    #[test]
+    fn tcp_flow_makes_progress_under_wgtt() {
+        let mut w = quick_world(
+            SystemKind::Wgtt(WgttConfig::default()),
+            FlowSpec::DownlinkTcpBulk,
+            5,
+        );
+        // Start the flow once the client is entering coverage, as the
+        // paper's experiments do.
+        w.traffic_start = SimTime::from_millis(1500);
+        w.run(SimDuration::from_secs(5));
+        let meter = w.report.flow_meters.get(&FlowId(0)).expect("flow exists");
+        let mbps = meter.mbps_over(SimTime::from_millis(1500), SimTime::from_secs(5));
+        assert!(mbps > 1.0, "TCP goodput only {mbps} Mbit/s");
+    }
+
+    #[test]
+    fn uplink_udp_deduplicated_at_controller() {
+        let mut w = quick_world(
+            SystemKind::Wgtt(WgttConfig::default()),
+            FlowSpec::UplinkUdp { rate_mbps: 10.0 },
+            6,
+        );
+        w.run(SimDuration::from_secs(3));
+        let (forwarded, dups) = w.report.uplink_dedup;
+        assert!(forwarded > 100, "uplink forwarded only {forwarded}");
+        assert!(dups > 0, "overlapping coverage must produce duplicates");
+        // And the sink saw no duplicate deliveries.
+        let (_sent, received) = w.report.udp_counts[&FlowId(0)];
+        assert!(received <= forwarded);
+    }
+}

@@ -1,0 +1,564 @@
+// Event dispatch, backhaul plumbing, and flow routing for `World`.
+// Textually included by world.rs so the impl stays in one module.
+
+impl World {
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Backhaul { to, msg } => self.on_backhaul(to, msg, now),
+            Ev::CtlPoll => self.on_ctl_poll(now),
+            Ev::ApTxStart { ap } => self.on_ap_tx_start(ap, now),
+            Ev::ClientTxStart { client } => self.on_client_tx_start(client, now),
+            Ev::TxEnd { tx, frame } => self.on_tx_end(tx, frame, now),
+            Ev::BaResponse {
+                from,
+                to,
+                client,
+                start_seq,
+                bitmap,
+            } => self.on_ba_response(from, to, client, start_seq, bitmap, now),
+            Ev::MgmtResponse { from, to, step } => self.on_mgmt_response(from, to, step, now),
+            Ev::BaTimeout { ap, client } => self.on_ap_ba_timeout(ap, client, now),
+            Ev::ClientBaTimeout { client } => self.on_client_ba_timeout(client, now),
+            Ev::Traffic { flow } => self.on_traffic(flow, now),
+            Ev::TcpTimer { flow } => self.on_tcp_timer(flow, now),
+            Ev::Beacon { ap, retry } => self.on_beacon(ap, retry, now),
+            Ev::RoamPoll { client } => self.on_roam_poll(client, now),
+            Ev::Mobility => self.on_mobility(now),
+            Ev::ConfFeedback { flow } => self.on_conf_feedback(flow, now),
+            Ev::SampleState => self.on_sample(now),
+            Ev::Keepalive { client } => self.on_keepalive(client, now),
+            Ev::MgmtTx {
+                from,
+                to,
+                step,
+                attempt,
+            } => self.on_mgmt_tx(from, to, step, attempt, now),
+        }
+    }
+
+    fn on_keepalive(&mut self, client: NodeId, now: SimTime) {
+        self.queue
+            .schedule(now + KEEPALIVE_INTERVAL, Ev::Keepalive { client });
+        if self.medium.is_busy_for(client, now)
+            || self.medium.own_tx_until(client, now) > now
+        {
+            return; // skip this beat; the next one is 50 ms away
+        }
+        let target = self.serving_of(client).unwrap_or(NodeId(0));
+        let frame = Frame {
+            from: client,
+            to: target,
+            kind: FrameKind::Data {
+                packet: PacketRef {
+                    id: KEEPALIVE_PKT_ID,
+                    len: 40,
+                },
+                seq: 0,
+            },
+            mcs: Mcs::Mcs0,
+        };
+        let dur = frame_airtime(&frame);
+        let tx = self.medium.begin_tx(client, now, dur);
+        self.queue.schedule(now + dur, Ev::TxEnd { tx, frame });
+    }
+
+    // --------------------------------------------------------- backhaul
+
+    /// Queue `msg` for delivery over the Ethernet backhaul, applying
+    /// latency, the switching protocol's processing delays, and the
+    /// control-loss probability.
+    fn backhaul_send(&mut self, to: BackhaulDest, msg: BackhaulMsg, now: SimTime) {
+        if msg.is_control() && self.rng.chance(self.wgtt_cfg.control_loss_prob) {
+            return; // lost in the Click forwarding path; timeouts recover
+        }
+        self.capture_backhaul(&to, &msg, now);
+        let mut delay = self.wgtt_cfg.backhaul_latency;
+        let proc = match &msg {
+            BackhaulMsg::Stop { .. } => Some(self.wgtt_cfg.stop_processing_mean),
+            BackhaulMsg::Start { .. } => Some(self.wgtt_cfg.start_processing_mean),
+            _ => None,
+        };
+        if let Some(mean) = proc {
+            let jitter = self
+                .rng
+                .normal_with(mean.as_secs_f64(), self.wgtt_cfg.processing_std.as_secs_f64())
+                .max(0.0005);
+            delay += SimDuration::from_secs_f64(jitter);
+        }
+        self.queue.schedule(now + delay, Ev::Backhaul { to, msg });
+    }
+
+    fn dispatch_controller_actions(&mut self, actions: Vec<ControllerAction>, now: SimTime) {
+        for a in actions {
+            match a {
+                ControllerAction::Send { ap, msg } => {
+                    self.backhaul_send(BackhaulDest::Ap(ap), msg, now);
+                }
+                ControllerAction::ToWan { packet } => self.on_wan_uplink(packet, now),
+            }
+        }
+        // A switch may have been started: make sure its timeout is polled.
+        if let SystemState::Wgtt { controller, .. } = &self.system {
+            if let Some(t) = controller.next_timeout() {
+                self.queue.schedule(t.max(now), Ev::CtlPoll);
+            }
+        }
+    }
+
+    fn on_backhaul(&mut self, to: BackhaulDest, msg: BackhaulMsg, now: SimTime) {
+        match to {
+            BackhaulDest::Controller => {
+                let SystemState::Wgtt { controller, .. } = &mut self.system else {
+                    return;
+                };
+                let actions = controller.on_msg(msg, now);
+                self.dispatch_controller_actions(actions, now);
+            }
+            BackhaulDest::Ap(ap_id) => {
+                let SystemState::Wgtt { aps, .. } = &mut self.system else {
+                    return;
+                };
+                let ai = ap_id.0 as usize;
+                let kick_client = match &msg {
+                    BackhaulMsg::DownlinkData { client, .. }
+                    | BackhaulMsg::Start { client, .. }
+                    | BackhaulMsg::BlockAckForward { client, .. } => Some(*client),
+                    _ => None,
+                };
+                let is_fwd = matches!(&msg, BackhaulMsg::BlockAckForward { .. });
+                let is_dl = matches!(&msg, BackhaulMsg::DownlinkData { .. });
+                let actions = aps[ai].on_backhaul(msg, now);
+                if self.trace_at(now) {
+                    if let Some(client) = kick_client {
+                        let inf = {
+                            let SystemState::Wgtt { aps, .. } = &self.system else {
+                                unreachable!()
+                            };
+                            aps[ai].has_in_flight(client)
+                        };
+                        eprintln!(
+                            "{now} backhaul->ap{} fwd={is_fwd} dl={is_dl} pend={} peer={:?} inflight={inf}",
+                            ai, self.ap_exchange_pending[ai], self.ap_current_peer[ai]
+                        );
+                    }
+                }
+                // A forwarded Block ACK may have resolved the pending
+                // exchange.
+                if let Some(client) = kick_client {
+                    if self.ap_exchange_pending[ai]
+                        && self.ap_current_peer[ai] == Some(client)
+                        && !{
+                            let SystemState::Wgtt { aps, .. } = &self.system else {
+                                unreachable!()
+                            };
+                            aps[ai].has_in_flight(client)
+                        }
+                    {
+                        self.resolve_ap_exchange(ap_id, now);
+                    }
+                }
+                for act in actions {
+                    self.backhaul_send(act.to, act.msg, now);
+                }
+                self.kick_ap(ap_id, now);
+            }
+        }
+    }
+
+    fn on_ctl_poll(&mut self, now: SimTime) {
+        let SystemState::Wgtt { controller, .. } = &mut self.system else {
+            return;
+        };
+        let actions = controller.poll(now);
+        self.dispatch_controller_actions(actions, now);
+    }
+
+    // --------------------------------------------------------- transport
+
+    /// Send one downlink packet into the system (controller fan-out or
+    /// baseline distribution).
+    fn route_downlink(&mut self, client: NodeId, packet: Packet, now: SimTime) {
+        self.store_packet(packet);
+        match &mut self.system {
+            SystemState::Wgtt { controller, .. } => {
+                let actions = controller.on_downlink(client, packet, now);
+                self.dispatch_controller_actions(actions, now);
+            }
+            SystemState::Baseline { ds, aps } => {
+                if let Some(ap) = ds.route(client) {
+                    aps[ap.0 as usize].enqueue_downlink(client, packet);
+                    self.kick_ap(ap, now);
+                }
+            }
+        }
+    }
+
+    /// Queue an uplink packet at the client's MAC.
+    fn enqueue_uplink(&mut self, client: NodeId, packet: Packet, now: SimTime) {
+        self.store_packet(packet);
+        let ci = self.client_index(client);
+        let c = &mut self.clients[ci];
+        let seq = c.up_next_seq;
+        c.up_next_seq = seq_next(seq);
+        c.up_fresh.push_back(Mpdu {
+            seq,
+            packet: PacketRef {
+                id: packet.id,
+                len: packet.len,
+            },
+            retries: 0,
+        });
+        self.kick_client(client, now);
+    }
+
+    fn on_traffic(&mut self, flow_id: FlowId, now: SimTime) {
+        let fi = flow_id.0 as usize;
+        let client = self.flows[fi].client;
+        let client_ip = self.clients[self.client_index(client)].ip;
+        match &mut self.flows[fi].kind {
+            FlowKind::DownUdp { src, .. } => {
+                let pkts = src.poll(now, &mut self.factory);
+                let next = src.next_due();
+                for p in pkts {
+                    self.route_downlink(client, p, now);
+                }
+                self.queue.schedule(next, Ev::Traffic { flow: flow_id });
+            }
+            FlowKind::UpUdp { src, .. } => {
+                let pkts = src.poll(now, &mut self.factory);
+                let next = src.next_due();
+                for p in pkts {
+                    self.enqueue_uplink(client, p, now);
+                }
+                self.queue.schedule(next, Ev::Traffic { flow: flow_id });
+            }
+            FlowKind::DownTcp { snd, .. } => {
+                // One-shot bootstrap: emit the initial window.
+                let segs = snd.poll_send(now);
+                let deadline = snd.rto_deadline();
+                self.emit_tcp_segments(flow_id, client, client_ip, segs, now);
+                if let Some(d) = deadline {
+                    self.queue.schedule(d, Ev::TcpTimer { flow: flow_id });
+                }
+            }
+            FlowKind::DownConf {
+                src,
+                asm,
+                next_seq,
+                ..
+            } => {
+                let frames = src.poll(now);
+                let mut pkts = Vec::new();
+                for f in frames {
+                    let chunks = f.bytes.div_ceil(CONF_CHUNK);
+                    asm.pending.insert(f.id, (chunks, 0));
+                    asm.window_sent += 1;
+                    for _ in 0..chunks {
+                        let seq = *next_seq;
+                        *next_seq += 1;
+                        asm.seq_to_frame.insert(seq, (f.id, chunks));
+                        pkts.push(self.factory.udp(
+                            flow_id,
+                            SERVER_IP,
+                            client_ip,
+                            seq,
+                            (CONF_CHUNK + 28) as u16,
+                            now,
+                        ));
+                    }
+                }
+                for p in pkts {
+                    self.route_downlink(client, p, now);
+                }
+                self.queue.schedule(
+                    now + SimDuration::from_secs_f64(1.0 / 30.0),
+                    Ev::Traffic { flow: flow_id },
+                );
+            }
+            FlowKind::UpConf {
+                src,
+                asm,
+                next_seq,
+                ..
+            } => {
+                let frames = src.poll(now);
+                let mut pkts = Vec::new();
+                for f in frames {
+                    let chunks = f.bytes.div_ceil(CONF_CHUNK);
+                    asm.pending.insert(f.id, (chunks, 0));
+                    asm.window_sent += 1;
+                    for _ in 0..chunks {
+                        let seq = *next_seq;
+                        *next_seq += 1;
+                        asm.seq_to_frame.insert(seq, (f.id, chunks));
+                        pkts.push(self.factory.udp(
+                            flow_id,
+                            client_ip,
+                            SERVER_IP,
+                            seq,
+                            (CONF_CHUNK + 28) as u16,
+                            now,
+                        ));
+                    }
+                }
+                for p in pkts {
+                    self.enqueue_uplink(client, p, now);
+                }
+                self.queue.schedule(
+                    now + SimDuration::from_secs_f64(1.0 / 30.0),
+                    Ev::Traffic { flow: flow_id },
+                );
+            }
+        }
+    }
+
+    fn emit_tcp_segments(
+        &mut self,
+        flow: FlowId,
+        client: NodeId,
+        client_ip: Ipv4Addr,
+        segs: Vec<wgtt_net::tcp::Segment>,
+        now: SimTime,
+    ) {
+        for s in segs {
+            let p = self.factory.tcp(
+                flow,
+                SERVER_IP,
+                client_ip,
+                s.seq as u32,
+                s.len as u32,
+                0,
+                false,
+                now,
+            );
+            self.route_downlink(client, p, now);
+        }
+    }
+
+    fn on_tcp_timer(&mut self, flow_id: FlowId, now: SimTime) {
+        let fi = flow_id.0 as usize;
+        let client = self.flows[fi].client;
+        let client_ip = self.clients[self.client_index(client)].ip;
+        let FlowKind::DownTcp { snd, .. } = &mut self.flows[fi].kind else {
+            return;
+        };
+        let Some(d) = snd.rto_deadline() else { return };
+        if d > now {
+            // Stale timer; a fresher one is (or will be) scheduled.
+            self.queue.schedule(d, Ev::TcpTimer { flow: flow_id });
+            return;
+        }
+        snd.on_rto(now);
+        let segs = snd.poll_send(now);
+        let next = snd.rto_deadline();
+        self.emit_tcp_segments(flow_id, client, client_ip, segs, now);
+        if let Some(d) = next {
+            self.queue.schedule(d.max(now), Ev::TcpTimer { flow: flow_id });
+        }
+    }
+
+    /// A de-duplicated uplink packet reached the WAN side (server).
+    fn on_wan_uplink(&mut self, packet: Packet, now: SimTime) {
+        let fi = packet.flow.0 as usize;
+        if fi >= self.flows.len() {
+            return;
+        }
+        let client = self.flows[fi].client;
+        let client_ip = self.clients[self.client_index(client)].ip;
+        match &mut self.flows[fi].kind {
+            FlowKind::UpUdp { sink, .. } => sink.on_packet(&packet, now),
+            FlowKind::DownTcp { snd, .. } => {
+                if let Transport::Tcp {
+                    ack_no, is_ack: true, ..
+                } = packet.transport
+                {
+                    snd.on_ack(u64::from(ack_no), now);
+                    let segs = snd.poll_send(now);
+                    let deadline = snd.rto_deadline();
+                    self.emit_tcp_segments(packet.flow, client, client_ip, segs, now);
+                    if let Some(d) = deadline {
+                        self.queue
+                            .schedule(d.max(now), Ev::TcpTimer { flow: packet.flow });
+                    }
+                }
+            }
+            FlowKind::UpConf { asm, sink, .. } => {
+                if let Transport::Udp { seq } = packet.transport {
+                    if let Some(&(frame, _chunks)) = asm.seq_to_frame.get(&seq) {
+                        if let Some(e) = asm.pending.get_mut(&frame) {
+                            e.1 += 1;
+                            if e.1 >= e.0 {
+                                asm.pending.remove(&frame);
+                                asm.window_done += 1;
+                                sink.on_frame_complete(now);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A downlink packet was decoded (and MAC-deduplicated) at the client.
+    fn deliver_to_client(&mut self, client: NodeId, pref: PacketRef, now: SimTime) {
+        let packet = self.packet_by_ref(pref);
+        let fi = packet.flow.0 as usize;
+        if fi >= self.flows.len() {
+            return;
+        }
+        let client_ip = self.clients[self.client_index(client)].ip;
+        let mut ack_to_send: Option<Packet> = None;
+        match &mut self.flows[fi].kind {
+            FlowKind::DownUdp { sink, .. } => sink.on_packet(&packet, now),
+            FlowKind::DownTcp {
+                rcv,
+                meter,
+                delivered_trace,
+                limit,
+                ..
+            } => {
+                if let Transport::Tcp { seq, payload, .. } = packet.transport {
+                    let before = rcv.delivered;
+                    let ack_no = rcv.on_segment(u64::from(seq), u64::from(payload));
+                    let newly = rcv.delivered - before;
+                    if newly > 0 {
+                        meter.record(now, newly);
+                        delivered_trace.push((now, newly));
+                        if let Some(lim) = limit {
+                            if rcv.delivered >= *lim {
+                                self.report
+                                    .tcp_completion
+                                    .entry(packet.flow)
+                                    .or_insert(now);
+                            }
+                        }
+                    }
+                    ack_to_send = Some(self.factory.tcp(
+                        packet.flow,
+                        client_ip,
+                        SERVER_IP,
+                        0,
+                        0,
+                        ack_no as u32,
+                        true,
+                        now,
+                    ));
+                }
+            }
+            FlowKind::DownConf { asm, sink, .. } => {
+                if let Transport::Udp { seq } = packet.transport {
+                    if let Some(&(frame, _)) = asm.seq_to_frame.get(&seq) {
+                        if let Some(e) = asm.pending.get_mut(&frame) {
+                            e.1 += 1;
+                            if e.1 >= e.0 {
+                                asm.pending.remove(&frame);
+                                asm.window_done += 1;
+                                sink.on_frame_complete(now);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        if let Some(ack) = ack_to_send {
+            self.enqueue_uplink(client, ack, now);
+        }
+    }
+
+    fn on_conf_feedback(&mut self, flow_id: FlowId, now: SimTime) {
+        let fi = flow_id.0 as usize;
+        match &mut self.flows[fi].kind {
+            FlowKind::DownConf { src, asm, .. } | FlowKind::UpConf { src, asm, .. } => {
+                let sent = asm.window_sent;
+                let done = asm.window_done;
+                if sent > 0 {
+                    let loss = 1.0 - (done.min(sent) as f64 / sent as f64);
+                    src.on_loss_feedback(loss);
+                }
+                asm.window_sent = 0;
+                asm.window_done = 0;
+            }
+            _ => return,
+        }
+        self.queue
+            .schedule(now + CONF_FEEDBACK, Ev::ConfFeedback { flow: flow_id });
+    }
+
+    // -------------------------------------------------------- monitoring
+
+    fn serving_of(&self, client: NodeId) -> Option<NodeId> {
+        match &self.system {
+            SystemState::Wgtt { controller, .. } => controller.serving(client),
+            SystemState::Baseline { .. } => self.clients[self.client_index(client)]
+                .roamer
+                .as_ref()
+                .and_then(|r| r.associated()),
+        }
+    }
+
+    fn on_mobility(&mut self, now: SimTime) {
+        let updates: Vec<(NodeId, wgtt_radio::Position)> = self
+            .clients
+            .iter()
+            .map(|c| (c.id, c.plan.position_at(now)))
+            .collect();
+        for (id, pos) in updates {
+            self.medium.set_position(id, pos);
+        }
+        self.queue.schedule(now + MOBILITY_TICK, Ev::Mobility);
+    }
+
+    fn on_sample(&mut self, now: SimTime) {
+        let client_ids: Vec<NodeId> = self.clients.iter().map(|c| c.id).collect();
+        let n_aps = self.cfg.ap_x.len() as u32;
+        for client in client_ids {
+            // Serving-AP trace.
+            let serving = self.serving_of(client);
+            // Multi-channel deployments: the client's radio follows its
+            // serving AP's channel (retune modelled at tick granularity).
+            if let Some(ap) = serving {
+                let ch = self.medium.channel_of(ap);
+                if self.medium.channel_of(client) != ch {
+                    self.medium.set_channel(client, ch);
+                }
+            }
+            if let Some(ap) = serving {
+                self.report
+                    .serving_series
+                    .entry(client)
+                    .or_default()
+                    .record(now, ap.0 as f64 + 1.0);
+            }
+            // ESNR traces + oracle accuracy.
+            let mut best: Option<(NodeId, f64)> = None;
+            for ai in 0..n_aps {
+                let ap = NodeId(ai);
+                let e = self.esnr_now(ap, client, now);
+                self.report
+                    .esnr_traces
+                    .entry((client, ap))
+                    .or_default()
+                    .record(now, e);
+                if best.is_none_or(|(_, be)| e > be) {
+                    best = Some((ap, e));
+                }
+            }
+            if let (Some(s), Some((_oracle, oracle_esnr))) = (serving, best) {
+                // Only count instants where any AP is actually usable; the
+                // serving AP counts as optimal when it is within 1 dB of
+                // the instantaneous best (an indistinguishable tie at CSI
+                // measurement precision).
+                if oracle_esnr > 2.0 {
+                    self.report.accuracy_total += SAMPLE_TICK.as_secs_f64();
+                    let serving_esnr = self.esnr_now(s, client, now);
+                    if serving_esnr >= oracle_esnr - 1.0 {
+                        self.report.accuracy_hits += SAMPLE_TICK.as_secs_f64();
+                    }
+                }
+            }
+        }
+        self.queue.schedule(now + SAMPLE_TICK, Ev::SampleState);
+    }
+}

@@ -1,0 +1,745 @@
+// The MAC pipeline for `World`: contention, A-MPDU exchanges, Block ACK
+// responses/forwarding, beacons, and baseline management frames.
+// Textually included by world.rs.
+
+/// Preamble-detection lag: a transmission younger than this is invisible
+/// to carrier sense, allowing SIFS-spaced responses to collide.
+const SENSE_LAG: SimDuration = SimDuration::from_micros(4);
+
+impl World {
+    // ------------------------------------------------------ AP pipeline
+
+    fn ap_has_work(&self, ai: usize) -> bool {
+        match &self.system {
+            SystemState::Wgtt { aps, .. } => !aps[ai].tx_ready_clients().is_empty(),
+            SystemState::Baseline { aps, .. } => !aps[ai].tx_ready_clients().is_empty(),
+        }
+    }
+
+    fn kick_ap(&mut self, ap: NodeId, now: SimTime) {
+        let ai = ap.0 as usize;
+        if self.trace_at(now) {
+            eprintln!(
+                "{now} kick_ap {ap} sched={} pend={} work={}",
+                self.ap_tx_scheduled[ai],
+                self.ap_exchange_pending[ai],
+                self.ap_has_work(ai)
+            );
+        }
+        if self.ap_tx_scheduled[ai] || self.ap_exchange_pending[ai] || !self.ap_has_work(ai) {
+            return;
+        }
+        let at = self
+            .medium
+            .access_time(ap, now, self.ap_backoff[ai], &mut self.rng);
+        self.ap_tx_scheduled[ai] = true;
+        self.queue.schedule(at, Ev::ApTxStart { ap });
+    }
+
+    fn on_ap_tx_start(&mut self, ap: NodeId, now: SimTime) {
+        let ai = ap.0 as usize;
+        self.ap_tx_scheduled[ai] = false;
+        if self.ap_exchange_pending[ai] {
+            return;
+        }
+        if self.medium.is_busy_for(ap, now) || self.medium.own_tx_until(ap, now) > now {
+            // Someone grabbed the channel during our backoff (or our own
+            // previous frame is still on the air): re-contend.
+            self.kick_ap(ap, now);
+            return;
+        }
+        let built = match &mut self.system {
+            SystemState::Wgtt { aps, .. } => aps[ai]
+                .next_tx_client()
+                .and_then(|c| aps[ai].build_txop(c, now).map(|(m, r)| (c, m, r))),
+            SystemState::Baseline { aps, .. } => aps[ai]
+                .next_tx_client()
+                .and_then(|c| aps[ai].build_txop(c).map(|(m, r)| (c, m, r))),
+        };
+        if self.trace_at(now) {
+            eprintln!("{now} ap_tx_start {ap} built={}", built.is_some());
+        }
+        let Some((client, mpdus, mcs)) = built else {
+            return;
+        };
+        let frame = Frame {
+            from: ap,
+            to: client,
+            kind: FrameKind::Ampdu { mpdus },
+            mcs,
+        };
+        let dur = frame_airtime(&frame);
+        if self.trace_at(now) {
+            eprintln!("{now} ap_begin_tx {ap} dur={dur}");
+        }
+        let tx = self.medium.begin_tx(ap, now, dur);
+        self.ap_exchange_pending[ai] = true;
+        self.ap_current_peer[ai] = Some(client);
+        self.queue.schedule(now + dur, Ev::TxEnd { tx, frame });
+    }
+
+    fn resolve_ap_exchange(&mut self, ap: NodeId, now: SimTime) {
+        let ai = ap.0 as usize;
+        if self.trace_at(now) {
+            eprintln!("{now} resolve_ap_exchange {ap}");
+        }
+        if let Some(ev) = self.ap_ba_timeout_ev[ai].take() {
+            self.queue.cancel(ev);
+        }
+        self.ap_exchange_pending[ai] = false;
+        self.ap_current_peer[ai] = None;
+        self.ap_backoff[ai] = 0;
+        self.kick_ap(ap, now);
+    }
+
+    fn on_ap_ba_timeout(&mut self, ap: NodeId, client: NodeId, now: SimTime) {
+        let ai = ap.0 as usize;
+        if self.trace_at(now) {
+            eprintln!("{now} ap_ba_timeout {ap}");
+        }
+        self.ap_ba_timeout_ev[ai] = None;
+        match &mut self.system {
+            SystemState::Wgtt { aps, .. } => {
+                aps[ai].on_ba_timeout(client);
+            }
+            SystemState::Baseline { aps, .. } => {
+                aps[ai].on_ba_timeout(client);
+            }
+        }
+        self.ap_exchange_pending[ai] = false;
+        self.ap_current_peer[ai] = None;
+        self.ap_backoff[ai] = (self.ap_backoff[ai] + 1).min(6);
+        self.kick_ap(ap, now);
+    }
+
+    // -------------------------------------------------- client pipeline
+
+    fn kick_client(&mut self, client: NodeId, now: SimTime) {
+        let ci = self.client_index(client);
+        let c = &self.clients[ci];
+        if c.tx_scheduled
+            || c.exchange_pending
+            || c.up_ba.has_in_flight()
+            || (c.up_fresh.is_empty() && c.up_retries.is_empty())
+        {
+            return;
+        }
+        let stage = c.backoff_stage;
+        let at = self.medium.access_time(client, now, stage, &mut self.rng);
+        self.clients[ci].tx_scheduled = true;
+        self.queue.schedule(at, Ev::ClientTxStart { client });
+    }
+
+    fn on_client_tx_start(&mut self, client: NodeId, now: SimTime) {
+        let ci = self.client_index(client);
+        self.clients[ci].tx_scheduled = false;
+        if self.clients[ci].exchange_pending {
+            return;
+        }
+        if self.medium.is_busy_for(client, now)
+            || self.medium.own_tx_until(client, now) > now
+        {
+            self.kick_client(client, now);
+            return;
+        }
+        let target = self.serving_of(client).unwrap_or(NodeId(0));
+        let c = &mut self.clients[ci];
+        let policy = wgtt_mac::aggregation::AggregationPolicy::default();
+        let mcs = c.up_rate.select();
+        let mpdus = wgtt_mac::aggregation::build_ampdu(
+            &mut c.up_retries,
+            &mut c.up_fresh,
+            &policy,
+            mcs,
+        );
+        if mpdus.is_empty() {
+            return;
+        }
+        c.up_in_flight_meta = Some((mcs, mpdus.len()));
+        c.up_ba.on_ampdu_sent(mpdus.clone());
+        c.exchange_pending = true;
+        let frame = Frame {
+            from: client,
+            to: target,
+            kind: FrameKind::Ampdu { mpdus },
+            mcs,
+        };
+        let dur = frame_airtime(&frame);
+        let tx = self.medium.begin_tx(client, now, dur);
+        self.queue.schedule(now + dur, Ev::TxEnd { tx, frame });
+    }
+
+    fn resolve_client_exchange(&mut self, client: NodeId, now: SimTime) {
+        let ci = self.client_index(client);
+        if let Some(ev) = self.clients[ci].ba_timeout_ev.take() {
+            self.queue.cancel(ev);
+        }
+        self.clients[ci].exchange_pending = false;
+        self.clients[ci].backoff_stage = 0;
+        self.kick_client(client, now);
+    }
+
+    fn on_client_ba_timeout(&mut self, client: NodeId, now: SimTime) {
+        let ci = self.client_index(client);
+        self.clients[ci].ba_timeout_ev = None;
+        let c = &mut self.clients[ci];
+        if c.up_ba.has_in_flight() {
+            let r = c.up_ba.on_ba_timeout();
+            if let Some((mcs, attempted)) = c.up_in_flight_meta.take() {
+                c.up_rate.on_feedback(mcs, attempted, 0);
+            }
+            c.up_retries.extend(r.to_retry.iter().copied());
+        }
+        c.exchange_pending = false;
+        c.backoff_stage = (c.backoff_stage + 1).min(6);
+        self.kick_client(client, now);
+    }
+
+    // ------------------------------------------------------ frame ends
+
+    fn on_tx_end(&mut self, tx: TxId, frame: Frame, now: SimTime) {
+        self.log_frame(now, &frame);
+        match frame.kind {
+            FrameKind::Ampdu { ref mpdus } if self.is_ap(frame.from) => {
+                let mpdus = mpdus.clone();
+                self.end_downlink_data(tx, frame.from, frame.to, mpdus, frame.mcs, now);
+            }
+            FrameKind::Ampdu { ref mpdus } => {
+                let mpdus = mpdus.clone();
+                self.end_uplink_data(tx, frame.from, mpdus, frame.mcs, now);
+            }
+            FrameKind::BlockAck { start_seq, bitmap } if self.is_ap(frame.from) => {
+                self.end_ap_blockack(tx, frame.from, frame.to, start_seq, bitmap, now);
+            }
+            FrameKind::BlockAck { start_seq, bitmap } => {
+                self.end_client_blockack(tx, frame.from, frame.to, start_seq, bitmap, now);
+            }
+            FrameKind::Beacon => self.end_beacon(tx, frame.from, now),
+            FrameKind::Mgmt { step } => self.end_mgmt(tx, frame.from, frame.to, step, now),
+            FrameKind::Data { packet, .. } if !self.is_ap(frame.from) => {
+                if packet.id == KEEPALIVE_PKT_ID {
+                    self.end_keepalive(tx, frame.from, now);
+                }
+            }
+            FrameKind::Data { .. } | FrameKind::Ack => {}
+        }
+    }
+
+    /// A keepalive finished: every decoding AP reports CSI (WGTT). The
+    /// baseline's client-side roamer works from beacons instead.
+    fn end_keepalive(&mut self, tx: TxId, client: NodeId, now: SimTime) {
+        if !matches!(self.system, SystemState::Wgtt { .. }) {
+            return;
+        }
+        let n_aps = self.cfg.ap_x.len() as u32;
+        for ai in 0..n_aps {
+            let ap = NodeId(ai);
+            if !self.medium.same_channel(client, ap) || !self.rx_survives(tx, client, ap, now)
+            {
+                continue;
+            }
+            if !self.roll_mpdu(ap, client, now, Mcs::Mcs0, 40) {
+                continue;
+            }
+            let esnr = self.measured_esnr(ap, client, now);
+            let csi = {
+                let SystemState::Wgtt { aps, .. } = &self.system else {
+                    unreachable!()
+                };
+                aps[ai as usize].csi_report(client, esnr, now)
+            };
+            self.backhaul_send(csi.to, csi.msg, now);
+        }
+    }
+
+    /// A downlink A-MPDU finished: roll per-MPDU delivery at the client,
+    /// deliver new packets, and arm the Block ACK response/timeout pair.
+    fn end_downlink_data(
+        &mut self,
+        tx: TxId,
+        ap: NodeId,
+        client: NodeId,
+        mpdus: Vec<Mpdu>,
+        mcs: Mcs,
+        now: SimTime,
+    ) {
+        self.report
+            .bitrate_series
+            .entry(client)
+            .or_default()
+            .record(mcs.rate_mbps());
+        let survives =
+            self.medium.same_channel(ap, client) && self.rx_survives(tx, ap, client, now);
+        // BAR semantics: when the whole aggregate lies in the stale half
+        // of the receive window (the sender's sequence space jumped after
+        // an overload drop or fan-out absence), re-anchor the window at
+        // the aggregate's first sequence number.
+        {
+            let ci = self.client_index(client);
+            let key = self.ba_rx_key(ap);
+            let win = self.clients[ci].ba_rx.entry(key).or_default();
+            if !mpdus.is_empty() && mpdus.iter().all(|m| win.is_behind(m.seq)) {
+                win.reanchor(mpdus[0].seq);
+            }
+        }
+        let mut decoded_any = false;
+        for m in &mpdus {
+            let ok = survives && self.roll_mpdu(ap, client, now, mcs, m.packet.len);
+            if !ok {
+                continue;
+            }
+            decoded_any = true;
+            let ci = self.client_index(client);
+            let key = self.ba_rx_key(ap);
+            if self.clients[ci]
+                .ba_rx
+                .entry(key)
+                .or_default()
+                .on_mpdu(m.seq)
+            {
+                self.deliver_to_client(client, m.packet, now);
+            }
+        }
+        if self.trace_at(now) {
+            eprintln!(
+                "{now} dl_data_end ap={ap} n={} mcs={mcs:?} decoded_any={decoded_any}",
+                mpdus.len()
+            );
+        }
+        if decoded_any {
+            self.report.dbg_ba.0 += 1;
+            let ci = self.client_index(client);
+            let key = self.ba_rx_key(ap);
+            let (start_seq, bitmap) = self.clients[ci]
+                .ba_rx
+                .entry(key)
+                .or_default()
+                .block_ack();
+            let jitter = SimDuration::from_micros(SIFS_US + self.rng.below(16));
+            self.queue.schedule(
+                now + jitter,
+                Ev::BaResponse {
+                    from: client,
+                    to: ap,
+                    client,
+                    start_seq,
+                    bitmap,
+                },
+            );
+        }
+        let ev = self
+            .queue
+            .schedule(now + BA_WAIT, Ev::BaTimeout { ap, client });
+        self.ap_ba_timeout_ev[ap.0 as usize] = Some(ev);
+    }
+
+    /// An uplink A-MPDU finished: every AP rolls reception independently;
+    /// decoders tunnel packets + CSI (WGTT) or deliver to the server
+    /// (baseline, associated AP only) and respond with Block ACKs.
+    fn end_uplink_data(
+        &mut self,
+        tx: TxId,
+        client: NodeId,
+        mpdus: Vec<Mpdu>,
+        mcs: Mcs,
+        now: SimTime,
+    ) {
+        let ci = self.client_index(client);
+        self.clients[ci].up_mpdus_sent += mpdus.len() as u64;
+        self.clients[ci].up_mpdu_retx +=
+            mpdus.iter().filter(|m| m.retries > 0).count() as u64;
+        let n_aps = self.cfg.ap_x.len() as u32;
+        let wgtt = matches!(self.system, SystemState::Wgtt { .. });
+        let assoc_ap = match &self.system {
+            SystemState::Baseline { ds, .. } => ds.binding(client),
+            _ => None,
+        };
+        for ai in 0..n_aps {
+            let ap = NodeId(ai);
+            let aui = ai as usize;
+            if !self.medium.same_channel(client, ap) || !self.rx_survives(tx, client, ap, now)
+            {
+                continue;
+            }
+            let mut decoded: Vec<Mpdu> = Vec::new();
+            for m in &mpdus {
+                if self.roll_mpdu(ap, client, now, mcs, m.packet.len) {
+                    decoded.push(*m);
+                }
+            }
+            if self.trace_at(now) {
+                eprintln!("{now} ul_end ap={ap} decoded={}/{}", decoded.len(), mpdus.len());
+            }
+            if decoded.is_empty() {
+                continue;
+            }
+            // Per-AP receive-window dedup + bitmap construction (with the
+            // same BAR re-anchor rule as the downlink direction).
+            let mut new_refs: Vec<PacketRef> = Vec::new();
+            {
+                let win = self.ap_up_rx.entry((ap, client)).or_default();
+                if !decoded.is_empty() && decoded.iter().all(|m| win.is_behind(m.seq)) {
+                    win.reanchor(decoded[0].seq);
+                }
+                for m in &decoded {
+                    if win.on_mpdu(m.seq) {
+                        new_refs.push(m.packet);
+                    }
+                }
+            }
+            if wgtt {
+                let esnr = self.measured_esnr(ap, client, now);
+                let csi = {
+                    let SystemState::Wgtt { aps, .. } = &self.system else {
+                        unreachable!()
+                    };
+                    aps[aui].csi_report(client, esnr, now)
+                };
+                self.backhaul_send(csi.to, csi.msg, now);
+                for r in new_refs {
+                    let packet = self.packet_by_ref(r);
+                    self.backhaul_send(
+                        BackhaulDest::Controller,
+                        BackhaulMsg::UplinkData { ap, packet },
+                        now,
+                    );
+                }
+            } else if assoc_ap == Some(ap) {
+                for r in new_refs {
+                    let packet = self.packet_by_ref(r);
+                    self.on_wan_uplink(packet, now);
+                }
+            }
+            // Block ACK response — under WGTT *every* decoding AP is
+            // associated and replies (Table 3); under the baseline only
+            // the associated AP does. The addressee answers HT-immediate
+            // after SIFS; the others respond with the µs-scale backoff
+            // the paper measured on the TP-Link hardware (§5.3.2), which
+            // together with carrier sense makes collisions rare.
+            let is_addressee = self.serving_of(client) == Some(ap);
+            if wgtt || assoc_ap == Some(ap) {
+                let (start_seq, bitmap) = self.ap_up_rx[&(ap, client)].block_ack();
+                let jitter_us = if is_addressee {
+                    SIFS_US + self.rng.below(3)
+                } else {
+                    SIFS_US + 12 + self.rng.below(60)
+                };
+                self.queue.schedule(
+                    now + SimDuration::from_micros(jitter_us),
+                    Ev::BaResponse {
+                        from: ap,
+                        to: client,
+                        client,
+                        start_seq,
+                        bitmap,
+                    },
+                );
+            }
+        }
+        let ev = self
+            .queue
+            .schedule(now + BA_WAIT, Ev::ClientBaTimeout { client });
+        self.clients[ci].ba_timeout_ev = Some(ev);
+    }
+
+    /// A client's Block ACK (for downlink data) finished: the addressee
+    /// applies it; under WGTT every other decoding AP both reports CSI
+    /// and forwards the Block ACK to the serving AP (§3.2.1).
+    fn end_client_blockack(
+        &mut self,
+        tx: TxId,
+        client: NodeId,
+        target: NodeId,
+        start_seq: u16,
+        bitmap: u64,
+        now: SimTime,
+    ) {
+        self.report.dbg_ba.1 += 1;
+        let n_aps = self.cfg.ap_x.len() as u32;
+        let wgtt = matches!(self.system, SystemState::Wgtt { .. });
+        for ai in 0..n_aps {
+            let ap = NodeId(ai);
+            let aui = ai as usize;
+            if !self.medium.same_channel(client, ap) || !self.rx_survives(tx, client, ap, now)
+            {
+                continue;
+            }
+            if !self.roll_control(ap, client, now) {
+                continue;
+            }
+            if wgtt {
+                // Every uplink frame is a CSI opportunity.
+                let esnr = self.measured_esnr(ap, client, now);
+                let csi = {
+                    let SystemState::Wgtt { aps, .. } = &self.system else {
+                        unreachable!()
+                    };
+                    aps[aui].csi_report(client, esnr, now)
+                };
+                self.backhaul_send(csi.to, csi.msg, now);
+            }
+            if ap == target {
+                self.report.dbg_ba.2 += 1;
+                let cleared = match &mut self.system {
+                    SystemState::Wgtt { aps, .. } => {
+                        aps[aui].on_block_ack(client, start_seq, bitmap);
+                        !aps[aui].has_in_flight(client)
+                    }
+                    SystemState::Baseline { aps, .. } => {
+                        aps[aui].on_block_ack(client, start_seq, bitmap);
+                        // A byte-identical BA for a retransmission window
+                        // is a no-op here too: resolve only when the
+                        // window actually cleared.
+                        !aps[aui].has_in_flight(client)
+                    }
+                };
+                if cleared && self.ap_current_peer[aui] == Some(client) {
+                    self.resolve_ap_exchange(ap, now);
+                }
+            } else if wgtt && self.wgtt_cfg.enable_ba_forwarding {
+                let actions = {
+                    let SystemState::Wgtt { aps, .. } = &mut self.system else {
+                        unreachable!()
+                    };
+                    aps[aui].on_overheard_block_ack(client, start_seq, bitmap)
+                };
+                for act in actions {
+                    self.backhaul_send(act.to, act.msg, now);
+                }
+            }
+        }
+    }
+
+    /// An AP's Block ACK (for uplink data) finished at the client.
+    fn end_ap_blockack(
+        &mut self,
+        tx: TxId,
+        ap: NodeId,
+        client: NodeId,
+        start_seq: u16,
+        bitmap: u64,
+        now: SimTime,
+    ) {
+        if !self.medium.same_channel(ap, client) {
+            return;
+        }
+        if !self.rx_survives(tx, ap, client, now) {
+            self.report.ba_collisions.incr();
+            return;
+        }
+        if !self.roll_control(ap, client, now) {
+            return;
+        }
+        if self.trace_at(now) {
+            eprintln!("{now} ap_ba_at_client from={ap}");
+        }
+        let ci = self.client_index(client);
+        let c = &mut self.clients[ci];
+        if c.up_ba.has_in_flight() && c.up_ba.covers_in_flight(start_seq) {
+            let r = c.up_ba.on_block_ack(start_seq, bitmap);
+            if r.duplicate {
+                return; // stale copy; keep waiting for a live BA/timeout
+            }
+            if let Some((mcs, attempted)) = c.up_in_flight_meta.take() {
+                c.up_rate.on_feedback(mcs, attempted, r.acked.len());
+            }
+            c.up_retries.extend(r.to_retry.iter().copied());
+            self.resolve_client_exchange(client, now);
+        }
+    }
+
+    fn on_ba_response(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        _client: NodeId,
+        start_seq: u16,
+        bitmap: u64,
+        now: SimTime,
+    ) {
+        // Responses younger than the preamble-detect lag are invisible:
+        // that is how two APs' acknowledgements can collide (§5.3.2).
+        if self.medium.sensed_busy(from, now, SENSE_LAG)
+            || self.medium.own_tx_until(from, now) > now
+        {
+            return; // suppressed by carrier sense (or own radio busy)
+        }
+        let frame = Frame {
+            from,
+            to,
+            kind: FrameKind::BlockAck { start_seq, bitmap },
+            mcs: Mcs::Mcs0,
+        };
+        if self.is_ap(from) {
+            self.report.ba_responses.incr();
+        }
+        let dur = frame_airtime(&frame);
+        let tx = self.medium.begin_tx(from, now, dur);
+        self.queue.schedule(now + dur, Ev::TxEnd { tx, frame });
+    }
+
+    // -------------------------------------------------- baseline frames
+
+    fn on_beacon(&mut self, ap: NodeId, retry: bool, now: SimTime) {
+        if !retry {
+            self.queue
+                .schedule(now + BEACON_INTERVAL, Ev::Beacon { ap, retry: false });
+        }
+        if self.medium.is_busy_for(ap, now) {
+            if !retry {
+                let at = self.medium.busy_until_for(ap, now)
+                    + SimDuration::from_micros(wgtt_mac::airtime::DIFS_US + self.rng.below(64));
+                self.queue.schedule(at, Ev::Beacon { ap, retry: true });
+            }
+            return;
+        }
+        let frame = Frame {
+            from: ap,
+            to: ap, // broadcast; the field is unused for beacons
+            kind: FrameKind::Beacon,
+            mcs: Mcs::Mcs0,
+        };
+        let dur = frame_airtime(&frame);
+        let tx = self.medium.begin_tx(ap, now, dur);
+        self.queue.schedule(now + dur, Ev::TxEnd { tx, frame });
+    }
+
+    fn end_beacon(&mut self, tx: TxId, ap: NodeId, now: SimTime) {
+        let client_ids: Vec<NodeId> = self.clients.iter().map(|c| c.id).collect();
+        for client in client_ids {
+            if !self.medium.same_channel(ap, client) || !self.rx_survives(tx, ap, client, now)
+            {
+                continue;
+            }
+            if !self.roll_control(ap, client, now) {
+                continue;
+            }
+            let pos = self.client_pos(client, now);
+            let rssi = self.link(ap, client).snapshot(now, pos).rssi_dbm;
+            let ci = self.client_index(client);
+            if let Some(r) = self.clients[ci].roamer.as_mut() {
+                r.on_beacon(ap, rssi, now);
+            }
+        }
+    }
+
+    fn on_roam_poll(&mut self, client: NodeId, now: SimTime) {
+        self.queue
+            .schedule(now + ROAM_POLL, Ev::RoamPoll { client });
+        let ci = self.client_index(client);
+        let Some(roamer) = self.clients[ci].roamer.as_mut() else {
+            return;
+        };
+        match roamer.evaluate(now) {
+            RoamerAction::SendMgmt { ap, step } => {
+                // Contend for the channel like any other frame — under a
+                // saturated medium the reassociation must still win slots.
+                let at = self.medium.access_time(client, now, 0, &mut self.rng);
+                self.queue.schedule(
+                    at,
+                    Ev::MgmtTx {
+                        from: client,
+                        to: ap,
+                        step,
+                        attempt: 0,
+                    },
+                );
+            }
+            RoamerAction::None => {}
+        }
+    }
+
+    /// A granted management transmission instant: send if the channel is
+    /// clear, otherwise re-contend (bounded; the roamer's own retry timer
+    /// provides the outer loop).
+    fn on_mgmt_tx(&mut self, from: NodeId, to: NodeId, step: MgmtStep, attempt: u8, now: SimTime) {
+        if self.medium.is_busy_for(from, now) || self.medium.own_tx_until(from, now) > now {
+            if attempt < 8 {
+                let at = self.medium.access_time(from, now, attempt + 1, &mut self.rng);
+                self.queue.schedule(
+                    at,
+                    Ev::MgmtTx {
+                        from,
+                        to,
+                        step,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+            return;
+        }
+        let frame = Frame {
+            from,
+            to,
+            kind: FrameKind::Mgmt { step },
+            mcs: Mcs::Mcs0,
+        };
+        let dur = frame_airtime(&frame);
+        let tx = self.medium.begin_tx(from, now, dur);
+        self.queue.schedule(now + dur, Ev::TxEnd { tx, frame });
+    }
+
+    fn end_mgmt(&mut self, tx: TxId, from: NodeId, to: NodeId, step: MgmtStep, now: SimTime) {
+        match step {
+            MgmtStep::AssocReq => {
+                // `from` = client, `to` = AP.
+                if !self.rx_survives(tx, from, to, now) {
+                    return;
+                }
+                if !self.roll_control(to, from, now) {
+                    return;
+                }
+                self.queue.schedule(
+                    now + SimDuration::from_micros(SIFS_US),
+                    Ev::MgmtResponse {
+                        from: to,
+                        to: from,
+                        step: MgmtStep::AssocResp,
+                    },
+                );
+            }
+            MgmtStep::AssocResp => {
+                // `from` = AP, `to` = client.
+                if !self.rx_survives(tx, from, to, now) {
+                    return;
+                }
+                if !self.roll_control(from, to, now) {
+                    return;
+                }
+                let ci = self.client_index(to);
+                let switched = self.clients[ci]
+                    .roamer
+                    .as_mut()
+                    .is_some_and(|r| r.on_assoc_response(from, now));
+                if switched {
+                    if let SystemState::Baseline { ds, aps } = &mut self.system {
+                        let old = ds.binding(to);
+                        ds.on_reassoc(to, from);
+                        if let Some(old_ap) = old {
+                            if old_ap != from {
+                                aps[old_ap.0 as usize].flush_client(to);
+                            }
+                        }
+                    }
+                    self.kick_ap(from, now);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_mgmt_response(&mut self, from: NodeId, to: NodeId, step: MgmtStep, now: SimTime) {
+        if self.medium.sensed_busy(from, now, SENSE_LAG) {
+            return;
+        }
+        let frame = Frame {
+            from,
+            to,
+            kind: FrameKind::Mgmt { step },
+            mcs: Mcs::Mcs0,
+        };
+        let dur = frame_airtime(&frame);
+        let tx = self.medium.begin_tx(from, now, dur);
+        self.queue.schedule(now + dur, Ev::TxEnd { tx, frame });
+    }
+}

@@ -1,0 +1,270 @@
+//! The time-ordered event queue at the heart of the kernel.
+//!
+//! [`EventQueue`] is generic over the event payload so that each layer of
+//! the reproduction can define its own event vocabulary without coupling
+//! this crate to any of them. Ties in time are broken by insertion order
+//! (FIFO), which together with the deterministic RNG makes whole runs
+//! bit-reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first,
+        // breaking ties by insertion sequence for FIFO semantics.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// ```
+/// use wgtt_sim::{EventQueue, SimTime};
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "b");
+/// q.schedule(SimTime::from_millis(1), "a");
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_millis(1), "a"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    next_id: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            next_id: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation clock: the timestamp of the last event popped.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// Panics if `at` is earlier than the current clock — an event in the
+    /// past is always a logic bug, and failing fast beats silently warping
+    /// causality.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling event in the past: at={at} now={}",
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            id,
+            payload,
+        });
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancellation is lazy: the entry
+    /// stays in the heap but is skipped when popped. Returns `true` the
+    /// first time a live event is cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.cancelled.insert(id)
+    }
+
+    /// Pop the earliest live event, advancing the clock to its timestamp.
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "event queue went back in time");
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Pop the earliest live event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Timestamp of the earliest live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(2), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(1));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), "dead");
+        q.schedule(SimTime::from_millis(2), "live");
+        assert!(q.cancel(id));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("live"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_then_schedule_again() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), 1);
+        q.cancel(id);
+        q.schedule(SimTime::from_millis(1), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(7), ());
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), "in");
+        q.schedule(SimTime::from_millis(15), "out");
+        assert_eq!(
+            q.pop_until(SimTime::from_millis(10)).map(|(_, e)| e),
+            Some("in")
+        );
+        assert_eq!(q.pop_until(SimTime::from_millis(10)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        // Simulate a timer that re-arms itself: a common kernel pattern.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 0u32);
+        let mut fired = Vec::new();
+        while let Some((t, gen)) = q.pop() {
+            fired.push(gen);
+            if gen < 4 {
+                q.schedule(t + SimDuration::from_millis(1), gen + 1);
+            }
+        }
+        assert_eq!(fired, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.now(), SimTime::from_millis(5));
+    }
+}

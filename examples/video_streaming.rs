@@ -1,0 +1,66 @@
+//! The paper's §5.4 video case study: stream a 720p video (progressive
+//! download over TCP) to a car driving past the array, and measure the
+//! rebuffer ratio under WGTT and under Enhanced 802.11r.
+//!
+//! ```sh
+//! cargo run --release --example video_streaming [speed_mph]
+//! ```
+
+use wgtt::WgttConfig;
+use wgtt_apps::video::{PlaybackState, VideoPlayer};
+use wgtt_net::packet::FlowId;
+use wgtt_scenario::testbed::{ClientPlan, TestbedConfig};
+use wgtt_scenario::world::{FlowSpec, SystemKind, World};
+use wgtt_sim::time::SimTime;
+
+fn stream(system: SystemKind, name: &str, speed_mph: f64, seed: u64) {
+    let testbed = TestbedConfig::paper_array();
+    let plan = ClientPlan::drive_by(speed_mph);
+    let transit = testbed.transit_time(&plan).expect("moving client");
+    let start = SimTime::from_secs_f64(7.0 / plan.speed_mps);
+
+    let mut world = World::new(
+        testbed.with_clients(vec![plan]),
+        system,
+        vec![FlowSpec::DownlinkTcpBulk],
+        seed,
+    );
+    world.traffic_start = start;
+    world.run(transit);
+
+    // Replay the delivered-byte trace through the player model (1,500 ms
+    // pre-buffer, 2.5 Mbit/s media rate — the paper's HD configuration).
+    let trace = world.report.tcp_delivery_traces[&FlowId(0)].clone();
+    let mut player = VideoPlayer::hd_default(start);
+    for (t, bytes) in trace {
+        player.on_bytes(t, bytes);
+    }
+    let end = SimTime::ZERO + transit;
+    player.advance(end);
+    let window = end.saturating_since(start);
+    println!(
+        "{name:<18} rebuffers {:>2} ×  stalled {:>5.2} s  ratio {:>4.2}  final state {:?}",
+        player.rebuffer_events,
+        player.rebuffer_time.as_secs_f64(),
+        player.rebuffer_ratio(window),
+        player.state()
+    );
+    let _ = PlaybackState::Playing; // re-exported for doc completeness
+}
+
+fn main() {
+    let speed: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15.0);
+    println!("720p streaming to a {speed} mph client (1.5 s pre-buffer)\n");
+    stream(
+        SystemKind::Wgtt(WgttConfig::default()),
+        "WGTT",
+        speed,
+        3,
+    );
+    stream(SystemKind::Enhanced80211r, "Enhanced 802.11r", speed, 3);
+    println!("\npaper Table 4: WGTT plays with zero rebuffering at 5–20 mph while");
+    println!("Enhanced 802.11r stalls for 54–69 % of the transit.");
+}

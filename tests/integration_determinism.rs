@@ -1,0 +1,74 @@
+//! The reproducibility contract: a run is a pure function of its
+//! configuration and seed.
+
+use wgtt::WgttConfig;
+use wgtt_net::packet::FlowId;
+use wgtt_scenario::testbed::{ClientPlan, TestbedConfig};
+use wgtt_scenario::world::{FlowSpec, SystemKind, World};
+use wgtt_sim::time::{SimDuration, SimTime};
+
+fn fingerprint(system: SystemKind, seed: u64) -> (u64, u64, u64, String) {
+    let cfg = TestbedConfig::paper_array().with_clients(vec![ClientPlan::drive_by(15.0)]);
+    let mut w = World::new(
+        cfg,
+        system,
+        vec![FlowSpec::DownlinkUdp { rate_mbps: 20.0 }],
+        seed,
+    );
+    w.traffic_start = SimTime::from_millis(500);
+    w.run(SimDuration::from_secs(6));
+    let m = &w.report.flow_meters[&FlowId(0)];
+    let (fwd, dup) = w.report.uplink_dedup;
+    (
+        m.total_bytes(),
+        w.report.switches,
+        fwd + dup,
+        w.debug_summary(),
+    )
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    let a = fingerprint(SystemKind::Wgtt(WgttConfig::default()), 99);
+    let b = fingerprint(SystemKind::Wgtt(WgttConfig::default()), 99);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = fingerprint(SystemKind::Wgtt(WgttConfig::default()), 99);
+    let b = fingerprint(SystemKind::Wgtt(WgttConfig::default()), 100);
+    assert_ne!(
+        (a.0, a.1, a.2),
+        (b.0, b.1, b.2),
+        "different seeds must explore different randomness"
+    );
+}
+
+#[test]
+fn baseline_runs_are_also_deterministic() {
+    let a = fingerprint(SystemKind::Enhanced80211r, 7);
+    let b = fingerprint(SystemKind::Enhanced80211r, 7);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn systems_share_the_channel_realization() {
+    // The *radio* draw is seed-keyed, not system-keyed: comparing systems
+    // at equal seeds compares them over the same fading realization. We
+    // verify via the pure radio layer (the worlds consume RNG differently
+    // thereafter, which is expected).
+    use wgtt_radio::Modulation;
+    let (links_a, plan) = wgtt_scenario::experiments::motivation::radio_links(3, 15.0, 5);
+    let (links_b, _) = wgtt_scenario::experiments::motivation::radio_links(3, 15.0, 5);
+    for t_ms in [100u64, 500, 1500] {
+        let t = SimTime::from_millis(t_ms);
+        let pos = plan.position_at(t);
+        for (a, b) in links_a.iter().zip(links_b.iter()) {
+            assert_eq!(
+                a.snapshot(t, pos).esnr_db(Modulation::Qam16),
+                b.snapshot(t, pos).esnr_db(Modulation::Qam16)
+            );
+        }
+    }
+}
