@@ -106,8 +106,7 @@ impl ConferenceSource {
         if loss > 0.10 {
             self.frame_bytes = (self.frame_bytes / 2).max(self.min_frame_bytes);
         } else if loss < 0.02 {
-            self.frame_bytes =
-                ((self.frame_bytes as f64 * 1.1) as u32).min(self.max_frame_bytes);
+            self.frame_bytes = ((self.frame_bytes as f64 * 1.1) as u32).min(self.max_frame_bytes);
         }
     }
 }

@@ -166,7 +166,7 @@ mod tests {
     fn starvation_stalls_and_counts() {
         let mut p = VideoPlayer::hd_default(ms(0));
         p.on_bytes(ms(0), media(2.0)); // starts playing with 2 s
-        // Nothing arrives for 5 s: stalls after 2 s, rebuffers 3 s.
+                                       // Nothing arrives for 5 s: stalls after 2 s, rebuffers 3 s.
         p.advance(ms(5_000));
         assert_eq!(p.state(), PlaybackState::Rebuffering);
         assert_eq!(p.rebuffer_events, 1);

@@ -111,9 +111,9 @@ impl BaselineAp {
 
     /// Packets queued toward `client` (the handover backlog).
     pub fn backlog(&self, client: NodeId) -> usize {
-        self.clients.get(&client).map_or(0, |c| {
-            c.fifo.len() + c.staged.len() + c.retries.len()
-        })
+        self.clients
+            .get(&client)
+            .map_or(0, |c| c.fifo.len() + c.staged.len() + c.retries.len())
     }
 
     /// Clients with transmittable work.

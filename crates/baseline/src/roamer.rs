@@ -301,7 +301,10 @@ mod tests {
         }
         // Only 500 ms since association: the 1 s hysteresis holds.
         assert_eq!(r.evaluate(ms(500)), RoamerAction::None);
-        assert!(matches!(r.evaluate(ms(1000)), RoamerAction::SendMgmt { .. }));
+        assert!(matches!(
+            r.evaluate(ms(1000)),
+            RoamerAction::SendMgmt { .. }
+        ));
     }
 
     #[test]
@@ -321,7 +324,10 @@ mod tests {
             r.on_beacon(AP1, -85.0, ms(1950));
             r.on_beacon(AP2, -60.0, ms(1950));
         }
-        assert!(matches!(r.evaluate(ms(2000)), RoamerAction::SendMgmt { .. }));
+        assert!(matches!(
+            r.evaluate(ms(2000)),
+            RoamerAction::SendMgmt { .. }
+        ));
         // Responses never arrive (deep fade): retries at 50 ms intervals
         // until the attempt is abandoned.
         let mut resends = 0;
@@ -356,7 +362,10 @@ mod tests {
         // Below threshold from t=1 s, but history must reach 5 s.
         assert_eq!(r.evaluate(ms(1000)), RoamerAction::None);
         assert_eq!(r.evaluate(ms(3000)), RoamerAction::None);
-        assert!(matches!(r.evaluate(ms(6001)), RoamerAction::SendMgmt { .. }));
+        assert!(matches!(
+            r.evaluate(ms(6001)),
+            RoamerAction::SendMgmt { .. }
+        ));
     }
 
     #[test]
@@ -379,7 +388,11 @@ mod tests {
             r.on_beacon(AP1, -85.0, ms(6400));
             r.on_beacon(AP2, -60.0, ms(6400));
         }
-        assert_eq!(r.evaluate(ms(6500)), RoamerAction::None, "history restarted");
+        assert_eq!(
+            r.evaluate(ms(6500)),
+            RoamerAction::None,
+            "history restarted"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use wgtt_mac::aggregation::{build_ampdu, AggregationPolicy};
 use wgtt_mac::frame::{Mpdu, NodeId, PacketRef};
 use wgtt_mac::Mcs;
 use wgtt_net::packet::{FlowId, PacketFactory};
-use wgtt_net::wire::{Ipv4Addr, Ipv4Header, IpProtocol};
+use wgtt_net::wire::{IpProtocol, Ipv4Addr, Ipv4Header};
 use wgtt_radio::fading::FadingProcess;
 use wgtt_radio::{effective_snr_db, Modulation};
 use wgtt_sim::queue::EventQueue;

@@ -1,0 +1,238 @@
+//! Before/after microbenches for the incremental sliding-window ESNR
+//! selection (`wgtt::window`), the hottest path in the simulator: the
+//! selection rule runs on every uplink frame, per AP.
+//!
+//! "naive" is the seed's sort-per-query reduction
+//! ([`wgtt::window::NaiveWindow`], kept verbatim as the oracle);
+//! "incremental" is the shipping sorted-ring + monotonic-deque
+//! structure with memoized reduction.
+//! Both are driven through the identical workload: a reading stream
+//! whose inter-arrival time is tuned so the 10 ms window holds ~`n`
+//! readings, for `n` in 8..512.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hint::black_box;
+use wgtt::selection::{ApSelector, SelectionPolicy, Verdict};
+use wgtt::window::{EsnrWindow, NaiveWindow};
+use wgtt_mac::frame::NodeId;
+use wgtt_sim::time::{SimDuration, SimTime};
+
+const WINDOW: SimDuration = SimDuration::from_millis(10);
+const POPULATIONS: [u64; 4] = [8, 64, 256, 512];
+const APS: u64 = 8;
+
+/// Deterministic ESNR stream (xorshift64), quantized to 0.1 dB so
+/// duplicate values occur like they do in a real CSI trace.
+struct Stream {
+    x: u64,
+    t_ns: u64,
+    step_ns: u64,
+}
+
+impl Stream {
+    fn new(population: u64) -> Self {
+        Stream {
+            x: 0x2545_f491_4f6c_dd1d,
+            t_ns: 0,
+            step_ns: WINDOW.as_nanos() / population,
+        }
+    }
+
+    fn next(&mut self) -> (SimTime, f64) {
+        self.x ^= self.x << 13;
+        self.x ^= self.x >> 7;
+        self.x ^= self.x << 17;
+        self.t_ns += self.step_ns;
+        let v = ((self.x >> 16) % 600) as f64 / 10.0 - 20.0;
+        (SimTime::from_nanos(self.t_ns), v)
+    }
+}
+
+/// The seed's selector shape, replicated verbatim: `HashMap` links, a
+/// collect-and-sort of AP ids per scan (its determinism fix), and a
+/// fresh expire + sort-per-query reduction per AP per call — the
+/// "before" side of `best`/`on_reading`.
+struct NaiveSelector {
+    windows: HashMap<NodeId, NaiveWindow>,
+    current: Option<NodeId>,
+    margin_db: f64,
+}
+
+impl NaiveSelector {
+    fn new(margin_db: f64) -> Self {
+        NaiveSelector {
+            windows: HashMap::new(),
+            current: None,
+            margin_db,
+        }
+    }
+
+    fn record(&mut self, ap: NodeId, at: SimTime, esnr_db: f64) {
+        self.windows
+            .entry(ap)
+            .or_default()
+            .push(at, esnr_db, WINDOW);
+    }
+
+    fn best(&mut self, now: SimTime) -> Option<(NodeId, f64)> {
+        let mut best: Option<(NodeId, f64)> = None;
+        // Deterministic iteration: sort by AP id (the seed's scan).
+        let mut aps: Vec<NodeId> = self.windows.keys().copied().collect();
+        aps.sort_unstable();
+        for ap in aps {
+            let w = self.windows.get_mut(&ap).expect("key exists");
+            w.expire(now, WINDOW);
+            if let Some(m) = w.reduce(SelectionPolicy::Median) {
+                if best.is_none_or(|(_, bm)| m > bm) {
+                    best = Some((ap, m));
+                }
+            }
+        }
+        best
+    }
+
+    fn evaluate(&mut self, now: SimTime) -> Verdict {
+        let Some((best_ap, best_median)) = self.best(now) else {
+            return Verdict::NoCandidate;
+        };
+        let Some(current) = self.current else {
+            self.current = Some(best_ap);
+            return Verdict::SwitchTo(best_ap);
+        };
+        if best_ap == current {
+            return Verdict::Stay;
+        }
+        let current_median = self
+            .windows
+            .get_mut(&current)
+            .and_then(|w| w.reduce(SelectionPolicy::Median));
+        match current_median {
+            None => Verdict::SwitchTo(best_ap),
+            Some(cm) if best_median > cm + self.margin_db => Verdict::SwitchTo(best_ap),
+            Some(_) => Verdict::Stay,
+        }
+    }
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    for n in POPULATIONS {
+        c.bench_function(&format!("selection/reduce/incremental/n={n}"), |b| {
+            let mut w = EsnrWindow::new();
+            let mut s = Stream::new(n);
+            for _ in 0..n {
+                let (at, v) = s.next();
+                w.push(at, v, WINDOW);
+            }
+            b.iter(|| {
+                let (at, v) = s.next();
+                w.push(at, v, WINDOW);
+                black_box(w.reduce(SelectionPolicy::Median))
+            })
+        });
+        c.bench_function(&format!("selection/reduce/naive/n={n}"), |b| {
+            let mut w = NaiveWindow::new();
+            let mut s = Stream::new(n);
+            for _ in 0..n {
+                let (at, v) = s.next();
+                w.push(at, v, WINDOW);
+            }
+            b.iter(|| {
+                let (at, v) = s.next();
+                w.push(at, v, WINDOW);
+                black_box(w.reduce(SelectionPolicy::Median))
+            })
+        });
+    }
+}
+
+fn bench_best(c: &mut Criterion) {
+    // `n` readings per AP window across 8 APs; one AP hears each frame
+    // (readings rotate), then the controller re-evaluates the argmax.
+    // The record sits in untimed setup so the measurement isolates the
+    // cost of `best` itself — the operation the argmax cache targets —
+    // while each call still sees one freshly invalidated AP, like the
+    // per-uplink-frame workload.
+    for n in POPULATIONS {
+        c.bench_function(&format!("selection/best/incremental/8aps-n={n}"), |b| {
+            let sel = RefCell::new(ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0));
+            let mut s = Stream::new(n);
+            let mut i = 0u64;
+            for _ in 0..n * APS {
+                let (at, v) = s.next();
+                sel.borrow_mut().record(NodeId((i % APS) as u32), at, v);
+                i += 1;
+            }
+            b.iter_batched(
+                || {
+                    let (at, v) = s.next();
+                    sel.borrow_mut().record(NodeId((i % APS) as u32), at, v);
+                    i += 1;
+                    at
+                },
+                |at| black_box(sel.borrow_mut().best(at)),
+                BatchSize::PerIteration,
+            )
+        });
+        c.bench_function(&format!("selection/best/naive/8aps-n={n}"), |b| {
+            let sel = RefCell::new(NaiveSelector::new(1.0));
+            let mut s = Stream::new(n);
+            let mut i = 0u64;
+            for _ in 0..n * APS {
+                let (at, v) = s.next();
+                sel.borrow_mut().record(NodeId((i % APS) as u32), at, v);
+                i += 1;
+            }
+            b.iter_batched(
+                || {
+                    let (at, v) = s.next();
+                    sel.borrow_mut().record(NodeId((i % APS) as u32), at, v);
+                    i += 1;
+                    at
+                },
+                |at| black_box(sel.borrow_mut().best(at)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+}
+
+fn bench_on_reading(c: &mut Criterion) {
+    // The full per-uplink-frame path: record the CSI reading, then run
+    // the verdict (best + margin + hysteresis bookkeeping).
+    for n in POPULATIONS {
+        c.bench_function(
+            &format!("selection/on_reading/incremental/8aps-n={n}"),
+            |b| {
+                let mut sel = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+                let mut s = Stream::new(n);
+                let mut i = 0u64;
+                b.iter(|| {
+                    let (at, v) = s.next();
+                    sel.record(NodeId((i % APS) as u32), at, v);
+                    i += 1;
+                    black_box(sel.evaluate(at))
+                })
+            },
+        );
+        c.bench_function(&format!("selection/on_reading/naive/8aps-n={n}"), |b| {
+            let mut sel = NaiveSelector::new(1.0);
+            let mut s = Stream::new(n);
+            let mut i = 0u64;
+            b.iter(|| {
+                let (at, v) = s.next();
+                sel.record(NodeId((i % APS) as u32), at, v);
+                i += 1;
+                black_box(sel.evaluate(at))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_reduce, bench_best, bench_on_reading
+}
+criterion_main!(benches);

@@ -129,10 +129,7 @@ impl ApAgent {
     }
 
     fn client_mut(&mut self, client: NodeId) -> &mut ApClientState {
-        let rng = self
-            .rng
-            .derive_indexed("rate-ctl", client.0 as u64)
-            .rng();
+        let rng = self.rng.derive_indexed("rate-ctl", client.0 as u64).rng();
         self.clients
             .entry(client)
             .or_insert_with(|| ApClientState::new(RateController::new(rng)))
@@ -201,7 +198,9 @@ impl ApAgent {
                 }]
             }
             BackhaulMsg::Start {
-                client, k, switch_id,
+                client,
+                k,
+                switch_id,
             } => {
                 self.stats.starts_handled += 1;
                 let st = self.client_mut(client);
@@ -554,9 +553,8 @@ mod tests {
         make_serving(&mut ap, 0);
         let (mpdus, mcs) = ap.build_txop(CLIENT, ms(1)).expect("work queued");
         // Aggregation bounded by count, byte, and 4 ms airtime caps.
-        let cap = wgtt_mac::aggregation::AggregationPolicy::default()
-            .byte_cap_at(mcs) as usize
-            / 1500;
+        let cap =
+            wgtt_mac::aggregation::AggregationPolicy::default().byte_cap_at(mcs) as usize / 1500;
         assert_eq!(mpdus.len(), cap.min(32));
         assert!(mpdus.len() >= 2, "aggregation must happen");
         for (i, m) in mpdus.iter().enumerate() {
@@ -623,7 +621,11 @@ mod tests {
         assert_eq!(actions.len(), 1);
         assert_eq!(actions[0].to, BackhaulDest::Ap(AP2));
         match &actions[0].msg {
-            BackhaulMsg::Start { client, k, switch_id } => {
+            BackhaulMsg::Start {
+                client,
+                k,
+                switch_id,
+            } => {
                 assert_eq!(*client, CLIENT);
                 assert_eq!(*k, k_expected);
                 assert_eq!(*switch_id, 42);
@@ -655,10 +657,7 @@ mod tests {
         let backlog_before = ap.backlog(CLIENT);
         let mut drained = 0;
         let mut guard = 0;
-        while let Some((d, _)) = {
-            
-            ap.build_txop(CLIENT, ms(3 + guard))
-        } {
+        while let Some((d, _)) = { ap.build_txop(CLIENT, ms(3 + guard)) } {
             guard += 1;
             assert!(guard < 20, "drain must terminate");
             let start = d[0].seq;

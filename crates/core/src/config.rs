@@ -85,10 +85,9 @@ mod tests {
         assert!(c.backhaul_latency < SimDuration::from_millis(1));
         // Table 1: protocol execution ≈ 17–21 ms ≈ stop + start processing
         // plus three backhaul hops.
-        let proto_ms = (c.stop_processing_mean
-            + c.start_processing_mean
-            + c.backhaul_latency.times(3))
-        .as_millis_f64();
+        let proto_ms =
+            (c.stop_processing_mean + c.start_processing_mean + c.backhaul_latency.times(3))
+                .as_millis_f64();
         assert!((14.0..24.0).contains(&proto_ms), "{proto_ms} ms");
     }
 }

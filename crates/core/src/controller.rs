@@ -364,7 +364,15 @@ mod tests {
         let actions = c.on_client_associated(CLIENT, AP1, ms(0));
         let syncs = actions
             .iter()
-            .filter(|a| matches!(a, ControllerAction::Send { msg: BackhaulMsg::AssocSync { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    ControllerAction::Send {
+                        msg: BackhaulMsg::AssocSync { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(syncs, 3);
         assert!(actions.iter().any(|a| matches!(
@@ -512,10 +520,7 @@ mod tests {
             1500,
             ms(0),
         );
-        let first = c.on_msg(
-            BackhaulMsg::UplinkData { ap: AP1, packet: p },
-            ms(1),
-        );
+        let first = c.on_msg(BackhaulMsg::UplinkData { ap: AP1, packet: p }, ms(1));
         assert_eq!(first.len(), 1);
         // Two more APs heard the same packet.
         for ap in [AP2, AP3] {

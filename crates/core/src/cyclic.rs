@@ -382,5 +382,94 @@ mod tests {
             prop_assert_eq!(q.pop().map(|(i, _)| i), Some(k));
             prop_assert_eq!(q.backlog() as u16, n - skip - 1);
         }
+
+        // The three properties below pin the 12-bit wraparound seam
+        // specifically: `start` is drawn close enough to 4095 and `n`
+        // large enough that every generated sequence crosses index 0.
+
+        #[test]
+        fn wrap_crossing_interleaved_insert_pop_conserves(
+            start in 3_900u16..4096,
+            n in 200u16..500,
+            batch in 1u16..8,
+        ) {
+            // Producer and consumer run concurrently (a batch of
+            // inserts, then one pop), exactly how an AP drains its ring
+            // while the controller keeps replicating — across the wrap,
+            // no packet may be lost, duplicated, or reordered.
+            let mut f = PacketFactory::new();
+            let mut q = CyclicQueue::new();
+            let mut popped: Vec<u16> = Vec::new();
+            let mut inserted = 0u16;
+            while inserted < n {
+                for _ in 0..batch.min(n - inserted) {
+                    q.insert((start + inserted) % 4096, pkt(&mut f, inserted as u32));
+                    inserted += 1;
+                }
+                if let Some((idx, _)) = q.pop() {
+                    popped.push(idx);
+                }
+            }
+            while let Some((idx, _)) = q.pop() {
+                popped.push(idx);
+            }
+            let expected: Vec<u16> = (0..n).map(|off| (start + off) % 4096).collect();
+            prop_assert_eq!(popped, expected);
+        }
+
+        #[test]
+        fn resume_from_k_across_wrap_preserves_suffix(start in 3_900u16..4096, n in 200u16..500, skip in 0u16..500) {
+            prop_assume!(skip < n);
+            let mut f = PacketFactory::new();
+            let mut q = CyclicQueue::new();
+            for off in 0..n {
+                q.insert((start + off) % 4096, pkt(&mut f, off as u32));
+            }
+            // `start(c, k)` lands on either side of the wrap depending
+            // on `skip`; the suffix [k, start + n) must survive intact
+            // and in order.
+            let k = (start + skip) % 4096;
+            q.jump_to(k);
+            let mut delivered: Vec<u16> = Vec::new();
+            while let Some((idx, _)) = q.pop() {
+                delivered.push(idx);
+            }
+            let expected: Vec<u16> = (skip..n).map(|off| (start + off) % 4096).collect();
+            prop_assert_eq!(delivered, expected);
+        }
+
+        #[test]
+        fn switch_handoff_across_wrap_covers_every_index(
+            start in 3_950u16..4096,
+            n in 200u16..400,
+            served_by_old in 1u16..200,
+        ) {
+            prop_assume!(served_by_old < n);
+            // Old and new AP both hold the client's ring (the paper's
+            // fan-out replication). The old AP serves a prefix, the
+            // switch hands `k` = first unsent to the new AP, which
+            // resumes from its own copy: together they must cover
+            // [start, start + n) exactly once, in order, across wrap.
+            let mut f = PacketFactory::new();
+            let mut old_ap = CyclicQueue::new();
+            let mut new_ap = CyclicQueue::new();
+            for off in 0..n {
+                let idx = (start + off) % 4096;
+                old_ap.insert(idx, pkt(&mut f, off as u32));
+                new_ap.insert(idx, pkt(&mut f, off as u32));
+            }
+            let mut delivered: Vec<u16> = Vec::new();
+            for _ in 0..served_by_old {
+                let (idx, _) = old_ap.pop().expect("prefix present");
+                delivered.push(idx);
+            }
+            let k = old_ap.first_unsent();
+            new_ap.jump_to(k);
+            while let Some((idx, _)) = new_ap.pop() {
+                delivered.push(idx);
+            }
+            let expected: Vec<u16> = (0..n).map(|off| (start + off) % 4096).collect();
+            prop_assert_eq!(delivered, expected);
+        }
     }
 }

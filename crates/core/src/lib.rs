@@ -10,6 +10,7 @@
 //! | Module | Paper section | Mechanism |
 //! |---|---|---|
 //! | [`selection`] | §3.1.1 | max-median-ESNR AP selection over a sliding window *W* (Fig. 6), with the time hysteresis studied in §5.3.3 |
+//! | [`window`] | §3.1.1 | incremental order-statistics sliding window backing [`selection`]: O(log n) insert, O(1) memoized reduce, oracle-equivalent by property test |
 //! | [`cyclic`] | §3.1.2, Fig. 7 | per-client cyclic queue with m = 12-bit packet indices, replicated at every in-range AP |
 //! | [`switching`] | §3.1.2 | the three-step `stop(c)` → `start(c, k)` → `ack` protocol, 30 ms ack timeout, one outstanding switch |
 //! | [`dedup`] | §3.2.2–3.2.3 | controller-side uplink de-duplication on the 48-bit (src IP, IP ident) key |
@@ -33,8 +34,9 @@ pub mod dedup;
 pub mod messages;
 pub mod selection;
 pub mod switching;
+pub mod window;
 
 pub use config::WgttConfig;
-pub use selection::SelectionPolicy;
 pub use controller::{Controller, ControllerAction};
 pub use messages::{BackhaulDest, BackhaulMsg};
+pub use selection::SelectionPolicy;

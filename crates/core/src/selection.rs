@@ -11,80 +11,36 @@
 //! a *time hysteresis* between switches (§5.3.3) and the rule that the
 //! in-range candidate set is "those APs that have received a packet from
 //! the client within the AP selection window W" (§3.1.2 footnote).
+//!
+//! The per-link window reduction is delegated to
+//! [`crate::window::EsnrWindow`], an incremental order-statistics
+//! structure (indexable sorted ring, O(1) memoized query) proven
+//! equivalent to the naive sort-per-query oracle by the property suite in
+//! `crates/core/tests/prop_selection.rs`. Link maps are `BTreeMap`s so
+//! every scan is already in deterministic AP-id order without the
+//! collect-and-sort the seed implementation paid per frame.
 
-use std::collections::{HashMap, VecDeque};
+use crate::window::EsnrWindow;
+use std::collections::BTreeMap;
 use wgtt_mac::frame::NodeId;
 use wgtt_sim::time::{SimDuration, SimTime};
+
+pub use crate::window::SelectionPolicy;
 
 /// How long the serving AP may go unheard before it is declared dead and
 /// abandoned regardless of margin. Shorter than this, a CSI lull (a pair
 /// of lost Block ACKs) must not force a panic switch.
 const SILENCE_GRACE: SimDuration = SimDuration::from_millis(100);
 
-/// How the sliding window of ESNR readings reduces to one figure per AP.
-///
-/// The paper picks the **median** (Fig. 6) for robustness to single-frame
-/// fading spikes; the other reducers exist for the ablation study that
-/// quantifies that choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SelectionPolicy {
-    /// Median of the window — the paper's algorithm.
-    #[default]
-    Median,
-    /// Arithmetic mean of the window.
-    Mean,
-    /// Maximum reading in the window (optimistic).
-    Max,
-    /// Most recent reading only (no smoothing).
-    Latest,
-}
-
-/// Sliding-window ESNR history for one (client, AP) link.
+/// Per-AP link state: the selection window plus the range-liveness
+/// timestamp, kept in one map entry so each reading costs a single
+/// tree walk.
 #[derive(Debug, Default)]
-struct LinkHistory {
-    /// `(time, esnr_db)`, oldest first.
-    readings: VecDeque<(SimTime, f64)>,
-}
-
-impl LinkHistory {
-    fn push(&mut self, at: SimTime, esnr_db: f64, window: SimDuration) {
-        self.readings.push_back((at, esnr_db));
-        self.expire(at, window);
-    }
-
-    fn expire(&mut self, now: SimTime, window: SimDuration) {
-        while let Some(&(t, _)) = self.readings.front() {
-            if t + window < now {
-                self.readings.pop_front();
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn reduce(&self, policy: SelectionPolicy) -> Option<f64> {
-        if self.readings.is_empty() {
-            return None;
-        }
-        match policy {
-            SelectionPolicy::Median => {
-                let mut vals: Vec<f64> =
-                    self.readings.iter().map(|&(_, v)| v).collect();
-                vals.sort_by(|a, b| a.partial_cmp(b).expect("ESNR is never NaN"));
-                Some(vals[vals.len() / 2])
-            }
-            SelectionPolicy::Mean => Some(
-                self.readings.iter().map(|&(_, v)| v).sum::<f64>()
-                    / self.readings.len() as f64,
-            ),
-            SelectionPolicy::Max => self
-                .readings
-                .iter()
-                .map(|&(_, v)| v)
-                .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v)))),
-            SelectionPolicy::Latest => self.readings.back().map(|&(_, v)| v),
-        }
-    }
+struct Link {
+    window: EsnrWindow,
+    /// Most recent reading regardless of window expiry (range liveness
+    /// for the fan-out grace rule).
+    last_reading: SimTime,
 }
 
 /// Per-client AP selection state.
@@ -94,10 +50,7 @@ pub struct ApSelector {
     hysteresis: SimDuration,
     margin_db: f64,
     policy: SelectionPolicy,
-    links: HashMap<NodeId, LinkHistory>,
-    /// Most recent reading per AP regardless of window expiry (range
-    /// liveness for the fan-out grace rule).
-    last_reading: HashMap<NodeId, SimTime>,
+    links: BTreeMap<NodeId, Link>,
     current: Option<NodeId>,
     last_switch: Option<SimTime>,
 }
@@ -122,8 +75,7 @@ impl ApSelector {
             hysteresis,
             margin_db,
             policy: SelectionPolicy::Median,
-            links: HashMap::new(),
-            last_reading: HashMap::new(),
+            links: BTreeMap::new(),
             current: None,
             last_switch: None,
         }
@@ -137,23 +89,16 @@ impl ApSelector {
 
     /// Record an ESNR reading from `ap` at `at`.
     pub fn record(&mut self, ap: NodeId, at: SimTime, esnr_db: f64) {
-        self.last_reading
-            .entry(ap)
-            .and_modify(|t| *t = (*t).max(at))
-            .or_insert(at);
-        self.links
-            .entry(ap)
-            .or_default()
-            .push(at, esnr_db, self.window);
+        let link = self.links.entry(ap).or_default();
+        link.last_reading = link.last_reading.max(at);
+        link.window.push(at, esnr_db, self.window);
     }
 
     /// Whether any AP has heard this client within `grace` of `now` —
     /// if not, the client is out of coverage and downlink fan-out should
     /// stop rather than burn airtime on a dark link.
     pub fn heard_within(&self, now: SimTime, grace: wgtt_sim::time::SimDuration) -> bool {
-        self.last_reading
-            .values()
-            .any(|&t| t + grace >= now)
+        self.links.values().any(|l| l.last_reading + grace >= now)
     }
 
     /// APs heard from within `grace` — the downlink replication set. This
@@ -161,14 +106,12 @@ impl ApSelector {
     /// arrives sporadically must still hold the client's packets in its
     /// cyclic queue, or a switch to it starts with holes in the ring.
     pub fn heard_set(&self, now: SimTime, grace: SimDuration) -> Vec<NodeId> {
-        let mut aps: Vec<NodeId> = self
-            .last_reading
+        // BTreeMap iteration is already in ascending AP-id order.
+        self.links
             .iter()
-            .filter(|(_, &t)| t + grace >= now)
+            .filter(|(_, l)| l.last_reading + grace >= now)
             .map(|(&ap, _)| ap)
-            .collect();
-        aps.sort_unstable();
-        aps
+            .collect()
     }
 
     /// The AP currently serving this client, if any.
@@ -187,20 +130,18 @@ impl ApSelector {
     /// for downlink replication.
     pub fn in_range(&mut self, now: SimTime) -> Vec<NodeId> {
         let window = self.window;
-        let mut aps: Vec<NodeId> = self
-            .links
+        // BTreeMap iteration is already in ascending AP-id order.
+        self.links
             .iter_mut()
-            .filter_map(|(&ap, h)| {
-                h.expire(now, window);
-                if h.readings.is_empty() {
+            .filter_map(|(&ap, l)| {
+                l.window.expire(now, window);
+                if l.window.is_empty() {
                     None
                 } else {
                     Some(ap)
                 }
             })
-            .collect();
-        aps.sort_unstable();
-        aps
+            .collect()
     }
 
     /// Reduced (by the configured policy; median by default) ESNR of
@@ -208,24 +149,24 @@ impl ApSelector {
     pub fn median_esnr(&mut self, ap: NodeId, now: SimTime) -> Option<f64> {
         let window = self.window;
         let policy = self.policy;
-        let h = self.links.get_mut(&ap)?;
-        h.expire(now, window);
-        h.reduce(policy)
+        let l = self.links.get_mut(&ap)?;
+        l.window.expire(now, window);
+        l.window.reduce(policy)
     }
 
     /// The instantaneous argmax-median AP (no hysteresis) — the paper's
     /// "optimal AP" reference for the Table 2 switching-accuracy metric.
     pub fn best(&mut self, now: SimTime) -> Option<(NodeId, f64)> {
         let window = self.window;
-        let mut best: Option<(NodeId, f64)> = None;
-        // Deterministic iteration: sort by AP id.
-        let mut aps: Vec<NodeId> = self.links.keys().copied().collect();
-        aps.sort_unstable();
         let policy = self.policy;
-        for ap in aps {
-            let h = self.links.get_mut(&ap).expect("key exists");
-            h.expire(now, window);
-            if let Some(m) = h.reduce(policy) {
+        let mut best: Option<(NodeId, f64)> = None;
+        // BTreeMap iteration is ascending by AP id, so the strict `>`
+        // keeps the lowest id on ties — same verdict as the seed's
+        // collect-and-sort scan. `reduce` is memoized per link, so APs
+        // untouched since the last frame cost O(1) here.
+        for (&ap, l) in self.links.iter_mut() {
+            l.window.expire(now, window);
+            if let Some(m) = l.window.reduce(policy) {
                 if best.is_none_or(|(_, bm)| m > bm) {
                     best = Some((ap, m));
                 }
@@ -259,9 +200,9 @@ impl ApSelector {
             // a brief CSI lull is not evidence of a dead link.
             None => {
                 let silent_long = self
-                    .last_reading
+                    .links
                     .get(&current)
-                    .is_none_or(|&t| t + SILENCE_GRACE < now);
+                    .is_none_or(|l| l.last_reading + SILENCE_GRACE < now);
                 if silent_long {
                     Verdict::SwitchTo(best_ap)
                 } else {

@@ -217,7 +217,12 @@ mod tests {
     fn happy_path_three_steps() {
         let mut p = proto();
         let ev = p.begin(AP1, AP2, ms(0)).expect("idle, must start");
-        let SwitchEvent::SendStop { old_ap, new_ap, switch_id } = ev else {
+        let SwitchEvent::SendStop {
+            old_ap,
+            new_ap,
+            switch_id,
+        } = ev
+        else {
             panic!("expected SendStop");
         };
         assert_eq!((old_ap, new_ap), (AP1, AP2));
@@ -304,13 +309,11 @@ mod tests {
     #[test]
     fn switch_ids_are_unique_per_attempt() {
         let mut p = proto();
-        let SwitchEvent::SendStop { switch_id: a, .. } = p.begin(AP1, AP2, ms(0)).unwrap()
-        else {
+        let SwitchEvent::SendStop { switch_id: a, .. } = p.begin(AP1, AP2, ms(0)).unwrap() else {
             panic!();
         };
         p.on_ack(a, ms(10));
-        let SwitchEvent::SendStop { switch_id: b, .. } = p.begin(AP2, AP1, ms(20)).unwrap()
-        else {
+        let SwitchEvent::SendStop { switch_id: b, .. } = p.begin(AP2, AP1, ms(20)).unwrap() else {
             panic!();
         };
         assert_ne!(a, b);

@@ -1,0 +1,440 @@
+//! Incremental order-statistics sliding window for ESNR readings.
+//!
+//! The paper's selection rule (§3.1.1) evaluates `argmax_a median(E(a))`
+//! over the last *W* = 10 ms on **every uplink frame**, which makes the
+//! window reduction the hottest path in the whole system. The seed
+//! implementation re-collected and re-sorted the window per AP per
+//! frame — O(A · n log n) with an allocation per query. This module
+//! replaces it with structures that keep order statistics *across*
+//! queries instead of rebuilding them per query:
+//!
+//! * an **indexable sorted ring** ([`SortedRing`]): the window's live
+//!   values kept sorted under `f64::total_cmp`; insert and expiry
+//!   binary-search the position and shift the tail, and any order
+//!   statistic is a direct index. For the at-most-few-hundred readings
+//!   a 10 ms window holds, the shift is a small `memmove` — measured
+//!   faster than a two-heap lazy-deletion median (no hashing, no
+//!   tombstones, no rebalancing) while staying exactly
+//!   population-sized;
+//! * a **monotonic deque** for the window maximum (classic
+//!   sliding-window-maximum, O(1) amortized);
+//! * a running deque of `(time, value)` readings giving expiry order,
+//!   the latest sample, and the mean.
+//!
+//! [`EsnrWindow::reduce`] additionally memoizes its result until the
+//! next insert or expiry, so a selector scanning many APs per frame
+//! recomputes only the links that actually changed.
+//!
+//! **Equivalence guarantee.** For every policy the reduced value is
+//! numerically identical to the naive sort-per-query oracle
+//! ([`NaiveWindow`], the seed implementation kept verbatim):
+//!
+//! * *Median*: the ring is the window multiset sorted under
+//!   `total_cmp`, and the reduction reads element `n/2` (0-based) —
+//!   exactly the index the oracle picks. Total order and the
+//!   oracle's `partial_cmp` sort can only disagree about the relative
+//!   order of bit-distinct but numerically equal values (`-0.0` vs
+//!   `0.0`), which cannot change the value at any sorted index.
+//! * *Mean*: recomputed on invalidation by the same left-to-right
+//!   summation over the window the oracle uses (a running sum would
+//!   drift by rounding under subtraction and break bit-equality).
+//! * *Max*/*Latest*: order-insensitive / positional, identical by
+//!   construction.
+//!
+//! `crates/core/tests/prop_selection.rs` pins this equivalence under
+//! arbitrary insert/expiry sequences, duplicate timestamps included.
+
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+use wgtt_sim::time::{SimDuration, SimTime};
+
+/// How the sliding window of ESNR readings reduces to one figure per AP.
+///
+/// The paper picks the **median** (Fig. 6) for robustness to single-frame
+/// fading spikes; the other reducers exist for the ablation study that
+/// quantifies that choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Median of the window — the paper's algorithm.
+    #[default]
+    Median,
+    /// Arithmetic mean of the window.
+    Mean,
+    /// Maximum reading in the window (optimistic).
+    Max,
+    /// Most recent reading only (no smoothing).
+    Latest,
+}
+
+/// Indexable sorted ring: the window's live ESNR values kept sorted
+/// under the IEEE-754 total order, so any order statistic is a direct
+/// index (`sorted[len/2]` is the oracle's median).
+///
+/// Insert and remove binary-search the position and shift the tail.
+/// The shift is formally O(n), but the window never holds more than a
+/// few hundred readings (*W* = 10 ms of uplink frames), so it is one
+/// small `memmove` — measured several times faster than a two-heap
+/// lazy-deletion median at these populations, with zero slack memory:
+/// the ring is always exactly population-sized.
+///
+/// Equal values under `total_cmp` have identical bit patterns (the
+/// total order distinguishes `-0.0` from `0.0` and every NaN payload),
+/// so removing "one occurrence of `v`" cannot pick the wrong victim
+/// among duplicates.
+#[derive(Debug, Default, Clone)]
+struct SortedRing {
+    sorted: Vec<f64>,
+}
+
+impl SortedRing {
+    /// Live element count (used by the memory-bound test).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// First index whose value is `>= v` in the total order — the
+    /// insertion point, and the leftmost copy of `v` if present.
+    #[inline]
+    fn lower_bound(&self, v: f64) -> usize {
+        self.sorted
+            .partition_point(|x| x.total_cmp(&v) == Ordering::Less)
+    }
+
+    #[inline]
+    fn insert(&mut self, v: f64) {
+        let i = self.lower_bound(v);
+        self.sorted.insert(i, v);
+    }
+
+    /// Remove one occurrence of `v`. The caller guarantees `v` is in the
+    /// multiset (it expires a reading it previously inserted).
+    #[inline]
+    fn remove(&mut self, v: f64) {
+        let i = self.lower_bound(v);
+        debug_assert!(
+            self.sorted
+                .get(i)
+                .is_some_and(|x| x.to_bits() == v.to_bits()),
+            "remove of a value that was never inserted"
+        );
+        self.sorted.remove(i);
+    }
+
+    /// `sorted[len/2]` of the live multiset — the oracle's median index.
+    #[inline]
+    fn median(&self) -> Option<f64> {
+        self.sorted.get(self.sorted.len() / 2).copied()
+    }
+}
+
+/// Incremental sliding-window ESNR history for one (client, AP) link.
+///
+/// Maintains median / mean / max / latest under time-ordered inserts
+/// ([`EsnrWindow::push`]) and front expiry ([`EsnrWindow::expire`]),
+/// with the reduced value memoized between mutations.
+///
+/// ```
+/// use wgtt::window::{EsnrWindow, SelectionPolicy};
+/// use wgtt_sim::time::{SimDuration, SimTime};
+///
+/// let w = SimDuration::from_millis(10);
+/// let mut win = EsnrWindow::default();
+/// for (t, v) in [(0u64, 5.0), (1, 6.0), (2, 50.0)] {
+///     win.push(SimTime::from_millis(t), v, w);
+/// }
+/// assert_eq!(win.reduce(SelectionPolicy::Median), Some(6.0));
+/// assert_eq!(win.reduce(SelectionPolicy::Max), Some(50.0));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct EsnrWindow {
+    /// `(time, esnr_db)`, oldest first — expiry order, latest, and mean.
+    readings: VecDeque<(SimTime, f64)>,
+    ring: SortedRing,
+    /// Monotonic non-increasing values; front is the window maximum.
+    maxq: VecDeque<(SimTime, f64)>,
+    /// Memoized `reduce` result, invalidated by insert/expiry.
+    cached: Option<(SelectionPolicy, Option<f64>)>,
+}
+
+impl EsnrWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of readings currently inside the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// Whether the window holds no readings.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty()
+    }
+
+    /// Record a reading and expire everything older than `window`
+    /// behind it. Times must be non-decreasing per link (the event loop
+    /// delivers CSI reports in order); ties are fine.
+    #[inline]
+    pub fn push(&mut self, at: SimTime, esnr_db: f64, window: SimDuration) {
+        debug_assert!(
+            self.readings.back().is_none_or(|&(t, _)| t <= at),
+            "per-link readings must arrive in time order"
+        );
+        self.readings.push_back((at, esnr_db));
+        self.ring.insert(esnr_db);
+        while self.maxq.back().is_some_and(|&(_, v)| v <= esnr_db) {
+            self.maxq.pop_back();
+        }
+        self.maxq.push_back((at, esnr_db));
+        self.cached = None;
+        self.expire(at, window);
+        // `expire` only clears the cache when something left the
+        // window, so clear unconditionally for the insert itself.
+        self.cached = None;
+    }
+
+    /// Drop readings with `t + window < now` (same strict inequality as
+    /// the seed implementation: a reading exactly `window` old stays).
+    #[inline]
+    pub fn expire(&mut self, now: SimTime, window: SimDuration) {
+        let mut changed = false;
+        while let Some(&(t, v)) = self.readings.front() {
+            if t + window < now {
+                self.readings.pop_front();
+                self.ring.remove(v);
+                changed = true;
+            } else {
+                break;
+            }
+        }
+        if changed {
+            // `maxq` is a subsequence of the live readings and both use
+            // the same strict expiry rule, so a maxq entry can only be
+            // stale when the oldest reading was.
+            while self.maxq.front().is_some_and(|&(t, _)| t + window < now) {
+                self.maxq.pop_front();
+            }
+            self.cached = None;
+        }
+    }
+
+    /// Reduce the window under `policy`. O(1) when nothing changed since
+    /// the last call; O(1) (median/max/latest) / O(n) (mean) after a
+    /// mutation.
+    #[inline]
+    pub fn reduce(&mut self, policy: SelectionPolicy) -> Option<f64> {
+        if let Some((p, v)) = self.cached {
+            if p == policy {
+                return v;
+            }
+        }
+        let v = self.compute(policy);
+        self.cached = Some((policy, v));
+        v
+    }
+
+    fn compute(&mut self, policy: SelectionPolicy) -> Option<f64> {
+        if self.readings.is_empty() {
+            return None;
+        }
+        match policy {
+            SelectionPolicy::Median => self.ring.median(),
+            // Same left-to-right summation as the oracle — a running
+            // sum under subtraction would drift and break bit-equality.
+            SelectionPolicy::Mean => Some(
+                self.readings.iter().map(|&(_, v)| v).sum::<f64>() / self.readings.len() as f64,
+            ),
+            SelectionPolicy::Max => self.maxq.front().map(|&(_, v)| v),
+            SelectionPolicy::Latest => self.readings.back().map(|&(_, v)| v),
+        }
+    }
+}
+
+/// The seed's sort-per-query window, kept verbatim as the equivalence
+/// oracle for property tests and as the "before" side of the
+/// before/after microbenches in `crates/bench`.
+#[derive(Debug, Default, Clone)]
+pub struct NaiveWindow {
+    readings: VecDeque<(SimTime, f64)>,
+}
+
+impl NaiveWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of readings currently inside the window.
+    pub fn len(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// Whether the window holds no readings.
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty()
+    }
+
+    /// Record a reading and expire behind it.
+    pub fn push(&mut self, at: SimTime, esnr_db: f64, window: SimDuration) {
+        self.readings.push_back((at, esnr_db));
+        self.expire(at, window);
+    }
+
+    /// Drop readings with `t + window < now`.
+    pub fn expire(&mut self, now: SimTime, window: SimDuration) {
+        while let Some(&(t, _)) = self.readings.front() {
+            if t + window < now {
+                self.readings.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Sort-per-query reduction (the seed implementation).
+    pub fn reduce(&self, policy: SelectionPolicy) -> Option<f64> {
+        if self.readings.is_empty() {
+            return None;
+        }
+        match policy {
+            SelectionPolicy::Median => {
+                let mut vals: Vec<f64> = self.readings.iter().map(|&(_, v)| v).collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).expect("ESNR is never NaN"));
+                Some(vals[vals.len() / 2])
+            }
+            SelectionPolicy::Mean => Some(
+                self.readings.iter().map(|&(_, v)| v).sum::<f64>() / self.readings.len() as f64,
+            ),
+            SelectionPolicy::Max => self
+                .readings
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.max(v)))
+                }),
+            SelectionPolicy::Latest => self.readings.back().map(|&(_, v)| v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    const W: SimDuration = SimDuration::from_millis(10);
+
+    fn both() -> (EsnrWindow, NaiveWindow) {
+        (EsnrWindow::new(), NaiveWindow::new())
+    }
+
+    const POLICIES: [SelectionPolicy; 4] = [
+        SelectionPolicy::Median,
+        SelectionPolicy::Mean,
+        SelectionPolicy::Max,
+        SelectionPolicy::Latest,
+    ];
+
+    #[test]
+    fn empty_reduces_to_none() {
+        let mut w = EsnrWindow::new();
+        for p in POLICIES {
+            assert_eq!(w.reduce(p), None);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_fig6_window() {
+        let (mut inc, mut naive) = both();
+        for (i, v) in [23.0, 23.0, 23.0, 9.0, 9.0].iter().enumerate() {
+            inc.push(ms(100 + i as u64), *v, W);
+            naive.push(ms(100 + i as u64), *v, W);
+        }
+        for p in POLICIES {
+            assert_eq!(inc.reduce(p), naive.reduce(p), "{p:?}");
+        }
+        assert_eq!(inc.reduce(SelectionPolicy::Median), Some(23.0));
+    }
+
+    #[test]
+    fn expiry_matches_oracle_boundary() {
+        // A reading exactly `window` old is retained (strict <).
+        let (mut inc, mut naive) = both();
+        inc.push(ms(0), 30.0, W);
+        naive.push(ms(0), 30.0, W);
+        inc.expire(ms(10), W);
+        naive.expire(ms(10), W);
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc.reduce(SelectionPolicy::Median), Some(30.0));
+        inc.expire(SimTime::from_micros(10_001), W);
+        naive.expire(SimTime::from_micros(10_001), W);
+        assert_eq!(inc.len(), naive.len());
+        assert_eq!(inc.reduce(SelectionPolicy::Median), None);
+    }
+
+    #[test]
+    fn sliding_stream_matches_oracle() {
+        // A long pseudo-random stream with a 10 ms window: every prefix
+        // must agree with the oracle for every policy.
+        let (mut inc, mut naive) = both();
+        let mut t = 0u64;
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..2_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t += x % 700; // µs steps, ties included
+            let v = ((x >> 16) % 600) as f64 / 10.0 - 20.0;
+            let at = SimTime::from_micros(t);
+            inc.push(at, v, W);
+            naive.push(at, v, W);
+            for p in POLICIES {
+                assert_eq!(inc.reduce(p), naive.reduce(p), "{p:?} at t={t}µs");
+            }
+            assert_eq!(inc.len(), naive.len());
+        }
+    }
+
+    #[test]
+    fn duplicate_values_and_timestamps_match_oracle() {
+        let (mut inc, mut naive) = both();
+        for (t, v) in [(0u64, 5.0), (0, 5.0), (0, 5.0), (3, 5.0), (3, 7.0)] {
+            inc.push(ms(t), v, W);
+            naive.push(ms(t), v, W);
+        }
+        for p in POLICIES {
+            assert_eq!(inc.reduce(p), naive.reduce(p), "{p:?}");
+        }
+        // Slide far enough that the t=0 triple expires.
+        inc.expire(ms(12), W);
+        naive.expire(ms(12), W);
+        for p in POLICIES {
+            assert_eq!(inc.reduce(p), naive.reduce(p), "{p:?} after expiry");
+        }
+    }
+
+    #[test]
+    fn memory_stays_population_sized() {
+        // Slide a size-1 window across many inserts: every insert also
+        // expires one reading, so a structure that deferred deletions
+        // would grow with the total insert count. The sorted ring must
+        // stay exactly population-sized.
+        let mut inc = EsnrWindow::new();
+        for i in 0..10_000u64 {
+            inc.push(
+                SimTime::from_millis(i * 20),
+                (i % 977) as f64,
+                SimDuration::from_millis(10),
+            );
+        }
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc.ring.len(), inc.readings.len());
+    }
+}

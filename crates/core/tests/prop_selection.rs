@@ -1,0 +1,166 @@
+//! Oracle-equivalence property suite for the incremental sliding-window
+//! ESNR reduction (`wgtt::window`).
+//!
+//! The incremental structures ([`EsnrWindow`], and [`ApSelector`] built
+//! on top of it) must be indistinguishable from the seed's naive
+//! sort-per-query implementation ([`NaiveWindow`], kept verbatim as the
+//! oracle) under arbitrary insert/expiry sequences — duplicate
+//! timestamps, duplicate values, and exact window-boundary readings
+//! included. Selection *verdicts* are a pure function of the reduced
+//! values, so equality here means every experiment artifact in
+//! EXPERIMENTS.md is unchanged by the optimization.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wgtt::selection::{ApSelector, SelectionPolicy};
+use wgtt::window::{EsnrWindow, NaiveWindow};
+use wgtt_mac::frame::NodeId;
+use wgtt_sim::time::{SimDuration, SimTime};
+
+const WINDOW: SimDuration = SimDuration::from_millis(10);
+
+const POLICIES: [SelectionPolicy; 4] = [
+    SelectionPolicy::Median,
+    SelectionPolicy::Mean,
+    SelectionPolicy::Max,
+    SelectionPolicy::Latest,
+];
+
+/// Decode a generated value into an ESNR-ish figure. Coarse 0.1 dB
+/// quantization makes duplicate values common, which is exactly the
+/// regime where order-statistics bookkeeping goes wrong.
+fn esnr(raw: u32) -> f64 {
+    raw as f64 / 10.0 - 20.0
+}
+
+proptest! {
+    /// After every insert, all four reductions agree with the oracle.
+    /// `dt = 0` steps produce duplicate timestamps; steps larger than
+    /// the window empty it completely.
+    #[test]
+    fn window_matches_oracle_after_every_insert(
+        ops in proptest::collection::vec((0u64..3_000, 0u32..600), 1..200)
+    ) {
+        let (mut inc, mut naive) = (EsnrWindow::new(), NaiveWindow::new());
+        let mut t_us = 0u64;
+        for (dt_us, raw) in ops {
+            // Scale some steps up so whole-window expiry happens too.
+            t_us += if dt_us > 2_900 { dt_us * 10 } else { dt_us };
+            let at = SimTime::from_micros(t_us);
+            let v = esnr(raw);
+            inc.push(at, v, WINDOW);
+            naive.push(at, v, WINDOW);
+            prop_assert_eq!(inc.len(), naive.len());
+            for p in POLICIES {
+                prop_assert_eq!(
+                    inc.reduce(p), naive.reduce(p),
+                    "{:?} diverged at t={}µs", p, t_us
+                );
+            }
+        }
+    }
+
+    /// Interleaved insert and expiry-only steps (the `in_range` /
+    /// `median_esnr` paths expire without inserting) stay equivalent.
+    #[test]
+    fn window_matches_oracle_under_expiry_only_steps(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..4_000, 0u32..600), 1..200
+        )
+    ) {
+        let (mut inc, mut naive) = (EsnrWindow::new(), NaiveWindow::new());
+        let mut t_us = 0u64;
+        for (is_insert, dt_us, raw) in ops {
+            t_us += dt_us;
+            let at = SimTime::from_micros(t_us);
+            if is_insert {
+                inc.push(at, esnr(raw), WINDOW);
+                naive.push(at, esnr(raw), WINDOW);
+            } else {
+                inc.expire(at, WINDOW);
+                naive.expire(at, WINDOW);
+            }
+            prop_assert_eq!(inc.len(), naive.len());
+            for p in POLICIES {
+                prop_assert_eq!(
+                    inc.reduce(p), naive.reduce(p),
+                    "{:?} diverged at t={}µs (insert={})", p, t_us, is_insert
+                );
+            }
+        }
+    }
+
+    /// Readings sitting exactly on the window boundary (`t + W == now`,
+    /// retained by the strict `<` expiry) and one tick beyond it
+    /// (dropped) are handled identically. Steps are drawn from the
+    /// boundary-adjacent set {0, 1, W-1, W, W+1} µs-scale offsets.
+    #[test]
+    fn window_boundary_readings_match_oracle(
+        steps in proptest::collection::vec((0usize..5, 0u32..600), 1..150)
+    ) {
+        const BOUNDARY_STEPS_US: [u64; 5] = [0, 1, 9_999, 10_000, 10_001];
+        let (mut inc, mut naive) = (EsnrWindow::new(), NaiveWindow::new());
+        let mut t_us = 0u64;
+        for (step, raw) in steps {
+            t_us += BOUNDARY_STEPS_US[step];
+            let at = SimTime::from_micros(t_us);
+            inc.push(at, esnr(raw), WINDOW);
+            naive.push(at, esnr(raw), WINDOW);
+            prop_assert_eq!(inc.len(), naive.len(), "len diverged at t={}µs", t_us);
+            for p in POLICIES {
+                prop_assert_eq!(
+                    inc.reduce(p), naive.reduce(p),
+                    "{:?} diverged at t={}µs", p, t_us
+                );
+            }
+        }
+    }
+
+    /// Full-selector equivalence: `ApSelector::best` (argmax of the
+    /// per-AP reduction, lowest AP id on ties) and `median_esnr` agree
+    /// with a naive per-AP oracle scan for every policy and step of a
+    /// multi-AP reading stream.
+    #[test]
+    fn selector_best_matches_naive_argmax(
+        policy_idx in 0usize..4,
+        ops in proptest::collection::vec((0u32..5, 0u64..2_000, 0u32..600), 1..250)
+    ) {
+        let policy = POLICIES[policy_idx];
+        let mut selector = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        selector.set_policy(policy);
+        let mut oracle: BTreeMap<u32, NaiveWindow> = BTreeMap::new();
+        let mut t_us = 0u64;
+        for (ap, dt_us, raw) in ops {
+            t_us += dt_us;
+            let at = SimTime::from_micros(t_us);
+            let v = esnr(raw);
+            selector.record(NodeId(ap), at, v);
+            oracle.entry(ap).or_default().push(at, v, WINDOW);
+
+            // Naive argmax: ascending AP id, strict > keeps the first.
+            let mut expected: Option<(NodeId, f64)> = None;
+            for (&id, w) in oracle.iter_mut() {
+                w.expire(at, WINDOW);
+                if let Some(m) = w.reduce(policy) {
+                    if expected.is_none_or(|(_, bm)| m > bm) {
+                        expected = Some((NodeId(id), m));
+                    }
+                }
+            }
+            prop_assert_eq!(selector.best(at), expected, "best diverged at t={}µs", t_us);
+            for (&id, w) in oracle.iter() {
+                prop_assert_eq!(
+                    selector.median_esnr(NodeId(id), at),
+                    w.reduce(policy),
+                    "median_esnr({}) diverged at t={}µs", id, t_us
+                );
+            }
+            let expected_in_range: Vec<NodeId> = oracle
+                .iter()
+                .filter(|(_, w)| !w.is_empty())
+                .map(|(&id, _)| NodeId(id))
+                .collect();
+            prop_assert_eq!(selector.in_range(at), expected_in_range);
+        }
+    }
+}

@@ -166,7 +166,12 @@ mod tests {
     fn retries_go_first() {
         let mut retries = vec![mpdu(5, 1500), mpdu(7, 1500)];
         let mut fresh: VecDeque<Mpdu> = (10..20).map(|s| mpdu(s, 1500)).collect();
-        let a = build_ampdu(&mut retries, &mut fresh, &AggregationPolicy::default(), Mcs::Mcs7);
+        let a = build_ampdu(
+            &mut retries,
+            &mut fresh,
+            &AggregationPolicy::default(),
+            Mcs::Mcs7,
+        );
         assert_eq!(a[0].seq, 5);
         assert_eq!(a[1].seq, 7);
         assert_eq!(a[2].seq, 10);
@@ -178,7 +183,12 @@ mod tests {
         // A retry at seq 0 plus fresh far ahead: anything ≥ 64 away stays.
         let mut retries = vec![mpdu(0, 1500)];
         let mut fresh: VecDeque<Mpdu> = (60..70).map(|s| mpdu(s, 1500)).collect();
-        let a = build_ampdu(&mut retries, &mut fresh, &AggregationPolicy::default(), Mcs::Mcs7);
+        let a = build_ampdu(
+            &mut retries,
+            &mut fresh,
+            &AggregationPolicy::default(),
+            Mcs::Mcs7,
+        );
         let max_seq = a.iter().map(|m| m.seq).max().unwrap();
         assert!(max_seq < 64, "max seq {max_seq} must stay in BA window");
         assert!(fresh.iter().any(|m| m.seq >= 64));
@@ -202,16 +212,25 @@ mod tests {
     fn empty_queues_build_nothing() {
         let mut retries = Vec::new();
         let mut fresh = VecDeque::new();
-        let a = build_ampdu(&mut retries, &mut fresh, &AggregationPolicy::default(), Mcs::Mcs7);
+        let a = build_ampdu(
+            &mut retries,
+            &mut fresh,
+            &AggregationPolicy::default(),
+            Mcs::Mcs7,
+        );
         assert!(a.is_empty());
     }
 
     #[test]
     fn wraparound_window_ok() {
         let mut retries = Vec::new();
-        let mut fresh: VecDeque<Mpdu> =
-            (0..10).map(|i| mpdu((4090 + i) % 4096, 1500)).collect();
-        let a = build_ampdu(&mut retries, &mut fresh, &AggregationPolicy::default(), Mcs::Mcs7);
+        let mut fresh: VecDeque<Mpdu> = (0..10).map(|i| mpdu((4090 + i) % 4096, 1500)).collect();
+        let a = build_ampdu(
+            &mut retries,
+            &mut fresh,
+            &AggregationPolicy::default(),
+            Mcs::Mcs7,
+        );
         assert_eq!(a.len(), 10, "wrap inside window must aggregate fully");
     }
 }

@@ -130,10 +130,7 @@ mod tests {
                 mpdus: (0..n)
                     .map(|i| Mpdu {
                         seq: i as u16,
-                        packet: PacketRef {
-                            id: i as u64,
-                            len,
-                        },
+                        packet: PacketRef { id: i as u64, len },
                         retries: 0,
                     })
                     .collect(),

@@ -159,15 +159,13 @@ impl BaOriginator {
 /// assert!(rx.on_mpdu(11));
 /// assert_eq!(rx.block_ack(), (10, 0b11));
 /// ```
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BaRecipient {
     win_start: u16,
     /// Bit `i` set ⇔ `win_start + i` received.
     received: u64,
     started: bool,
 }
-
 
 impl BaRecipient {
     /// Create an empty window.

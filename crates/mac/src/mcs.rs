@@ -221,12 +221,8 @@ mod tests {
     #[test]
     fn goodput_crossover_exists() {
         // At low ESNR a low MCS must beat MCS7; at high ESNR vice versa.
-        assert!(
-            Mcs::Mcs0.expected_goodput_mbps(4.0) > Mcs::Mcs7.expected_goodput_mbps(4.0)
-        );
-        assert!(
-            Mcs::Mcs7.expected_goodput_mbps(30.0) > Mcs::Mcs0.expected_goodput_mbps(30.0)
-        );
+        assert!(Mcs::Mcs0.expected_goodput_mbps(4.0) > Mcs::Mcs7.expected_goodput_mbps(4.0));
+        assert!(Mcs::Mcs7.expected_goodput_mbps(30.0) > Mcs::Mcs0.expected_goodput_mbps(30.0));
     }
 
     #[test]

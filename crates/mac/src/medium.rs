@@ -127,9 +127,9 @@ impl Medium {
 
     /// Is the channel sensed busy by `node` at `now`?
     pub fn is_busy_for(&self, node: NodeId, now: SimTime) -> bool {
-        self.ongoing.iter().any(|o| {
-            o.end > now && o.from != node && self.in_range(node, o.from, self.cs_range_m)
-        })
+        self.ongoing
+            .iter()
+            .any(|o| o.end > now && o.from != node && self.in_range(node, o.from, self.cs_range_m))
     }
 
     /// Like [`Medium::is_busy_for`], but a transmission that began less
@@ -150,7 +150,9 @@ impl Medium {
     pub fn busy_until_for(&self, node: NodeId, now: SimTime) -> SimTime {
         self.ongoing
             .iter()
-            .filter(|o| o.end > now && o.from != node && self.in_range(node, o.from, self.cs_range_m))
+            .filter(|o| {
+                o.end > now && o.from != node && self.in_range(node, o.from, self.cs_range_m)
+            })
             .map(|o| o.end)
             .max()
             .unwrap_or(now)
@@ -259,14 +261,17 @@ impl Medium {
 
     /// Number of transmissions currently on the air at `now`.
     pub fn active_count(&self, now: SimTime) -> usize {
-        self.ongoing.iter().filter(|o| o.start <= now && o.end > now).count()
+        self.ongoing
+            .iter()
+            .filter(|o| o.start <= now && o.end > now)
+            .count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use wgtt_sim::rng::RngStream;
 
     fn medium_with(nodes: &[(u32, f64, f64)]) -> Medium {

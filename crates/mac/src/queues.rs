@@ -61,8 +61,7 @@ impl<T> BoundedQueue<T> {
     /// Try to enqueue `item` of `len` bytes. Returns `false` (dropping the
     /// item) when either cap would be exceeded.
     pub fn push(&mut self, item: T, len: u32) -> bool {
-        if self.items.len() >= self.cap_items || self.bytes + u64::from(len) > self.cap_bytes
-        {
+        if self.items.len() >= self.cap_items || self.bytes + u64::from(len) > self.cap_bytes {
             self.stats.dropped += 1;
             return false;
         }

@@ -75,11 +75,7 @@ impl RateController {
         if self.frames_since_probe >= PROBE_INTERVAL {
             self.frames_since_probe = 0;
             // Probe an adjacent or random rate ≠ best.
-            let candidates: Vec<Mcs> = ALL_MCS
-                .iter()
-                .copied()
-                .filter(|m| *m != best)
-                .collect();
+            let candidates: Vec<Mcs> = ALL_MCS.iter().copied().filter(|m| *m != best).collect();
             let pick = self.rng.below(candidates.len() as u64) as usize;
             return candidates[pick];
         }

@@ -219,7 +219,16 @@ mod tests {
     #[test]
     fn tcp_len_includes_headers() {
         let mut f = PacketFactory::new();
-        let seg = f.tcp(FlowId(0), addr(1), addr(2), 0, 1448, 0, false, SimTime::ZERO);
+        let seg = f.tcp(
+            FlowId(0),
+            addr(1),
+            addr(2),
+            0,
+            1448,
+            0,
+            false,
+            SimTime::ZERO,
+        );
         assert_eq!(seg.len, 1488);
         let ack = f.tcp(FlowId(0), addr(2), addr(1), 0, 0, 1448, true, SimTime::ZERO);
         assert_eq!(ack.len, 40);

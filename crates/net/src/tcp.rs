@@ -346,11 +346,8 @@ impl TcpSender {
                     }
                     // Deflate by the newly acked amount, plus one MSS for
                     // the retransmission just queued.
-                    self.cwnd = self
-                        .cwnd
-                        .saturating_sub(newly_acked)
-                        .max(self.cfg.mss)
-                        + self.cfg.mss;
+                    self.cwnd =
+                        self.cwnd.saturating_sub(newly_acked).max(self.cfg.mss) + self.cfg.mss;
                 }
             }
             CongState::SlowStart => {
@@ -402,9 +399,7 @@ impl TcpSender {
         self.state = CongState::SlowStart;
         self.dupacks = 0;
         self.rto_backoff = (self.rto_backoff + 1).min(10);
-        let backed = SimDuration::from_nanos(
-            (self.rto.as_nanos()).saturating_mul(2),
-        );
+        let backed = SimDuration::from_nanos((self.rto.as_nanos()).saturating_mul(2));
         self.rto = backed.min(self.cfg.max_rto);
         // Everything in flight is presumed lost; retransmit from snd_una.
         if let Some((&seq, seg)) = self.in_flight.iter().next() {
@@ -557,10 +552,7 @@ mod tests {
             t += SimDuration::from_millis(50);
             ack_all(&mut s, &segs, &mut rx, t);
             let grown = s.cwnd() - last_cwnd;
-            assert!(
-                grown <= 2 * MSS,
-                "CA must grow ≈1 MSS/RTT, grew {grown}"
-            );
+            assert!(grown <= 2 * MSS, "CA must grow ≈1 MSS/RTT, grew {grown}");
             last_cwnd = s.cwnd();
         }
     }
@@ -717,6 +709,9 @@ mod tests {
             }
         }
         assert!(rx.delivered >= target);
-        assert!(s.stats.retransmits > 0, "losses must have caused retransmits");
+        assert!(
+            s.stats.retransmits > 0,
+            "losses must have caused retransmits"
+        );
     }
 }

@@ -32,8 +32,7 @@ impl CbrUdpSource {
         start: SimTime,
     ) -> Self {
         assert!(rate_mbps > 0.0, "CBR rate must be positive");
-        let interval =
-            SimDuration::from_secs_f64(f64::from(packet_len) * 8.0 / (rate_mbps * 1e6));
+        let interval = SimDuration::from_secs_f64(f64::from(packet_len) * 8.0 / (rate_mbps * 1e6));
         CbrUdpSource {
             flow,
             src,
@@ -92,14 +91,7 @@ mod tests {
     #[test]
     fn rate_is_honoured() {
         // 12 Mbit/s of 1500 B packets = 1000 packets/s.
-        let mut src = CbrUdpSource::new(
-            FlowId(0),
-            addr(1),
-            addr(2),
-            12.0,
-            1500,
-            SimTime::ZERO,
-        );
+        let mut src = CbrUdpSource::new(FlowId(0), addr(1), addr(2), 12.0, 1500, SimTime::ZERO);
         let mut f = PacketFactory::new();
         let pkts = src.poll(SimTime::from_secs(1), &mut f);
         assert!((999..=1001).contains(&pkts.len()), "{} pkts", pkts.len());
@@ -107,8 +99,7 @@ mod tests {
 
     #[test]
     fn sequences_are_contiguous() {
-        let mut src =
-            CbrUdpSource::new(FlowId(0), addr(1), addr(2), 50.0, 1500, SimTime::ZERO);
+        let mut src = CbrUdpSource::new(FlowId(0), addr(1), addr(2), 50.0, 1500, SimTime::ZERO);
         let mut f = PacketFactory::new();
         let pkts = src.poll(SimTime::from_millis(10), &mut f);
         for (i, p) in pkts.iter().enumerate() {
@@ -121,8 +112,7 @@ mod tests {
 
     #[test]
     fn poll_is_incremental() {
-        let mut src =
-            CbrUdpSource::new(FlowId(0), addr(1), addr(2), 8.0, 1000, SimTime::ZERO);
+        let mut src = CbrUdpSource::new(FlowId(0), addr(1), addr(2), 8.0, 1000, SimTime::ZERO);
         let mut f = PacketFactory::new();
         let first = src.poll(SimTime::from_millis(500), &mut f).len();
         let second = src.poll(SimTime::from_secs(1), &mut f).len();
@@ -134,8 +124,7 @@ mod tests {
 
     #[test]
     fn next_due_advances() {
-        let mut src =
-            CbrUdpSource::new(FlowId(0), addr(1), addr(2), 1.0, 1250, SimTime::ZERO);
+        let mut src = CbrUdpSource::new(FlowId(0), addr(1), addr(2), 1.0, 1250, SimTime::ZERO);
         let mut f = PacketFactory::new();
         assert_eq!(src.next_due(), SimTime::ZERO);
         src.poll(SimTime::ZERO, &mut f);

@@ -605,9 +605,11 @@ mod tests {
 
     #[test]
     fn tcp_roundtrip_flags() {
-        for (ack, syn, fin) in
-            [(false, true, false), (true, false, false), (true, false, true)]
-        {
+        for (ack, syn, fin) in [
+            (false, true, false),
+            (true, false, false),
+            (true, false, true),
+        ] {
             let h = TcpHeader {
                 src_port: 80,
                 dst_port: 54321,
@@ -658,7 +660,11 @@ mod tests {
 
     #[test]
     fn tunnel_roundtrip_all_kinds() {
-        for kind in [TunnelKind::Downlink, TunnelKind::Uplink, TunnelKind::CsiReport] {
+        for kind in [
+            TunnelKind::Downlink,
+            TunnelKind::Uplink,
+            TunnelKind::CsiReport,
+        ] {
             let h = TunnelHeader {
                 client_id: 3,
                 index: 4095,
@@ -707,10 +713,14 @@ mod tests {
             payload_len: (UDP_HEADER_LEN + TUNNEL_HEADER_LEN + IPV4_HEADER_LEN + 1000) as u16,
         };
         let mut buf =
-            vec![0u8; IPV4_HEADER_LEN + UDP_HEADER_LEN + TUNNEL_HEADER_LEN + IPV4_HEADER_LEN + 1000];
+            vec![
+                0u8;
+                IPV4_HEADER_LEN + UDP_HEADER_LEN + TUNNEL_HEADER_LEN + IPV4_HEADER_LEN + 1000
+            ];
         outer_ip.emit(&mut buf).unwrap();
         outer_udp.emit(&mut buf[IPV4_HEADER_LEN..]).unwrap();
-        shim.emit(&mut buf[IPV4_HEADER_LEN + UDP_HEADER_LEN..]).unwrap();
+        shim.emit(&mut buf[IPV4_HEADER_LEN + UDP_HEADER_LEN..])
+            .unwrap();
         inner
             .emit(&mut buf[IPV4_HEADER_LEN + UDP_HEADER_LEN + TUNNEL_HEADER_LEN..])
             .unwrap();
@@ -722,9 +732,8 @@ mod tests {
         assert_eq!(oudp.dst_port, 9000);
         let sh = TunnelHeader::parse(&buf[IPV4_HEADER_LEN + UDP_HEADER_LEN..]).unwrap();
         assert_eq!(sh.kind, TunnelKind::Uplink);
-        let iip =
-            Ipv4Header::parse(&buf[IPV4_HEADER_LEN + UDP_HEADER_LEN + TUNNEL_HEADER_LEN..])
-                .unwrap();
+        let iip = Ipv4Header::parse(&buf[IPV4_HEADER_LEN + UDP_HEADER_LEN + TUNNEL_HEADER_LEN..])
+            .unwrap();
         assert_eq!(iip.dedup_key(), inner.dedup_key());
     }
 

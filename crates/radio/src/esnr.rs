@@ -43,9 +43,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         tau
     } else {
@@ -190,7 +189,10 @@ mod tests {
         let csi = Csi { h };
         let e = effective_snr_db(&csi, 20.0, Modulation::Qam16);
         let rssi_like = linear_to_db(csi.mean_power()) + 20.0;
-        assert!(e < rssi_like - 5.0, "ESNR {e} vs RSSI-equivalent {rssi_like}");
+        assert!(
+            e < rssi_like - 5.0,
+            "ESNR {e} vs RSSI-equivalent {rssi_like}"
+        );
     }
 
     #[test]

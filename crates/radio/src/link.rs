@@ -96,7 +96,8 @@ impl Link {
             .shadowing
             .as_ref()
             .map_or(0.0, |s| s.gain_db(client_pos));
-        self.budget.tx_power_dbm + gain + shadow - self.pathloss.loss_db(dist)
+        self.budget.tx_power_dbm + gain + shadow
+            - self.pathloss.loss_db(dist)
             - self.budget.noise_floor_dbm
     }
 

@@ -11,41 +11,6 @@
 
 use wgtt_scenario::experiments;
 
-/// Run `ids` in parallel on up to `jobs` threads, printing outputs in
-/// the requested order as they complete (each experiment is internally
-/// deterministic, so parallelism never changes results).
-fn run_parallel(ids: &[String], seed: u64, quick: bool, csv: bool, jobs: usize) {
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<String>>> =
-        ids.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= ids.len() {
-                    break;
-                }
-                let rendered = match experiments::run(&ids[i], seed, quick) {
-                    Some(out) => {
-                        if csv {
-                            out.render_csv()
-                        } else {
-                            out.render()
-                        }
-                    }
-                    None => format!("unknown experiment id: {} (try --list)\n", ids[i]),
-                };
-                *results[i].lock().expect("no panics hold this lock") = Some(rendered);
-            });
-        }
-    });
-    for r in &results {
-        if let Some(s) = r.lock().expect("threads joined").take() {
-            println!("{s}");
-        }
-    }
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 1u64;
@@ -79,7 +44,9 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                eprintln!("usage: wgtt-experiments [--seed N] [--quick] [--csv] [--jobs N] [ids...]");
+                eprintln!(
+                    "usage: wgtt-experiments [--seed N] [--quick] [--csv] [--jobs N] [ids...]"
+                );
                 eprintln!("ids: {}", experiments::ALL.join(" "));
                 return;
             }
@@ -90,25 +57,18 @@ fn main() {
     if ids.is_empty() {
         ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
     }
-    if jobs > 1 {
-        run_parallel(&ids, seed, quick, csv, jobs);
-        return;
-    }
+    // Reject unknown ids before burning minutes on the known ones —
+    // the same validation regardless of `--jobs`.
     for id in &ids {
-        match experiments::run(id, seed, quick) {
-            Some(out) => {
-                if csv {
-                    println!("{}", out.render_csv());
-                } else {
-                    println!("{}", out.render());
-                }
-            }
-            None => {
-                eprintln!("unknown experiment id: {id} (try --list)");
-                std::process::exit(2);
-            }
+        if !experiments::ALL.contains(&id.as_str()) {
+            eprintln!("unknown experiment id: {id} (try --list)");
+            std::process::exit(2);
         }
     }
+    // `render_all` is byte-identical for every `jobs` value (each
+    // experiment is a pure function of id/seed/quick; threads only race
+    // for which id to pull next).
+    print!("{}", experiments::render_all(&ids, seed, quick, csv, jobs));
 }
 
 fn die(msg: &str) -> ! {

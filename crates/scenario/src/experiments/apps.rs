@@ -18,7 +18,11 @@ fn wgtt() -> SystemKind {
 /// progressive download (the paper plays via FTP/VLC), so we run bulk
 /// TCP and replay the delivered-byte trace through the player model.
 pub fn table4(seed: u64, quick: bool) -> ExperimentOutput {
-    let speeds: &[f64] = if quick { &[5.0, 20.0] } else { &[5.0, 10.0, 15.0, 20.0] };
+    let speeds: &[f64] = if quick {
+        &[5.0, 20.0]
+    } else {
+        &[5.0, 10.0, 15.0, 20.0]
+    };
     let mut out = ExperimentOutput::new(
         "table4",
         "Video rebuffer ratio over the transit (720p, 1.5 s pre-buffer)",
@@ -115,7 +119,11 @@ pub fn fig24(seed: u64) -> ExperimentOutput {
 /// parallel connections, sub-resources unblocked by the HTML) over that
 /// trace, with concurrent objects sharing the instantaneous bandwidth.
 pub fn table5(seed: u64, quick: bool) -> ExperimentOutput {
-    let speeds: &[f64] = if quick { &[5.0, 20.0] } else { &[5.0, 10.0, 15.0, 20.0] };
+    let speeds: &[f64] = if quick {
+        &[5.0, 20.0]
+    } else {
+        &[5.0, 10.0, 15.0, 20.0]
+    };
     let mut out = ExperimentOutput::new(
         "table5",
         "2.1 MB web page load time (s); inf = not finished within the transit",

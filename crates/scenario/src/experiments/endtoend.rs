@@ -25,7 +25,15 @@ pub fn fig13(seed: u64, quick: bool) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "fig13",
         "TCP/UDP throughput vs driving speed (Mbit/s)",
-        &["speed", "TCP WGTT", "TCP 802.11r", "UDP WGTT", "UDP 802.11r", "TCP gain", "UDP gain"],
+        &[
+            "speed",
+            "TCP WGTT",
+            "TCP 802.11r",
+            "UDP WGTT",
+            "UDP 802.11r",
+            "TCP gain",
+            "UDP gain",
+        ],
     );
     let n_seeds = if quick { 1 } else { 3 };
     let avg = |sys: SystemKind, speed: f64, spec: FlowSpec| -> f64 {
@@ -80,7 +88,13 @@ fn timeline(run: &DriveRun, label: &str, out: &mut ExperimentOutput) {
             f(mbps, 2),
             serving
                 .get(i)
-                .map(|&s| if s.is_nan() { "-".into() } else { format!("AP{}", s as u32) })
+                .map(|&s| {
+                    if s.is_nan() {
+                        "-".into()
+                    } else {
+                        format!("AP{}", s as u32)
+                    }
+                })
                 .unwrap_or_else(|| "-".into()),
         ]);
     }
@@ -102,8 +116,20 @@ pub fn fig14(seed: u64) -> ExperimentOutput {
         seed,
     );
     timeline(&b, "802.11r", &mut out);
-    let wt = w.world.report.tcp_timeouts.get(&FlowId(0)).copied().unwrap_or(0);
-    let bt = b.world.report.tcp_timeouts.get(&FlowId(0)).copied().unwrap_or(0);
+    let wt = w
+        .world
+        .report
+        .tcp_timeouts
+        .get(&FlowId(0))
+        .copied()
+        .unwrap_or(0);
+    let bt = b
+        .world
+        .report
+        .tcp_timeouts
+        .get(&FlowId(0))
+        .copied()
+        .unwrap_or(0);
     out.note(format!(
         "TCP RTO events — WGTT: {wt}, Enhanced 802.11r: {bt} (paper: baseline hits a fatal timeout ≈5.9 s)"
     ));
@@ -121,7 +147,12 @@ pub fn fig15(seed: u64) -> ExperimentOutput {
         "UDP throughput and serving AP over a 15 mph drive",
         &["system", "t (s)", "Mbit/s", "AP"],
     );
-    let w = drive(wgtt(), 15.0, FlowSpec::DownlinkUdp { rate_mbps: 30.0 }, seed);
+    let w = drive(
+        wgtt(),
+        15.0,
+        FlowSpec::DownlinkUdp { rate_mbps: 30.0 },
+        seed,
+    );
     timeline(&w, "WGTT", &mut out);
     let b = drive(
         SystemKind::Enhanced80211r,

@@ -21,7 +21,9 @@ pub fn fig10(_seed: u64) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "fig10",
         "Coverage map: mean SNR (dB) per AP along the road (near lane)",
-        &["x (m)", "AP1", "AP2", "AP3", "AP4", "AP5", "AP6", "AP7", "AP8", "best"],
+        &[
+            "x (m)", "AP1", "AP2", "AP3", "AP4", "AP5", "AP6", "AP7", "AP8", "best",
+        ],
     );
     let mut x = -6.0;
     while x <= 64.0 {
@@ -131,13 +133,19 @@ pub fn ext_stop_and_go(seed: u64) -> ExperimentOutput {
     let plan = ClientPlan::stop_and_go(speed, stop_x, pause_s);
     let t_stop = SimTime::from_secs_f64((stop_x + 15.0) / v);
     let t_resume = t_stop + SimDuration::from_secs_f64(pause_s);
-    let total = SimDuration::from_secs_f64((TestbedConfig::paper_array().road_len() + 45.0) / v + pause_s);
+    let total =
+        SimDuration::from_secs_f64((TestbedConfig::paper_array().road_len() + 45.0) / v + pause_s);
     for (sys, name) in [
         (SystemKind::Wgtt(WgttConfig::default()), "WGTT"),
         (SystemKind::Enhanced80211r, "802.11r"),
     ] {
         let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
-        let mut w = World::new(cfg, sys, vec![FlowSpec::DownlinkUdp { rate_mbps: 25.0 }], seed);
+        let mut w = World::new(
+            cfg,
+            sys,
+            vec![FlowSpec::DownlinkUdp { rate_mbps: 25.0 }],
+            seed,
+        );
         w.traffic_start = SimTime::from_secs_f64(7.0 / v);
         w.run(total);
         let m = &w.report.flow_meters[&FlowId(0)];
@@ -165,7 +173,12 @@ pub fn ext_multichannel(seed: u64) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "ext_multichannel",
         "Single vs dual channel deployment (15 mph)",
-        &["deployment", "DL UDP Mbit/s", "UL UDP loss", "dup copies/fwd"],
+        &[
+            "deployment",
+            "DL UDP Mbit/s",
+            "UL UDP loss",
+            "dup copies/fwd",
+        ],
     );
     for (dual, name) in [(false, "single channel (paper)"), (true, "dual channel")] {
         let mk_cfg = || {

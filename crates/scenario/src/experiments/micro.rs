@@ -28,7 +28,12 @@ pub fn table1(seed: u64, quick: bool) -> ExperimentOutput {
         &["rate (Mbit/s)", "switches", "mean (ms)", "std (ms)"],
     );
     for &rate in rates {
-        let run = drive(wgtt(), 15.0, FlowSpec::DownlinkUdp { rate_mbps: rate }, seed);
+        let run = drive(
+            wgtt(),
+            15.0,
+            FlowSpec::DownlinkUdp { rate_mbps: rate },
+            seed,
+        );
         let d = &run.world.report.switch_durations;
         out.row(vec![
             f(rate, 0),
@@ -62,7 +67,9 @@ pub fn fig21(seed: u64) -> ExperimentOutput {
     // are measurements, and the noise is exactly why small windows lose.
     let mut esnr: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); links.len()];
     let mut meas: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); links.len()];
-    let mut noise_rng = wgtt_sim::rng::RngStream::root(seed).derive("csi-noise").rng();
+    let mut noise_rng = wgtt_sim::rng::RngStream::root(seed)
+        .derive("csi-noise")
+        .rng();
     for i in 0..steps {
         let t = t_start + SimDuration::from_millis(i as u64 * CSI_PERIOD_MS);
         let pos = plan.position_at(t);
@@ -87,9 +94,7 @@ pub fn fig21(seed: u64) -> ExperimentOutput {
                 })
                 .expect("links");
             let oracle = (0..links.len())
-                .max_by(|&a, &b| {
-                    esnr[a][i].partial_cmp(&esnr[b][i]).expect("finite")
-                })
+                .max_by(|&a, &b| esnr[a][i].partial_cmp(&esnr[b][i]).expect("finite"))
                 .expect("links");
             if esnr[oracle][i] > 2.0 {
                 loss_acc += capacity_mbps(esnr[oracle][i]) - capacity_mbps(esnr[chosen][i]);
@@ -154,12 +159,7 @@ pub fn fig22(seed: u64) -> ExperimentOutput {
             switch_hysteresis: SimDuration::from_millis(t_ms),
             ..WgttConfig::default()
         };
-        let run = drive(
-            SystemKind::Wgtt(cfg),
-            15.0,
-            FlowSpec::DownlinkTcpBulk,
-            seed,
-        );
+        let run = drive(SystemKind::Wgtt(cfg), 15.0, FlowSpec::DownlinkTcpBulk, seed);
         out.row(vec![
             t_ms.to_string(),
             f(run.mean_mbps(), 2),
@@ -173,11 +173,21 @@ pub fn fig22(seed: u64) -> ExperimentOutput {
 /// Fig. 23: UDP throughput in the dense (AP1–AP4) vs sparse (AP5–AP8)
 /// halves of the array at low speeds.
 pub fn fig23(seed: u64, quick: bool) -> ExperimentOutput {
-    let speeds: &[f64] = if quick { &[5.0, 10.0] } else { &[2.0, 5.0, 8.0, 10.0] };
+    let speeds: &[f64] = if quick {
+        &[5.0, 10.0]
+    } else {
+        &[2.0, 5.0, 8.0, 10.0]
+    };
     let mut out = ExperimentOutput::new(
         "fig23",
         "UDP throughput in dense vs sparse AP segments (Mbit/s)",
-        &["speed", "dense WGTT", "dense 802.11r", "sparse WGTT", "sparse 802.11r"],
+        &[
+            "speed",
+            "dense WGTT",
+            "dense 802.11r",
+            "sparse WGTT",
+            "sparse 802.11r",
+        ],
     );
     // Segment bounds along the road (paper array: dense 0–18 m, sparse
     // 26–53 m).
@@ -210,7 +220,10 @@ pub fn fig23(seed: u64, quick: bool) -> ExperimentOutput {
         out.row(vec![
             format!("{speed} mph"),
             f(segment(wgtt(), speed, 0.0, 18.0, seed), 2),
-            f(segment(SystemKind::Enhanced80211r, speed, 0.0, 18.0, seed), 2),
+            f(
+                segment(SystemKind::Enhanced80211r, speed, 0.0, 18.0, seed),
+                2,
+            ),
             f(segment(wgtt(), speed, 26.0, 53.0, seed), 2),
             f(
                 segment(SystemKind::Enhanced80211r, speed, 26.0, 53.0, seed),

@@ -69,10 +69,74 @@ pub fn run(id: &str, seed: u64, quick: bool) -> Option<ExperimentOutput> {
     })
 }
 
+/// Render `ids` on up to `jobs` worker threads and concatenate the
+/// outputs in the requested order (each followed by a blank line, the
+/// shape `wgtt-experiments` prints).
+///
+/// Each experiment is internally deterministic — a pure function of
+/// `(id, seed, quick)` — and workers only race for *which* id to pull
+/// next, never for what it produces, so the result is byte-identical
+/// for every `jobs` value. `tests/integration_determinism.rs` pins
+/// that guarantee.
+pub fn render_all(ids: &[String], seed: u64, quick: bool, csv: bool, jobs: usize) -> String {
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<String>>> =
+        ids.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= ids.len() {
+                    break;
+                }
+                let rendered = match run(&ids[i], seed, quick) {
+                    Some(out) => {
+                        if csv {
+                            out.render_csv()
+                        } else {
+                            out.render()
+                        }
+                    }
+                    None => format!("unknown experiment id: {} (try --list)\n", ids[i]),
+                };
+                *results[i].lock().expect("no panics hold this lock") = Some(rendered);
+            });
+        }
+    });
+    let mut out = String::new();
+    for r in &results {
+        if let Some(s) = r.lock().expect("threads joined").take() {
+            out.push_str(&s);
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// Every experiment id: the paper's artifacts in paper order, then the
 /// extension/ablation studies.
 pub const ALL: [&str; 23] = [
-    "fig2", "fig4", "table1", "fig13", "fig14", "fig15", "fig16", "table2", "fig17", "fig18",
-    "fig20", "fig21", "table3", "fig22", "fig23", "table4", "fig24", "table5", "fig10",
-    "ablation_selector", "ablation_back_fwd", "ext_stop_and_go", "ext_multichannel",
+    "fig2",
+    "fig4",
+    "table1",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table2",
+    "fig17",
+    "fig18",
+    "fig20",
+    "fig21",
+    "table3",
+    "fig22",
+    "fig23",
+    "table4",
+    "fig24",
+    "table5",
+    "fig10",
+    "ablation_selector",
+    "ablation_back_fwd",
+    "ext_stop_and_go",
+    "ext_multichannel",
 ];

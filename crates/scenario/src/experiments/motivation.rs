@@ -52,7 +52,14 @@ pub fn fig2(seed: u64) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "fig2",
         "ESNR traces and best-AP flips in the vehicular picocell regime (25 mph)",
-        &["window", "best=AP1 %", "best=AP2 %", "best=AP3 %", "flips/s", "median hold (ms)"],
+        &[
+            "window",
+            "best=AP1 %",
+            "best=AP2 %",
+            "best=AP3 %",
+            "flips/s",
+            "median hold (ms)",
+        ],
     );
     // Drive through the three-AP stretch (x ∈ [-5, 20] → 2.25 s at 25 mph).
     let t_start = SimTime::from_secs_f64(10.0 / plan.speed_mps); // x = -5
@@ -151,7 +158,11 @@ pub fn fig4(seed: u64) -> ExperimentOutput {
         out.row(vec![
             format!("{speed} mph"),
             received.to_string(),
-            if switched { "yes".into() } else { "FAILED".into() },
+            if switched {
+                "yes".into()
+            } else {
+                "FAILED".into()
+            },
             f((oracle - achieved).max(0.0), 1),
         ]);
     }

@@ -20,7 +20,13 @@ pub fn fig17(seed: u64, quick: bool) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "fig17",
         "Per-client downlink throughput vs number of clients (15 mph, Mbit/s)",
-        &["clients", "TCP WGTT", "TCP 802.11r", "UDP WGTT", "UDP 802.11r"],
+        &[
+            "clients",
+            "TCP WGTT",
+            "TCP 802.11r",
+            "UDP WGTT",
+            "UDP 802.11r",
+        ],
     );
     for &n in counts {
         let per_client = |sys: SystemKind, spec_of: &dyn Fn(usize) -> FlowSpec| -> f64 {
@@ -58,7 +64,12 @@ pub fn fig18(seed: u64) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "fig18",
         "Uplink UDP loss rate, three 15 mph clients",
-        &["client", "WGTT loss", "single-link loss", "WGTT dup. copies"],
+        &[
+            "client",
+            "WGTT loss",
+            "single-link loss",
+            "WGTT dup. copies",
+        ],
     );
     let specs: Vec<(usize, FlowSpec)> = (0..3)
         .map(|i| (i, FlowSpec::UplinkUdp { rate_mbps: 5.0 }))
@@ -92,7 +103,9 @@ pub fn fig18(seed: u64) -> ExperimentOutput {
             },
         ]);
     }
-    out.note("paper: multi-AP reception keeps loss below 0.02 while a single uplink swings to 0.4+");
+    out.note(
+        "paper: multi-AP reception keeps loss below 0.02 while a single uplink swings to 0.4+",
+    );
     out
 }
 
@@ -148,7 +161,10 @@ pub fn fig20(seed: u64) -> ExperimentOutput {
                 run_case(SystemKind::Enhanced80211r, FlowSpec::DownlinkTcpBulk),
                 2,
             ),
-            f(run_case(wgtt(), FlowSpec::DownlinkUdp { rate_mbps: 15.0 }), 2),
+            f(
+                run_case(wgtt(), FlowSpec::DownlinkUdp { rate_mbps: 15.0 }),
+                2,
+            ),
             f(
                 run_case(
                     SystemKind::Enhanced80211r,
@@ -158,7 +174,9 @@ pub fn fig20(seed: u64) -> ExperimentOutput {
             ),
         ]);
     }
-    out.note("paper: (c) opposing best (least contention), (b) parallel worst; WGTT wins all cases");
+    out.note(
+        "paper: (c) opposing best (least contention), (b) parallel worst; WGTT wins all cases",
+    );
     out
 }
 

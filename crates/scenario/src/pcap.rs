@@ -11,9 +11,8 @@
 //! [`World::enable_backhaul_capture`]: crate::world::World::enable_backhaul_capture
 
 use wgtt_net::wire::{
-    EthernetHeader, Ipv4Addr, Ipv4Header, IpProtocol, MacAddr, TunnelHeader, TunnelKind,
-    UdpHeader, ETHERNET_HEADER_LEN, ETHERTYPE_IPV4, IPV4_HEADER_LEN, TUNNEL_HEADER_LEN,
-    UDP_HEADER_LEN,
+    EthernetHeader, IpProtocol, Ipv4Addr, Ipv4Header, MacAddr, TunnelHeader, TunnelKind, UdpHeader,
+    ETHERNET_HEADER_LEN, ETHERTYPE_IPV4, IPV4_HEADER_LEN, TUNNEL_HEADER_LEN, UDP_HEADER_LEN,
 };
 use wgtt_net::Packet;
 use wgtt_sim::time::SimTime;
@@ -136,7 +135,9 @@ pub fn encode_tunnel_frame(
     .expect("buffer sized for headers");
     inner
         .ip_header()
-        .emit(&mut buf[ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + TUNNEL_HEADER_LEN..])
+        .emit(
+            &mut buf[ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + TUNNEL_HEADER_LEN..],
+        )
         .expect("buffer sized for headers");
     buf
 }
@@ -161,14 +162,18 @@ mod tests {
     #[test]
     fn pcap_stream_has_valid_headers() {
         let mut w = PcapWriter::new();
-        let frame = encode_tunnel_frame(0xFE, 1, 7, TunnelKind::Downlink, 100, 42, &sample_packet());
+        let frame =
+            encode_tunnel_frame(0xFE, 1, 7, TunnelKind::Downlink, 100, 42, &sample_packet());
         w.record(SimTime::from_millis(1_234), frame.clone());
         let bytes = w.to_bytes();
         assert_eq!(&bytes[0..4], &0xa1b2_c3d4u32.to_le_bytes());
         assert_eq!(u32::from_le_bytes(bytes[20..24].try_into().unwrap()), 1);
         // Record header: ts 1.234000, lengths match.
         assert_eq!(u32::from_le_bytes(bytes[24..28].try_into().unwrap()), 1);
-        assert_eq!(u32::from_le_bytes(bytes[28..32].try_into().unwrap()), 234_000);
+        assert_eq!(
+            u32::from_le_bytes(bytes[28..32].try_into().unwrap()),
+            234_000
+        );
         let incl = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
         assert_eq!(incl, frame.len());
         assert_eq!(bytes.len(), 24 + 16 + frame.len());

@@ -278,7 +278,7 @@ mod tests {
         let p = ClientPlan::stop_and_go(15.0, 10.0, 5.0);
         let v = p.speed_mps;
         let t_reach = 25.0 / v; // start.x = −15 → 25 m to the stop line
-        // Before the stop: moving.
+                                // Before the stop: moving.
         let before = p.position_at(SimTime::from_secs_f64(t_reach - 1.0));
         assert!(before.x < 10.0);
         // During the pause: parked at the stop line.

@@ -390,7 +390,12 @@ impl World {
     /// (parallel arrays: `flow_specs[i]` applies to `clients[i]` of the
     /// testbed config; use [`World::new_multi`] for several flows per
     /// client).
-    pub fn new(cfg: TestbedConfig, system: SystemKind, flow_specs: Vec<FlowSpec>, seed: u64) -> Self {
+    pub fn new(
+        cfg: TestbedConfig,
+        system: SystemKind,
+        flow_specs: Vec<FlowSpec>,
+        seed: u64,
+    ) -> Self {
         let specs: Vec<(usize, FlowSpec)> = flow_specs.into_iter().enumerate().collect();
         Self::new_multi(cfg, system, specs, seed)
     }
@@ -456,9 +461,7 @@ impl World {
                 ds: DistributionSystem::new(),
                 aps: ap_ids
                     .iter()
-                    .map(|&id| {
-                        BaselineAp::new(id, root.derive_indexed("bl-ap", id.0 as u64))
-                    })
+                    .map(|&id| BaselineAp::new(id, root.derive_indexed("bl-ap", id.0 as u64)))
                     .collect(),
             },
         };
@@ -784,7 +787,8 @@ impl World {
             }
         }
         // Periodic machinery.
-        self.queue.schedule(SimTime::ZERO + MOBILITY_TICK, Ev::Mobility);
+        self.queue
+            .schedule(SimTime::ZERO + MOBILITY_TICK, Ev::Mobility);
         self.queue
             .schedule(SimTime::ZERO + SAMPLE_TICK, Ev::SampleState);
         if matches!(
@@ -793,7 +797,8 @@ impl World {
         ) {
             for ai in 0..self.cfg.ap_x.len() {
                 // Stagger beacons across APs as real deployments do.
-                let offset = SimDuration::from_millis((ai as u64 * 100) / self.cfg.ap_x.len() as u64);
+                let offset =
+                    SimDuration::from_millis((ai as u64 * 100) / self.cfg.ap_x.len() as u64);
                 self.queue.schedule(
                     SimTime::ZERO + offset,
                     Ev::Beacon {
@@ -820,16 +825,17 @@ impl World {
         for fi in 0..self.flows.len() {
             let id = self.flows[fi].id;
             match &mut self.flows[fi].kind {
-                FlowKind::DownUdp { src, .. } | FlowKind::UpUdp { src, .. } => {
-                    src.defer_start(t0)
-                }
+                FlowKind::DownUdp { src, .. } | FlowKind::UpUdp { src, .. } => src.defer_start(t0),
                 FlowKind::DownConf { src, .. } | FlowKind::UpConf { src, .. } => {
                     src.defer_start(t0)
                 }
                 FlowKind::DownTcp { .. } => {}
             }
             self.queue.schedule(t0, Ev::Traffic { flow: id });
-            if matches!(self.flows[fi].kind, FlowKind::DownConf { .. } | FlowKind::UpConf { .. }) {
+            if matches!(
+                self.flows[fi].kind,
+                FlowKind::DownConf { .. } | FlowKind::UpConf { .. }
+            ) {
                 self.queue
                     .schedule(t0 + CONF_FEEDBACK, Ev::ConfFeedback { flow: id });
             }
@@ -870,7 +876,10 @@ impl World {
             }
             SystemState::Baseline { ds, aps } => {
                 let drops: u64 = aps.iter().map(|a| a.queue_drops).sum();
-                format!("ds moves={} unbound={} q_drops={}", ds.moves, ds.unbound_drops, drops)
+                format!(
+                    "ds moves={} unbound={} q_drops={}",
+                    ds.moves, ds.unbound_drops, drops
+                )
             }
         }
     }
@@ -928,8 +937,7 @@ impl World {
         };
         let ident = self.capture_ident;
         self.capture_ident = self.capture_ident.wrapping_add(1);
-        let frame =
-            crate::pcap::encode_tunnel_frame(src, dst, ident, kind, client, index, &inner);
+        let frame = crate::pcap::encode_tunnel_frame(src, dst, ident, kind, client, index, &inner);
         self.backhaul_capture
             .as_mut()
             .expect("checked above")
@@ -1027,8 +1035,7 @@ mod tests {
     use crate::testbed::ClientPlan;
 
     fn quick_world(system: SystemKind, spec: FlowSpec, seed: u64) -> World {
-        let cfg = TestbedConfig::paper_array()
-            .with_clients(vec![ClientPlan::drive_by(15.0)]);
+        let cfg = TestbedConfig::paper_array().with_clients(vec![ClientPlan::drive_by(15.0)]);
         World::new(cfg, system, vec![spec], seed)
     }
 

@@ -104,6 +104,15 @@ impl TimeSeries {
 /// Empirical distribution that reduces to a CDF (e.g. Fig. 16 bit-rate CDF,
 /// Fig. 24 fps CDF).
 ///
+/// Order statistics are served from an incrementally maintained sorted
+/// view: a query sorts only the samples recorded since the previous
+/// query and merges them into the standing sorted vector. Repeated
+/// quantile/CDF queries (the common render pattern asks for several
+/// percentiles back to back, every reporting tick) therefore stop
+/// paying the seed's clone-and-sort of the full sample set per call —
+/// which was quadratic over a long run — and cost O(1) when nothing new
+/// was recorded.
+///
 /// ```
 /// use wgtt_sim::metrics::Distribution;
 /// let mut d = Distribution::new();
@@ -116,6 +125,17 @@ impl TimeSeries {
 #[derive(Debug, Clone, Default)]
 pub struct Distribution {
     samples: Vec<f64>,
+    /// Sorted view of `samples[..sorted.merged]`, refreshed lazily at
+    /// query time (interior mutability keeps `quantile(&self)` stable
+    /// for render call sites).
+    cache: std::cell::RefCell<SortedCache>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SortedCache {
+    sorted: Vec<f64>,
+    /// How many leading entries of `samples` are reflected in `sorted`.
+    merged: usize,
 }
 
 impl Distribution {
@@ -127,6 +147,32 @@ impl Distribution {
     /// Add one sample.
     pub fn record(&mut self, value: f64) {
         self.samples.push(value);
+    }
+
+    /// Run `f` over the sorted samples, merging in anything recorded
+    /// since the last query first.
+    fn with_sorted<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
+        let mut cache = self.cache.borrow_mut();
+        if cache.merged < self.samples.len() {
+            let mut tail: Vec<f64> = self.samples[cache.merged..].to_vec();
+            tail.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            let mut merged = Vec::with_capacity(cache.sorted.len() + tail.len());
+            let (mut i, mut j) = (0, 0);
+            while i < cache.sorted.len() && j < tail.len() {
+                if cache.sorted[i] <= tail[j] {
+                    merged.push(cache.sorted[i]);
+                    i += 1;
+                } else {
+                    merged.push(tail[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&cache.sorted[i..]);
+            merged.extend_from_slice(&tail[j..]);
+            cache.sorted = merged;
+            cache.merged = self.samples.len();
+        }
+        f(&cache.sorted)
     }
 
     /// Number of samples.
@@ -150,11 +196,7 @@ impl Distribution {
     /// Population standard deviation, or `None` if empty.
     pub fn std_dev(&self) -> Option<f64> {
         let mean = self.mean()?;
-        let var = self
-            .samples
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
             / self.samples.len() as f64;
         Some(var.sqrt())
     }
@@ -166,10 +208,10 @@ impl Distribution {
             return None;
         }
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
-        Some(sorted[idx])
+        self.with_sorted(|sorted| {
+            let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+            Some(sorted[idx])
+        })
     }
 
     /// Median (0.5-quantile).
@@ -180,14 +222,14 @@ impl Distribution {
     /// Full CDF as `(value, cumulative_fraction)` pairs over the sorted
     /// samples — directly plottable.
     pub fn cdf(&self) -> Vec<(f64, f64)> {
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        let n = sorted.len() as f64;
-        sorted
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, (i + 1) as f64 / n))
-            .collect()
+        self.with_sorted(|sorted| {
+            let n = sorted.len() as f64;
+            sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (i + 1) as f64 / n))
+                .collect()
+        })
     }
 }
 
@@ -365,6 +407,33 @@ mod tests {
             assert!(w[0].1 <= w[1].1);
         }
         assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn distribution_interleaved_queries_track_new_samples() {
+        // The lazy sorted view must fold in everything recorded since
+        // the previous query — interleave records and queries and check
+        // against a from-scratch sort every time.
+        let mut d = Distribution::new();
+        let mut x = 0x9e37_79b9u64;
+        let mut all: Vec<f64> = Vec::new();
+        for round in 0..50 {
+            for _ in 0..=(round % 7) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = (x % 1000) as f64 / 10.0;
+                d.record(v);
+                all.push(v);
+            }
+            let mut fresh = all.clone();
+            fresh.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+                let idx = ((q * (fresh.len() - 1) as f64).round() as usize).min(fresh.len() - 1);
+                assert_eq!(d.quantile(q), Some(fresh[idx]), "q={q} round={round}");
+            }
+            assert_eq!(d.cdf().len(), all.len());
+        }
     }
 
     #[test]

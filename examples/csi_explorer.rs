@@ -19,7 +19,10 @@ fn main() {
     let pos = plan.position_at(t);
     let snap = links[0].snapshot(t, pos);
     println!("client at x = {:.1} m, AP1 link:", pos.x);
-    println!("  mean SNR {:.1} dB, wideband SNR {:.1} dB", snap.mean_snr_db, snap.snr_db);
+    println!(
+        "  mean SNR {:.1} dB, wideband SNR {:.1} dB",
+        snap.mean_snr_db, snap.snr_db
+    );
     println!(
         "  ESNR: {:.1} dB (QPSK)  {:.1} dB (16-QAM)  {:.1} dB (64-QAM)",
         snap.esnr_db(Modulation::Qpsk),

@@ -54,12 +54,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(15.0);
     println!("720p streaming to a {speed} mph client (1.5 s pre-buffer)\n");
-    stream(
-        SystemKind::Wgtt(WgttConfig::default()),
-        "WGTT",
-        speed,
-        3,
-    );
+    stream(SystemKind::Wgtt(WgttConfig::default()), "WGTT", speed, 3);
     stream(SystemKind::Enhanced80211r, "Enhanced 802.11r", speed, 3);
     println!("\npaper Table 4: WGTT plays with zero rebuffering at 5–20 mph while");
     println!("Enhanced 802.11r stalls for 54–69 % of the transit.");

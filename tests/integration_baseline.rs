@@ -49,9 +49,13 @@ fn stock_80211r_fails_to_keep_up_at_speed() {
 #[test]
 fn wgtt_outperforms_enhanced_at_speed_on_the_same_channel() {
     let total = |sys: SystemKind, seed: u64| -> u64 {
-        let cfg =
-            TestbedConfig::paper_array().with_clients(vec![ClientPlan::drive_by(15.0)]);
-        let mut w = World::new(cfg, sys, vec![FlowSpec::DownlinkUdp { rate_mbps: 25.0 }], seed);
+        let cfg = TestbedConfig::paper_array().with_clients(vec![ClientPlan::drive_by(15.0)]);
+        let mut w = World::new(
+            cfg,
+            sys,
+            vec![FlowSpec::DownlinkUdp { rate_mbps: 25.0 }],
+            seed,
+        );
         w.traffic_start = SimTime::from_millis(1000);
         w.run(SimDuration::from_secs(12));
         w.report

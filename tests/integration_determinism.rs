@@ -52,6 +52,46 @@ fn baseline_runs_are_also_deterministic() {
     assert_eq!(a, b);
 }
 
+/// Ids used for the `--jobs` determinism checks: small enough to run
+/// quickly in the debug profile, repeated so four workers actually
+/// contend for the pull queue.
+const JOBS_TEST_IDS: [&str; 4] = ["fig2", "fig4", "fig2", "fig4"];
+
+#[test]
+fn parallel_render_is_byte_identical_to_sequential() {
+    // Workers race only for *which* experiment to pull, never for what
+    // it produces; outputs are reassembled in request order. Therefore
+    // `--jobs N` must be a pure speed knob.
+    let ids: Vec<String> = JOBS_TEST_IDS.iter().map(|s| s.to_string()).collect();
+    let sequential = wgtt_scenario::experiments::render_all(&ids, 7, true, false, 1);
+    let parallel = wgtt_scenario::experiments::render_all(&ids, 7, true, false, 4);
+    assert_eq!(
+        sequential.as_bytes(),
+        parallel.as_bytes(),
+        "--jobs must not change rendered experiment output"
+    );
+    assert!(!sequential.is_empty());
+}
+
+#[test]
+fn cli_jobs_flag_is_byte_identical() {
+    // Same contract, end to end through the real `wgtt-experiments`
+    // binary: `--jobs 4` stdout is byte-identical to `--jobs 1`.
+    let run = |jobs: &str| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_wgtt-experiments"))
+            .args(["--quick", "--seed", "7", "--jobs", jobs])
+            .args(JOBS_TEST_IDS)
+            .output()
+            .expect("wgtt-experiments runs");
+        assert!(out.status.success(), "exit status for --jobs {jobs}");
+        out.stdout
+    };
+    let sequential = run("1");
+    let parallel = run("4");
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential, parallel, "--jobs changed CLI output bytes");
+}
+
 #[test]
 fn systems_share_the_channel_realization() {
     // The *radio* draw is seed-keyed, not system-keyed: comparing systems

@@ -17,7 +17,12 @@ fn static_client_world(spec: FlowSpec, seed: u64) -> World {
         stop: None,
     };
     let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
-    let mut w = World::new(cfg, SystemKind::Wgtt(WgttConfig::default()), vec![spec], seed);
+    let mut w = World::new(
+        cfg,
+        SystemKind::Wgtt(WgttConfig::default()),
+        vec![spec],
+        seed,
+    );
     w.traffic_start = SimTime::from_millis(200);
     w
 }

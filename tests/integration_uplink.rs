@@ -17,7 +17,12 @@ fn world_at(x: f64, spec: FlowSpec, seed: u64) -> World {
         stop: None,
     };
     let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
-    let mut w = World::new(cfg, SystemKind::Wgtt(WgttConfig::default()), vec![spec], seed);
+    let mut w = World::new(
+        cfg,
+        SystemKind::Wgtt(WgttConfig::default()),
+        vec![spec],
+        seed,
+    );
     w.traffic_start = SimTime::from_millis(200);
     w
 }
@@ -57,7 +62,8 @@ fn block_ack_forwarding_engages_at_cell_edges() {
     );
     w.traffic_start = SimTime::from_millis(1000);
     w.run(SimDuration::from_secs(12));
-    let fwd_used: u64 = w.debug_summary()
+    let fwd_used: u64 = w
+        .debug_summary()
         .lines()
         .filter_map(|l| {
             l.split("fwd=")
