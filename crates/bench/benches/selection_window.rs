@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hint::black_box;
-use wgtt::selection::{ApSelector, SelectionPolicy, Verdict};
+use wgtt::selection::{ApSelector, FullScanSelector, SelectionPolicy, Verdict};
 use wgtt::window::{EsnrWindow, NaiveWindow};
 use wgtt_mac::frame::NodeId;
 use wgtt_sim::time::{SimDuration, SimTime};
@@ -230,9 +230,113 @@ fn bench_on_reading(c: &mut Criterion) {
     }
 }
 
+/// The A-sweep pinning the O(1) claim: AP count A ∈ {8, 64, 256} with a
+/// fixed per-AP window population. "fullscan" is [`FullScanSelector`],
+/// the pre-fast-path selector kept in-tree as the oracle (O(A) expire
+/// visits per query); "incremental" is the shipping cached-argmax +
+/// expiry-heap [`ApSelector`]. The claim: incremental `best()` on the
+/// untouched-frame path is flat (within noise) from 8 → 256 APs, and
+/// `on_reading` stays amortized O(1) per frame, while fullscan scales
+/// linearly in A.
+const AP_SWEEP: [u64; 3] = [8, 64, 256];
+/// Per-AP window population for the sweep (readings inside W = 10 ms).
+const SWEEP_POP: u64 = 32;
+
+fn bench_a_sweep_untouched(c: &mut Criterion) {
+    // Repeated `best(now)` at a fixed instant with no interleaved
+    // readings: the pure untouched-frame path. The incremental selector
+    // answers from the argmax cache after one O(1) heap peek; the
+    // full-scan oracle walks every AP every call.
+    for aps in AP_SWEEP {
+        // One global stream; readings rotate across APs so every AP's
+        // window holds ~SWEEP_POP live readings at the query instant.
+        c.bench_function(
+            &format!("selection/best/a-sweep/untouched/incremental/aps={aps}"),
+            |b| {
+                let sel = RefCell::new(ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0));
+                let mut s = Stream::new(SWEEP_POP * aps);
+                let mut now = SimTime::ZERO;
+                for i in 0..SWEEP_POP * aps {
+                    let (at, v) = s.next();
+                    sel.borrow_mut().record(NodeId((i % aps) as u32), at, v);
+                    now = at;
+                }
+                b.iter(|| black_box(sel.borrow_mut().best(now)))
+            },
+        );
+        c.bench_function(
+            &format!("selection/best/a-sweep/untouched/fullscan/aps={aps}"),
+            |b| {
+                let sel = RefCell::new(FullScanSelector::new(
+                    WINDOW,
+                    SimDuration::from_millis(40),
+                    1.0,
+                ));
+                let mut s = Stream::new(SWEEP_POP * aps);
+                let mut now = SimTime::ZERO;
+                for i in 0..SWEEP_POP * aps {
+                    let (at, v) = s.next();
+                    sel.borrow_mut().record(NodeId((i % aps) as u32), at, v);
+                    now = at;
+                }
+                b.iter(|| black_box(sel.borrow_mut().best(now)))
+            },
+        );
+    }
+}
+
+fn bench_a_sweep_on_reading(c: &mut Criterion) {
+    // The full per-uplink-frame path at scale: one CSI reading lands
+    // (rotating across A APs), then the controller re-evaluates. The
+    // incremental selector pays one window update + heap push + argmax
+    // bump per frame, rescanning only when the cached winner worsened —
+    // amortized O(1) in A.
+    for aps in AP_SWEEP {
+        c.bench_function(
+            &format!("selection/on_reading/a-sweep/incremental/aps={aps}"),
+            |b| {
+                let mut sel = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+                let mut s = Stream::new(SWEEP_POP * aps);
+                let mut i = 0u64;
+                for _ in 0..SWEEP_POP * aps {
+                    let (at, v) = s.next();
+                    sel.record(NodeId((i % aps) as u32), at, v);
+                    i += 1;
+                }
+                b.iter(|| {
+                    let (at, v) = s.next();
+                    sel.record(NodeId((i % aps) as u32), at, v);
+                    i += 1;
+                    black_box(sel.evaluate(at))
+                })
+            },
+        );
+        c.bench_function(
+            &format!("selection/on_reading/a-sweep/fullscan/aps={aps}"),
+            |b| {
+                let mut sel = FullScanSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+                let mut s = Stream::new(SWEEP_POP * aps);
+                let mut i = 0u64;
+                for _ in 0..SWEEP_POP * aps {
+                    let (at, v) = s.next();
+                    sel.record(NodeId((i % aps) as u32), at, v);
+                    i += 1;
+                }
+                b.iter(|| {
+                    let (at, v) = s.next();
+                    sel.record(NodeId((i % aps) as u32), at, v);
+                    i += 1;
+                    black_box(sel.evaluate(at))
+                })
+            },
+        );
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_reduce, bench_best, bench_on_reading
+    targets = bench_reduce, bench_best, bench_on_reading,
+        bench_a_sweep_untouched, bench_a_sweep_on_reading
 }
 criterion_main!(benches);

@@ -14,13 +14,36 @@
 //!
 //! The per-link window reduction is delegated to
 //! [`crate::window::EsnrWindow`], an incremental order-statistics
-//! structure (indexable sorted ring, O(1) memoized query) proven
-//! equivalent to the naive sort-per-query oracle by the property suite in
-//! `crates/core/tests/prop_selection.rs`. Link maps are `BTreeMap`s so
-//! every scan is already in deterministic AP-id order without the
-//! collect-and-sort the seed implementation paid per frame.
+//! structure (indexable sorted ring, O(1) memoized query).
+//!
+//! ## The O(1) untouched-frame fast path
+//!
+//! The selection rule runs per uplink frame, and a dense deployment puts
+//! hundreds of APs in a client's candidate map, so even an O(A) walk per
+//! frame — just to *check* each window for expiry — is the scaling
+//! bottleneck. [`ApSelector`] therefore keeps two pieces of derived
+//! state:
+//!
+//! * a **cached argmax** (`best_cache`): the result of the last
+//!   [`ApSelector::best`] computation, updated incrementally by the one
+//!   window a reading or expiry actually touched, and invalidated (full
+//!   rescan) only when that window was the cached winner and its reduced
+//!   value fell;
+//! * an [`crate::window::ExpiryHeap`] of per-window **front-expiry
+//!   deadlines** ([`crate::window::EsnrWindow::front_deadline`]), so
+//!   `best(now)` expires exactly the windows whose deadline has passed —
+//!   an O(1) peek on the frames (the overwhelming majority) where none
+//!   has.
+//!
+//! The result: on a frame that touched no window, `best(now)` is O(1) in
+//! the AP count; on a frame with one reading it is O(log A) (one heap
+//! push) amortized, with the O(A) rescan only when the cached winner
+//! worsened. [`FullScanSelector`] keeps the previous implementation — a
+//! full expire-and-reduce scan per query — as the in-tree oracle, and
+//! `crates/core/tests/prop_selection.rs` proves the fast path
+//! bit-identical to it under adversarial interleavings.
 
-use crate::window::EsnrWindow;
+use crate::window::{EsnrWindow, ExpiryHeap};
 use std::collections::BTreeMap;
 use wgtt_mac::frame::NodeId;
 use wgtt_sim::time::{SimDuration, SimTime};
@@ -41,6 +64,11 @@ struct Link {
     /// Most recent reading regardless of window expiry (range liveness
     /// for the fan-out grace rule).
     last_reading: SimTime,
+    /// The front-expiry deadline this link most recently queued in the
+    /// selector's [`ExpiryHeap`] (`None` when the window is empty).
+    /// A popped heap entry is live iff it equals this; anything else is
+    /// stale and skipped.
+    queued_deadline: Option<SimTime>,
 }
 
 /// Per-client AP selection state.
@@ -53,6 +81,13 @@ pub struct ApSelector {
     links: BTreeMap<NodeId, Link>,
     current: Option<NodeId>,
     last_switch: Option<SimTime>,
+    /// Lazy min-heap of per-window front-expiry deadlines; its peek
+    /// answers "does any window need expiring at `now`?" in O(1).
+    expiry: ExpiryHeap<NodeId>,
+    /// Memoized argmax of the per-AP reduction: `None` = dirty (full
+    /// rescan on next query), `Some(inner)` = `best()` would return
+    /// `inner` once due expiries are processed.
+    best_cache: Option<Option<(NodeId, f64)>>,
 }
 
 /// The selector's verdict after a new reading.
@@ -78,6 +113,8 @@ impl ApSelector {
             links: BTreeMap::new(),
             current: None,
             last_switch: None,
+            expiry: ExpiryHeap::new(),
+            best_cache: Some(None),
         }
     }
 
@@ -85,13 +122,111 @@ impl ApSelector {
     /// paper's algorithm is the default median).
     pub fn set_policy(&mut self, policy: SelectionPolicy) {
         self.policy = policy;
+        self.best_cache = None;
+    }
+
+    /// Incrementally fold "`ap`'s reduced value is now `value`" into the
+    /// cached argmax, or mark it dirty when only a rescan can answer.
+    ///
+    /// Correctness leans on the invariant a valid cache `Some((b, bv))`
+    /// carries (matching the oracle's ascending-id, strict-`>` scan):
+    /// every AP below `b` reduces strictly below `bv`, every AP above
+    /// `b` reduces to at most `bv`. Each arm below preserves it.
+    fn bump_cache(cache: &mut Option<Option<(NodeId, f64)>>, ap: NodeId, value: Option<f64>) {
+        let Some(inner) = cache.as_mut() else {
+            return; // already dirty
+        };
+        match (*inner, value) {
+            // No candidate anywhere and this window is (still) empty.
+            (None, None) => {}
+            // First window with a reading: it is the argmax.
+            (None, Some(v)) => *inner = Some((ap, v)),
+            (Some((b, bv)), value) => {
+                if ap == b {
+                    match value {
+                        // The winner improved (or tied itself): every
+                        // other AP was already ≤ bv ≤ v, and `b` keeps
+                        // winning ties it already won.
+                        Some(v) if v >= bv => *inner = Some((b, v)),
+                        // The winner worsened or emptied: the new argmax
+                        // could be any other AP — rescan.
+                        _ => *cache = None,
+                    }
+                } else if let Some(v) = value {
+                    // A challenger: it takes over iff the oracle's scan
+                    // would have kept it — strictly better, or equal
+                    // with a lower id (the invariant guarantees no AP
+                    // below `ap` also holds `bv`).
+                    if v > bv || (v == bv && ap < b) {
+                        *inner = Some((ap, v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-queue `ap`'s front-expiry deadline if the front changed since
+    /// the last time it was queued (lazy heap: old entries stay behind
+    /// and are skipped as stale when popped).
+    fn sync_deadline(
+        link: &mut Link,
+        expiry: &mut ExpiryHeap<NodeId>,
+        ap: NodeId,
+        window: SimDuration,
+    ) {
+        let actual = link.window.front_deadline(window);
+        if link.queued_deadline != actual {
+            if let Some(deadline) = actual {
+                expiry.schedule(deadline, ap);
+            }
+            link.queued_deadline = actual;
+        }
+    }
+
+    /// Expire exactly the windows whose front deadline has passed at
+    /// `now`, folding each change into the argmax cache. O(1) when
+    /// nothing is due — the common case, and the whole point.
+    fn process_expiries(&mut self, now: SimTime) {
+        while let Some((deadline, ap)) = self.expiry.pop_due(now) {
+            let Some(link) = self.links.get_mut(&ap) else {
+                continue; // AP was removed; entry is garbage
+            };
+            if link.queued_deadline != Some(deadline) {
+                continue; // stale entry from an earlier front
+            }
+            link.window.expire(now, self.window);
+            let value = link.window.reduce(self.policy);
+            Self::sync_deadline(link, &mut self.expiry, ap, self.window);
+            Self::bump_cache(&mut self.best_cache, ap, value);
+        }
     }
 
     /// Record an ESNR reading from `ap` at `at`.
     pub fn record(&mut self, ap: NodeId, at: SimTime, esnr_db: f64) {
+        let window = self.window;
+        let policy = self.policy;
         let link = self.links.entry(ap).or_default();
         link.last_reading = link.last_reading.max(at);
-        link.window.push(at, esnr_db, self.window);
+        link.window.push(at, esnr_db, window);
+        let value = link.window.reduce(policy);
+        Self::sync_deadline(link, &mut self.expiry, ap, window);
+        Self::bump_cache(&mut self.best_cache, ap, value);
+    }
+
+    /// Forget `ap` entirely (decommissioned or out of the deployment).
+    /// If it was the serving AP it stays nominally current until
+    /// [`ApSelector::evaluate`] notices the dead link and switches away
+    /// (the silence grace does not protect a removed AP: its
+    /// `last_reading` is gone with the link).
+    pub fn remove_ap(&mut self, ap: NodeId) {
+        if self.links.remove(&ap).is_some() {
+            // Stale heap entries for `ap` are skipped on pop. The cache
+            // only dirties when the removed AP was the cached winner —
+            // dropping a loser cannot move the argmax.
+            if matches!(self.best_cache, Some(Some((b, _))) if b == ap) {
+                self.best_cache = None;
+            }
+        }
     }
 
     /// Whether any AP has heard this client within `grace` of `now` —
@@ -129,49 +264,49 @@ impl ApSelector {
     /// APs with at least one reading inside the window — the fan-out set
     /// for downlink replication.
     pub fn in_range(&mut self, now: SimTime) -> Vec<NodeId> {
-        let window = self.window;
-        // BTreeMap iteration is already in ascending AP-id order.
+        self.process_expiries(now);
+        // BTreeMap iteration is already in ascending AP-id order, and
+        // every window is current as of `now` after the heap drain.
         self.links
-            .iter_mut()
-            .filter_map(|(&ap, l)| {
-                l.window.expire(now, window);
-                if l.window.is_empty() {
-                    None
-                } else {
-                    Some(ap)
-                }
-            })
+            .iter()
+            .filter(|(_, l)| !l.window.is_empty())
+            .map(|(&ap, _)| ap)
             .collect()
     }
 
     /// Reduced (by the configured policy; median by default) ESNR of
     /// `ap` over the window, if it has readings.
     pub fn median_esnr(&mut self, ap: NodeId, now: SimTime) -> Option<f64> {
-        let window = self.window;
+        self.process_expiries(now);
         let policy = self.policy;
-        let l = self.links.get_mut(&ap)?;
-        l.window.expire(now, window);
-        l.window.reduce(policy)
+        self.links.get_mut(&ap)?.window.reduce(policy)
     }
 
     /// The instantaneous argmax-median AP (no hysteresis) — the paper's
     /// "optimal AP" reference for the Table 2 switching-accuracy metric.
+    ///
+    /// O(1) on frames where no window changed since the last query; the
+    /// O(A) rescan runs only when the cached winner's value fell (new
+    /// reading below its old reduce, front expiry, or AP removal).
     pub fn best(&mut self, now: SimTime) -> Option<(NodeId, f64)> {
-        let window = self.window;
+        self.process_expiries(now);
+        if let Some(cached) = self.best_cache {
+            return cached;
+        }
         let policy = self.policy;
         let mut best: Option<(NodeId, f64)> = None;
         // BTreeMap iteration is ascending by AP id, so the strict `>`
         // keeps the lowest id on ties — same verdict as the seed's
-        // collect-and-sort scan. `reduce` is memoized per link, so APs
-        // untouched since the last frame cost O(1) here.
+        // collect-and-sort scan. Windows are already expired by the heap
+        // drain above; `reduce` is memoized per link.
         for (&ap, l) in self.links.iter_mut() {
-            l.window.expire(now, window);
             if let Some(m) = l.window.reduce(policy) {
                 if best.is_none_or(|(_, bm)| m > bm) {
                     best = Some((ap, m));
                 }
             }
         }
+        self.best_cache = Some(best);
         best
     }
 
@@ -198,6 +333,150 @@ impl ApSelector {
             // No reading from the current AP inside the window: only
             // abandon it once it has been silent for the grace period —
             // a brief CSI lull is not evidence of a dead link.
+            None => {
+                let silent_long = self
+                    .links
+                    .get(&current)
+                    .is_none_or(|l| l.last_reading + SILENCE_GRACE < now);
+                if silent_long {
+                    Verdict::SwitchTo(best_ap)
+                } else {
+                    Verdict::Stay
+                }
+            }
+            Some(cm) if best_median > cm + self.margin_db => Verdict::SwitchTo(best_ap),
+            Some(_) => Verdict::Stay,
+        }
+    }
+}
+
+/// The pre-fast-path selector, kept in-tree as the equivalence oracle —
+/// this layer's [`crate::window::NaiveWindow`]. Every query expires and
+/// reduces **every** link (O(A) per frame); there is no argmax cache and
+/// no expiry heap, so there is nothing to go stale. The property suite
+/// in `crates/core/tests/prop_selection.rs` drives it in lockstep with
+/// [`ApSelector`] and requires bit-identical answers from every method;
+/// the A-sweep in `crates/bench/benches/selection_window.rs` uses it as
+/// the "before" side of the O(1) claim.
+#[derive(Debug)]
+pub struct FullScanSelector {
+    window: SimDuration,
+    hysteresis: SimDuration,
+    margin_db: f64,
+    policy: SelectionPolicy,
+    links: BTreeMap<NodeId, OracleLink>,
+    current: Option<NodeId>,
+    last_switch: Option<SimTime>,
+}
+
+#[derive(Debug, Default)]
+struct OracleLink {
+    window: EsnrWindow,
+    last_reading: SimTime,
+}
+
+impl FullScanSelector {
+    /// Build with the same knobs as [`ApSelector::new`].
+    pub fn new(window: SimDuration, hysteresis: SimDuration, margin_db: f64) -> Self {
+        FullScanSelector {
+            window,
+            hysteresis,
+            margin_db,
+            policy: SelectionPolicy::Median,
+            links: BTreeMap::new(),
+            current: None,
+            last_switch: None,
+        }
+    }
+
+    /// Override the window-reduction policy.
+    pub fn set_policy(&mut self, policy: SelectionPolicy) {
+        self.policy = policy;
+    }
+
+    /// Record an ESNR reading from `ap` at `at`.
+    pub fn record(&mut self, ap: NodeId, at: SimTime, esnr_db: f64) {
+        let link = self.links.entry(ap).or_default();
+        link.last_reading = link.last_reading.max(at);
+        link.window.push(at, esnr_db, self.window);
+    }
+
+    /// Forget `ap` entirely (mirror of [`ApSelector::remove_ap`]).
+    pub fn remove_ap(&mut self, ap: NodeId) {
+        self.links.remove(&ap);
+    }
+
+    /// The AP currently serving this client, if any.
+    pub fn current(&self) -> Option<NodeId> {
+        self.current
+    }
+
+    /// Force the serving AP.
+    pub fn set_current(&mut self, ap: NodeId, now: SimTime) {
+        self.current = Some(ap);
+        self.last_switch = Some(now);
+    }
+
+    /// APs with at least one reading inside the window.
+    pub fn in_range(&mut self, now: SimTime) -> Vec<NodeId> {
+        let window = self.window;
+        self.links
+            .iter_mut()
+            .filter_map(|(&ap, l)| {
+                l.window.expire(now, window);
+                if l.window.is_empty() {
+                    None
+                } else {
+                    Some(ap)
+                }
+            })
+            .collect()
+    }
+
+    /// Reduced ESNR of `ap` over the window, if it has readings.
+    pub fn median_esnr(&mut self, ap: NodeId, now: SimTime) -> Option<f64> {
+        let window = self.window;
+        let policy = self.policy;
+        let l = self.links.get_mut(&ap)?;
+        l.window.expire(now, window);
+        l.window.reduce(policy)
+    }
+
+    /// The instantaneous argmax AP by a full expire-and-reduce scan.
+    pub fn best(&mut self, now: SimTime) -> Option<(NodeId, f64)> {
+        let window = self.window;
+        let policy = self.policy;
+        let mut best: Option<(NodeId, f64)> = None;
+        for (&ap, l) in self.links.iter_mut() {
+            l.window.expire(now, window);
+            if let Some(m) = l.window.reduce(policy) {
+                if best.is_none_or(|(_, bm)| m > bm) {
+                    best = Some((ap, m));
+                }
+            }
+        }
+        best
+    }
+
+    /// Evaluate the selection rule at `now` (same dampers as
+    /// [`ApSelector::evaluate`]).
+    pub fn evaluate(&mut self, now: SimTime) -> Verdict {
+        let Some((best_ap, best_median)) = self.best(now) else {
+            return Verdict::NoCandidate;
+        };
+        let Some(current) = self.current else {
+            return Verdict::SwitchTo(best_ap);
+        };
+        if best_ap == current {
+            return Verdict::Stay;
+        }
+        if let Some(last) = self.last_switch {
+            if now.saturating_since(last) < self.hysteresis {
+                return Verdict::Stay;
+            }
+        }
+        let current_median = self.median_esnr(current, now);
+        match current_median {
             None => {
                 let silent_long = self
                     .links
@@ -360,5 +639,64 @@ mod tests {
             s.record(AP1, ms(i as u64), *v);
         }
         assert_eq!(s.median_esnr(AP1, ms(3)), Some(6.0));
+    }
+
+    #[test]
+    fn repeated_same_now_queries_are_stable() {
+        let mut s = selector();
+        s.record(AP1, ms(0), 20.0);
+        s.record(AP2, ms(1), 25.0);
+        let first = s.best(ms(2));
+        // The cached argmax must return the identical answer on every
+        // re-query at the same instant (and not corrupt later queries).
+        for _ in 0..5 {
+            assert_eq!(s.best(ms(2)), first);
+        }
+        assert_eq!(s.best(ms(2)), Some((AP2, 25.0)));
+    }
+
+    #[test]
+    fn remove_ap_forgets_candidate_and_range() {
+        let mut s = selector();
+        s.record(AP1, ms(0), 20.0);
+        s.record(AP2, ms(0), 30.0);
+        assert_eq!(s.best(ms(1)), Some((AP2, 30.0)));
+        // Removing the cached winner forces a rescan to the runner-up.
+        s.remove_ap(AP2);
+        assert_eq!(s.best(ms(1)), Some((AP1, 20.0)));
+        assert_eq!(s.in_range(ms(1)), vec![AP1]);
+        // Removing a loser leaves the argmax untouched.
+        s.record(AP3, ms(1), 5.0);
+        s.remove_ap(AP3);
+        assert_eq!(s.best(ms(2)), Some((AP1, 20.0)));
+        assert!(!s.heard_within(ms(200), SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    fn removed_serving_ap_triggers_switch_immediately() {
+        let mut s = selector();
+        s.record(AP1, ms(0), 25.0);
+        s.set_current(AP1, ms(0));
+        s.record(AP2, ms(1), 10.0);
+        assert_eq!(s.evaluate(ms(1)), Verdict::Stay);
+        // A removed AP has no `last_reading` left to earn silence grace.
+        s.remove_ap(AP1);
+        s.record(AP2, ms(45), 10.0);
+        assert_eq!(s.evaluate(ms(50)), Verdict::SwitchTo(AP2));
+    }
+
+    #[test]
+    fn expiry_heap_catches_cascaded_front_expiries() {
+        let mut s = selector();
+        // Three readings whose deadlines pass at different instants; a
+        // single late query must expire all of them at once.
+        s.record(AP1, ms(0), 30.0);
+        s.record(AP1, ms(2), 20.0);
+        s.record(AP1, ms(4), 10.0);
+        s.record(AP2, ms(4), 15.0);
+        assert_eq!(s.best(ms(5)), Some((AP1, 20.0)));
+        // t=13: AP1 readings at 0 and 2 ms expired, leaving {10}.
+        assert_eq!(s.best(ms(13)), Some((AP2, 15.0)));
+        assert_eq!(s.median_esnr(AP1, ms(13)), Some(10.0));
     }
 }

@@ -307,6 +307,126 @@ mod tests {
     }
 
     #[test]
+    fn timeout_exactly_at_boundary_fires() {
+        // §3.1.2: retransmit when the 30 ms ack timeout elapses. The
+        // boundary is inclusive on the fire side: at `now == sent_at +
+        // 30 ms` the timeout has elapsed (`saturating_since == timeout`,
+        // not `<`), one nanosecond earlier it has not.
+        let mut p = proto();
+        let SwitchEvent::SendStop { switch_id, .. } = p.begin(AP1, AP2, ms(0)).unwrap() else {
+            panic!();
+        };
+        let just_before = SimTime::from_nanos(ms(30).as_nanos() - 1);
+        assert_eq!(p.poll(just_before), SwitchEvent::None);
+        // `timeout_at` and the poll that fires must agree on the instant.
+        assert_eq!(p.timeout_at(), Some(ms(30)));
+        assert_eq!(
+            p.poll(ms(30)),
+            SwitchEvent::SendStop {
+                old_ap: AP1,
+                new_ap: AP2,
+                switch_id
+            }
+        );
+        // And an ack landing exactly at a later boundary still completes
+        // (the retransmission does not invalidate the attempt id).
+        assert_eq!(p.timeout_at(), Some(ms(60)));
+        let SwitchEvent::Completed { elapsed, .. } = p.on_ack(switch_id, ms(60)) else {
+            panic!("boundary ack must complete");
+        };
+        assert_eq!(elapsed, SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn abandon_after_max_retries_exact_budget() {
+        // The abandon path, counted exactly: the initial stop plus
+        // `max_retries` retransmissions, then the next elapsed timeout
+        // abandons (returns None, goes Idle, disarms the timer).
+        let mut p = proto();
+        p.begin(AP1, AP2, ms(0)).unwrap();
+        let mut t = ms(0);
+        for i in 0..10 {
+            t += SimDuration::from_millis(30);
+            assert!(
+                matches!(p.poll(t), SwitchEvent::SendStop { .. }),
+                "retransmission {i} must fire"
+            );
+            assert!(p.busy(), "still outstanding after retransmission {i}");
+        }
+        // Retry budget exhausted: the 11th elapsed timeout gives up.
+        t += SimDuration::from_millis(30);
+        assert_eq!(p.poll(t), SwitchEvent::None);
+        assert!(!p.busy());
+        assert_eq!(p.timeout_at(), None);
+        assert_eq!(p.state(), SwitchState::Idle);
+    }
+
+    #[test]
+    fn stale_ack_after_abandon_never_completes() {
+        let mut p = proto();
+        let SwitchEvent::SendStop { switch_id, .. } = p.begin(AP1, AP2, ms(0)).unwrap() else {
+            panic!();
+        };
+        let mut t = ms(0);
+        while p.busy() {
+            t += SimDuration::from_millis(30);
+            p.poll(t);
+        }
+        // The ack for the abandoned attempt finally limps in: it must
+        // not complete a switch the controller already gave up on...
+        assert_eq!(
+            p.on_ack(switch_id, t + SimDuration::from_millis(1)),
+            SwitchEvent::None
+        );
+        assert!(!p.busy());
+        // ...nor leak into the next attempt, which gets a fresh id.
+        let SwitchEvent::SendStop {
+            switch_id: next, ..
+        } = p.begin(AP2, AP1, t + SimDuration::from_millis(2)).unwrap()
+        else {
+            panic!();
+        };
+        assert_ne!(next, switch_id);
+        assert_eq!(
+            p.on_ack(switch_id, t + SimDuration::from_millis(3)),
+            SwitchEvent::None
+        );
+        assert!(p.busy(), "stale ack must not complete the new attempt");
+    }
+
+    #[test]
+    fn one_outstanding_switch_across_whole_lifecycle() {
+        // Footnote 2, strengthened: `begin` stays refused through every
+        // retransmission of an outstanding attempt, and unblocks on both
+        // exit paths (ack completion and retry-budget abandonment).
+        let mut p = proto();
+        let SwitchEvent::SendStop { switch_id, .. } = p.begin(AP1, AP2, ms(0)).unwrap() else {
+            panic!();
+        };
+        let mut t = ms(0);
+        for _ in 0..3 {
+            t += SimDuration::from_millis(30);
+            p.poll(t);
+            assert!(p.begin(AP2, AP1, t).is_none(), "blocked while awaiting ack");
+        }
+        // Exit path 1: completion by ack.
+        assert!(matches!(
+            p.on_ack(switch_id, t + SimDuration::from_millis(1)),
+            SwitchEvent::Completed { .. }
+        ));
+        let mut t = t + SimDuration::from_millis(2);
+        p.begin(AP2, AP1, t).expect("idle after completion");
+        // Exit path 2: abandonment after the retry budget.
+        for _ in 0..=10 {
+            assert!(p.begin(AP1, AP2, t).is_none(), "blocked while retrying");
+            t += SimDuration::from_millis(30);
+            p.poll(t);
+        }
+        assert!(!p.busy());
+        p.begin(AP1, AP2, t).expect("idle after abandonment");
+    }
+
+    #[test]
     fn switch_ids_are_unique_per_attempt() {
         let mut p = proto();
         let SwitchEvent::SendStop { switch_id: a, .. } = p.begin(AP1, AP2, ms(0)).unwrap() else {

@@ -6,13 +6,16 @@
 //! sort-per-query implementation ([`NaiveWindow`], kept verbatim as the
 //! oracle) under arbitrary insert/expiry sequences — duplicate
 //! timestamps, duplicate values, and exact window-boundary readings
-//! included. Selection *verdicts* are a pure function of the reduced
-//! values, so equality here means every experiment artifact in
-//! EXPERIMENTS.md is unchanged by the optimization.
+//! included. The O(1) fast path (cached argmax + expiry heap) is held
+//! to the same bar against [`FullScanSelector`], the previous full
+//! expire-and-reduce selector kept in-tree as this layer's oracle.
+//! Selection *verdicts* are a pure function of the reduced values, so
+//! equality here means every experiment artifact in EXPERIMENTS.md is
+//! unchanged by the optimization.
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use wgtt::selection::{ApSelector, SelectionPolicy};
+use wgtt::selection::{ApSelector, FullScanSelector, SelectionPolicy, Verdict};
 use wgtt::window::{EsnrWindow, NaiveWindow};
 use wgtt_mac::frame::NodeId;
 use wgtt_sim::time::{SimDuration, SimTime};
@@ -161,6 +164,116 @@ proptest! {
                 .map(|(&id, _)| NodeId(id))
                 .collect();
             prop_assert_eq!(selector.in_range(at), expected_in_range);
+        }
+    }
+
+    /// The O(1) fast path (cached argmax + expiry heap) is bit-identical
+    /// to the kept-in-tree full-scan selector under random interleavings
+    /// of readings, expiry-only queries, duplicate timestamps, AP
+    /// add/remove, verdict evaluation (with switches applied), and
+    /// repeated same-`now` queries. `best()` is compared through
+    /// `f64::to_bits` — bit-identical, not merely numerically equal.
+    #[test]
+    fn fast_selector_bit_identical_to_full_scan_oracle(
+        policy_idx in 0usize..4,
+        ops in proptest::collection::vec(
+            (0u32..8, 0u32..6, 0u64..2_000, 0u32..600), 1..250
+        )
+    ) {
+        let policy = POLICIES[policy_idx];
+        let mut fast = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        let mut oracle = FullScanSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        fast.set_policy(policy);
+        oracle.set_policy(policy);
+        let mut t_us = 0u64;
+        for (kind, ap_raw, dt_us, raw) in ops {
+            // Step distribution: ~20% duplicate timestamps, mostly small
+            // sub-window steps, occasionally a jump that empties every
+            // window (and, at `dt_us == 1_900`, another zero step).
+            t_us += match dt_us {
+                0..=399 => 0,
+                400..=1_899 => dt_us - 400,
+                _ => (dt_us - 1_900) * 20_000,
+            };
+            let now = SimTime::from_micros(t_us);
+            let ap = NodeId(ap_raw % 5);
+            match kind {
+                // Readings are the bulk of the workload.
+                0..=2 => {
+                    let v = esnr(raw);
+                    fast.record(ap, now, v);
+                    oracle.record(ap, now, v);
+                }
+                3 => {
+                    fast.remove_ap(ap);
+                    oracle.remove_ap(ap);
+                }
+                // Expiry-only paths: these must keep the argmax cache
+                // and the heap coherent without a reading arriving.
+                4 => {
+                    prop_assert_eq!(
+                        fast.in_range(now), oracle.in_range(now),
+                        "in_range diverged at t={}µs", t_us
+                    );
+                }
+                5 => {
+                    prop_assert_eq!(
+                        fast.median_esnr(ap, now), oracle.median_esnr(ap, now),
+                        "median_esnr({:?}) diverged at t={}µs", ap, t_us
+                    );
+                }
+                // Full verdicts, with decided switches applied so the
+                // hysteresis/current bookkeeping is exercised too.
+                6 => {
+                    let fv = fast.evaluate(now);
+                    let ov = oracle.evaluate(now);
+                    prop_assert_eq!(fv, ov, "verdict diverged at t={}µs", t_us);
+                    prop_assert_eq!(fast.current(), oracle.current());
+                    if let Verdict::SwitchTo(target) = fv {
+                        fast.set_current(target, now);
+                        oracle.set_current(target, now);
+                    }
+                }
+                // Repeated same-`now` queries must be idempotent.
+                _ => {
+                    let expected = oracle.best(now);
+                    prop_assert_eq!(fast.best(now), expected);
+                    prop_assert_eq!(fast.best(now), expected, "re-query at t={}µs changed", t_us);
+                }
+            }
+            // After every op the argmax must agree to the bit.
+            let fast_bits = fast.best(now).map(|(a, v)| (a, v.to_bits()));
+            let oracle_bits = oracle.best(now).map(|(a, v)| (a, v.to_bits()));
+            prop_assert_eq!(fast_bits, oracle_bits, "best diverged at t={}µs", t_us);
+        }
+    }
+
+    /// Same lockstep check concentrated on window-boundary instants:
+    /// steps drawn from {0, 1, W−1, W, W+1} µs offsets, where the strict
+    /// `t + W < now` expiry rule and the heap's strict `deadline < now`
+    /// pop rule must agree reading-for-reading.
+    #[test]
+    fn fast_selector_matches_oracle_at_window_boundaries(
+        steps in proptest::collection::vec((0usize..5, 0u32..3, 0u32..600), 1..150)
+    ) {
+        const BOUNDARY_STEPS_US: [u64; 5] = [0, 1, 9_999, 10_000, 10_001];
+        let mut fast = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        let mut oracle = FullScanSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        let mut t_us = 0u64;
+        for (step, ap_raw, raw) in steps {
+            t_us += BOUNDARY_STEPS_US[step];
+            let now = SimTime::from_micros(t_us);
+            let ap = NodeId(ap_raw);
+            let v = esnr(raw);
+            fast.record(ap, now, v);
+            oracle.record(ap, now, v);
+            let fast_bits = fast.best(now).map(|(a, m)| (a, m.to_bits()));
+            let oracle_bits = oracle.best(now).map(|(a, m)| (a, m.to_bits()));
+            prop_assert_eq!(fast_bits, oracle_bits, "best diverged at t={}µs", t_us);
+            prop_assert_eq!(
+                fast.in_range(now), oracle.in_range(now),
+                "in_range diverged at t={}µs", t_us
+            );
         }
     }
 }

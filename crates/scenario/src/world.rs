@@ -182,6 +182,11 @@ pub struct RunReport {
     /// Serving-AP timeseries per client (AP index as f64).
     pub serving_series: HashMap<NodeId, TimeSeries>,
     /// Instantaneous per-frame PHY bit rate samples (Mbit/s) per client.
+    /// One sample per delivered A-MPDU makes this the report's unbounded
+    /// recorder on long runs, so it uses the bounded-memory sketch
+    /// backend ([`Distribution::sketch`], rank error ≤ the documented
+    /// epsilon); the small exact-shape recorders (e.g.
+    /// `switch_durations`, Table 1) stay on the exact backend.
     pub bitrate_series: HashMap<NodeId, Distribution>,
     /// ESNR traces per (client, AP) — Fig. 2 style.
     pub esnr_traces: HashMap<(NodeId, NodeId), TimeSeries>,

@@ -28,6 +28,7 @@
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod sketch;
 pub mod time;
 
 pub use queue::EventQueue;

@@ -6,6 +6,7 @@
 //! summary (Tables 1–5). The types here record those shapes during a run
 //! and reduce them afterwards.
 
+use crate::sketch::P2Sketch;
 use crate::time::{SimDuration, SimTime};
 
 /// A `(time, value)` series, e.g. ESNR per received frame or the serving-AP
@@ -102,16 +103,23 @@ impl TimeSeries {
 }
 
 /// Empirical distribution that reduces to a CDF (e.g. Fig. 16 bit-rate CDF,
-/// Fig. 24 fps CDF).
+/// Fig. 24 fps CDF), with a selectable backend:
 ///
-/// Order statistics are served from an incrementally maintained sorted
-/// view: a query sorts only the samples recorded since the previous
-/// query and merges them into the standing sorted vector. Repeated
-/// quantile/CDF queries (the common render pattern asks for several
-/// percentiles back to back, every reporting tick) therefore stop
-/// paying the seed's clone-and-sort of the full sample set per call —
-/// which was quadratic over a long run — and cost O(1) when nothing new
-/// was recorded.
+/// * **exact** ([`Distribution::new`], the default): every sample is
+///   stored; order statistics are served from an incrementally
+///   maintained sorted view (a query sorts only the samples recorded
+///   since the previous query and merges them in, so repeated
+///   quantile/CDF queries cost O(1) when nothing new was recorded).
+///   This is the oracle the property suite compares the sketch against,
+///   and the right mode for tier-1 shape checks.
+/// * **sketch** ([`Distribution::sketch`]): a bounded-memory extended
+///   P² estimator ([`crate::sketch::P2Sketch`]) — O(markers) memory
+///   however many samples stream through, quantiles within the
+///   documented [`crate::sketch::EPSILON`] rank error. The mode for
+///   per-frame metrics on million-user-scale runs, where storing one
+///   `f64` per frame is gigabytes. Mean and standard deviation stay
+///   exact in both modes (the sketch backend carries Welford running
+///   moments).
 ///
 /// ```
 /// use wgtt_sim::metrics::Distribution;
@@ -122,13 +130,36 @@ impl TimeSeries {
 /// assert_eq!(d.median(), Some(3.0));
 /// assert_eq!(d.cdf().last().unwrap().1, 1.0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Distribution {
-    samples: Vec<f64>,
-    /// Sorted view of `samples[..sorted.merged]`, refreshed lazily at
-    /// query time (interior mutability keeps `quantile(&self)` stable
-    /// for render call sites).
-    cache: std::cell::RefCell<SortedCache>,
+    backend: Backend,
+}
+
+impl Default for Distribution {
+    /// Defaults to the exact backend (the seed behavior).
+    fn default() -> Self {
+        Distribution::new()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    Exact {
+        samples: Vec<f64>,
+        /// Sorted view of `samples[..cache.merged]`, refreshed lazily at
+        /// query time (interior mutability keeps `quantile(&self)` stable
+        /// for render call sites).
+        cache: std::cell::RefCell<SortedCache>,
+    },
+    Sketch {
+        /// Boxed: the marker arrays are ~0.5 KiB, far larger than the
+        /// `Exact` variant header, and most metrics are exact.
+        sketch: Box<P2Sketch>,
+        /// Welford running moments so `mean`/`std_dev` stay exact even
+        /// though the samples themselves are not retained.
+        mean: f64,
+        m2: f64,
+    },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -139,22 +170,55 @@ struct SortedCache {
 }
 
 impl Distribution {
-    /// An empty distribution.
+    /// An empty distribution with the exact (store-everything) backend.
     pub fn new() -> Self {
-        Self::default()
+        Distribution {
+            backend: Backend::Exact {
+                samples: Vec::new(),
+                cache: std::cell::RefCell::new(SortedCache::default()),
+            },
+        }
+    }
+
+    /// An empty distribution with the bounded-memory P² sketch backend.
+    pub fn sketch() -> Self {
+        Distribution {
+            backend: Backend::Sketch {
+                sketch: Box::new(P2Sketch::new()),
+                mean: 0.0,
+                m2: 0.0,
+            },
+        }
+    }
+
+    /// Whether this distribution uses the bounded-memory sketch backend.
+    pub fn is_sketch(&self) -> bool {
+        matches!(self.backend, Backend::Sketch { .. })
     }
 
     /// Add one sample.
     pub fn record(&mut self, value: f64) {
-        self.samples.push(value);
+        match &mut self.backend {
+            Backend::Exact { samples, .. } => samples.push(value),
+            Backend::Sketch { sketch, mean, m2 } => {
+                sketch.observe(value);
+                let delta = value - *mean;
+                *mean += delta / sketch.count() as f64;
+                *m2 += delta * (value - *mean);
+            }
+        }
     }
 
-    /// Run `f` over the sorted samples, merging in anything recorded
-    /// since the last query first.
-    fn with_sorted<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
-        let mut cache = self.cache.borrow_mut();
-        if cache.merged < self.samples.len() {
-            let mut tail: Vec<f64> = self.samples[cache.merged..].to_vec();
+    /// Run `f` over the sorted samples of the exact backend, merging in
+    /// anything recorded since the last query first.
+    fn with_sorted<R>(
+        samples: &[f64],
+        cache: &std::cell::RefCell<SortedCache>,
+        f: impl FnOnce(&[f64]) -> R,
+    ) -> R {
+        let mut cache = cache.borrow_mut();
+        if cache.merged < samples.len() {
+            let mut tail: Vec<f64> = samples[cache.merged..].to_vec();
             tail.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             let mut merged = Vec::with_capacity(cache.sorted.len() + tail.len());
             let (mut i, mut j) = (0, 0);
@@ -170,48 +234,96 @@ impl Distribution {
             merged.extend_from_slice(&cache.sorted[i..]);
             merged.extend_from_slice(&tail[j..]);
             cache.sorted = merged;
-            cache.merged = self.samples.len();
+            cache.merged = samples.len();
         }
         f(&cache.sorted)
     }
 
-    /// Number of samples.
+    /// Number of samples recorded (not necessarily retained).
     pub fn len(&self) -> usize {
-        self.samples.len()
+        match &self.backend {
+            Backend::Exact { samples, .. } => samples.len(),
+            Backend::Sketch { sketch, .. } => sketch.count() as usize,
+        }
+    }
+
+    /// Number of values actually held in memory: `len()` for the exact
+    /// backend, at most the fixed marker count for the sketch — the
+    /// memory-bound test's hard assertion hangs off this.
+    pub fn stored_samples(&self) -> usize {
+        match &self.backend {
+            Backend::Exact { samples, .. } => samples.len(),
+            Backend::Sketch { sketch, .. } => sketch.stored_values(),
+        }
     }
 
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len() == 0
     }
 
-    /// Mean, or `None` if empty.
+    /// Mean, or `None` if empty. Exact in both backends.
     pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
-            return None;
+        match &self.backend {
+            Backend::Exact { samples, .. } => {
+                if samples.is_empty() {
+                    return None;
+                }
+                Some(samples.iter().sum::<f64>() / samples.len() as f64)
+            }
+            Backend::Sketch { sketch, mean, .. } => {
+                if sketch.is_empty() {
+                    None
+                } else {
+                    Some(*mean)
+                }
+            }
         }
-        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
     }
 
-    /// Population standard deviation, or `None` if empty.
+    /// Population standard deviation, or `None` if empty. Exact in both
+    /// backends (Welford under the sketch).
     pub fn std_dev(&self) -> Option<f64> {
-        let mean = self.mean()?;
-        let var = self.samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-            / self.samples.len() as f64;
-        Some(var.sqrt())
+        match &self.backend {
+            Backend::Exact { samples, .. } => {
+                let mean = self.mean()?;
+                let var =
+                    samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+                Some(var.sqrt())
+            }
+            Backend::Sketch { sketch, m2, .. } => {
+                if sketch.is_empty() {
+                    None
+                } else {
+                    Some((m2 / sketch.count() as f64).sqrt())
+                }
+            }
+        }
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on the sorted samples,
-    /// or `None` if empty.
+    /// The `q`-quantile by nearest-rank on the sorted samples (exact
+    /// backend) or within the documented rank epsilon (sketch backend).
+    ///
+    /// Returns `None` if the distribution is empty **or if `q` is
+    /// outside `[0, 1]`** (including NaN) — out-of-range requests are a
+    /// caller bug reported through the type, not a panic.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.samples.is_empty() {
+        if !(0.0..=1.0).contains(&q) {
             return None;
         }
-        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        self.with_sorted(|sorted| {
-            let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
-            Some(sorted[idx])
-        })
+        match &self.backend {
+            Backend::Exact { samples, cache } => {
+                if samples.is_empty() {
+                    return None;
+                }
+                Self::with_sorted(samples, cache, |sorted| {
+                    let idx =
+                        ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+                    Some(sorted[idx])
+                })
+            }
+            Backend::Sketch { sketch, .. } => sketch.quantile(q),
+        }
     }
 
     /// Median (0.5-quantile).
@@ -219,17 +331,21 @@ impl Distribution {
         self.quantile(0.5)
     }
 
-    /// Full CDF as `(value, cumulative_fraction)` pairs over the sorted
-    /// samples — directly plottable.
+    /// CDF as `(value, cumulative_fraction)` pairs — every sample for
+    /// the exact backend, the marker grid (≤ 33 points) for the sketch.
+    /// Monotone in both coordinates and directly plottable either way.
     pub fn cdf(&self) -> Vec<(f64, f64)> {
-        self.with_sorted(|sorted| {
-            let n = sorted.len() as f64;
-            sorted
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, (i + 1) as f64 / n))
-                .collect()
-        })
+        match &self.backend {
+            Backend::Exact { samples, cache } => Self::with_sorted(samples, cache, |sorted| {
+                let n = sorted.len() as f64;
+                sorted
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, (i + 1) as f64 / n))
+                    .collect()
+            }),
+            Backend::Sketch { sketch, .. } => sketch.cdf(),
+        }
     }
 }
 
@@ -434,6 +550,56 @@ mod tests {
             }
             assert_eq!(d.cdf().len(), all.len());
         }
+    }
+
+    #[test]
+    fn distribution_out_of_range_quantile_is_none() {
+        let mut d = Distribution::new();
+        d.record(1.0);
+        assert_eq!(d.quantile(-0.1), None);
+        assert_eq!(d.quantile(1.001), None);
+        assert_eq!(d.quantile(f64::NAN), None);
+        assert_eq!(d.quantile(0.5), Some(1.0));
+        let mut s = Distribution::sketch();
+        s.record(1.0);
+        assert_eq!(s.quantile(2.0), None);
+        assert_eq!(s.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn sketch_backend_tracks_moments_exactly() {
+        let (mut exact, mut sk) = (Distribution::new(), Distribution::sketch());
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            exact.record(v);
+            sk.record(v);
+        }
+        assert!(sk.is_sketch());
+        assert_eq!(sk.len(), exact.len());
+        assert!((sk.mean().unwrap() - exact.mean().unwrap()).abs() < 1e-12);
+        assert!((sk.std_dev().unwrap() - exact.std_dev().unwrap()).abs() < 1e-12);
+        // Below the marker count the sketch is still exact on quantiles.
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(sk.quantile(q), exact.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn sketch_backend_bounds_memory() {
+        let mut d = Distribution::sketch();
+        for i in 0..100_000u64 {
+            d.record((i % 1_000) as f64);
+        }
+        assert_eq!(d.len(), 100_000);
+        assert!(d.stored_samples() <= wgtt_sim_sketch_markers());
+        let med = d.median().unwrap();
+        assert!((med - 500.0).abs() < 50.0, "median = {med}");
+        let cdf = d.cdf();
+        assert!(cdf.len() <= wgtt_sim_sketch_markers());
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    fn wgtt_sim_sketch_markers() -> usize {
+        crate::sketch::MARKERS
     }
 
     #[test]
