@@ -1,0 +1,264 @@
+//! Before/after benchmarks for the zero-redundancy PHY frame path —
+//! the per-frame cost every overhearing AP pays on every uplink frame
+//! now that selection is O(1): CSI synthesis (`FadingProcess::csi_at`),
+//! the ESNR map, and the full per-frame verdict at 8 APs.
+//!
+//! "reference" is the seed implementation, kept verbatim as
+//! `wgtt_radio::fading::reference` (the bit-identity oracle of
+//! `crates/radio/tests/prop_fading.rs`); "twiddle"/"memo" is the
+//! shipping path (precomputed subcarrier×tap twiddle table, flattened
+//! sinusoid banks, zero-alloc synthesis, single-entry link memo).
+//!
+//! Unlike the other benches this one also needs the numbers back, so it
+//! times with a local median-of-samples helper (same calibration scheme
+//! as the vendored criterion shim, same `time: [lo mid hi]` output
+//! shape) and finishes with an end-to-end macro-bench: one-shot
+//! fig13-style drives reporting events/s and frames/s. Everything is
+//! written to `BENCH_frame_path.json` at the workspace root — the first
+//! point of the perf trajectory ROADMAP asks every future perf PR to be
+//! measured against.
+
+use criterion::black_box;
+use std::time::Instant;
+use wgtt_mac::Mcs;
+use wgtt_radio::fading::reference;
+use wgtt_radio::{effective_snr_db, FadingProcess, Link, Modulation, Position};
+use wgtt_scenario::experiments::common::drive;
+use wgtt_scenario::experiments::motivation::radio_links;
+use wgtt_scenario::world::FlowSpec;
+use wgtt_scenario::SystemKind;
+use wgtt_sim::rng::RngStream;
+use wgtt_sim::time::SimTime;
+
+/// Wall time each measurement sample aims to occupy.
+const TARGET_SAMPLE_NANOS: u128 = 5_000_000;
+const SAMPLES: usize = 15;
+
+/// Time `routine` like the criterion shim does (calibration probe, then
+/// `SAMPLES` samples of calibrated batches), print the familiar
+/// `time: [lo mid hi]` line, and return the median ns/iteration.
+fn measure<O>(id: &str, mut routine: impl FnMut() -> O) -> f64 {
+    let probe = Instant::now();
+    black_box(routine());
+    let probe_ns = probe.elapsed().as_nanos().max(1);
+    let iters = (TARGET_SAMPLE_NANOS / probe_ns).clamp(1, 50_000_000) as usize;
+
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let (lo, mid, hi) = (
+        samples[0],
+        samples[samples.len() / 2],
+        *samples.last().expect("non-empty"),
+    );
+    println!(
+        "{id:<52} time: [{} {} {}]",
+        format_ns(lo),
+        format_ns(mid),
+        format_ns(hi)
+    );
+    mid
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Advancing sample clock so per-iteration instants are distinct (memo
+/// misses across iterations, hits within one frame's work — exactly the
+/// simulator's access pattern).
+struct Clock {
+    ns: u64,
+}
+
+impl Clock {
+    fn tick(&mut self) -> SimTime {
+        self.ns += 1_387; // ≈1.4 µs per frame slot, never repeats
+        SimTime::from_nanos(self.ns)
+    }
+}
+
+const NUM_APS: usize = 8;
+const MPDUS: usize = 8;
+
+/// One frame's PHY work at `NUM_APS` overhearing APs through the
+/// shipping memoized path: per AP, `MPDUS` delivery samples plus one
+/// measurement sample, all at the same instant.
+fn verdict_fast(links: &[Link], t: SimTime, pos: Position) -> f64 {
+    let mut acc = 0.0;
+    for link in links {
+        for _ in 0..MPDUS {
+            let esnr = link.esnr_db_at(t, pos, Modulation::Qam16);
+            acc += Mcs::Mcs4.per(esnr, 1500);
+        }
+        acc += link.esnr_db_at(t, pos, Modulation::Qam16);
+    }
+    acc
+}
+
+/// The same frame's work the way the seed did it: every sample
+/// re-synthesizes the CSI and re-runs the ESNR inversion.
+fn verdict_reference(links: &[Link], t: SimTime, pos: Position) -> f64 {
+    let mut acc = 0.0;
+    for link in links {
+        for _ in 0..MPDUS {
+            let snap = link.snapshot_uncached(t, pos);
+            let esnr = effective_snr_db(&snap.csi, snap.mean_snr_db, Modulation::Qam16);
+            acc += Mcs::Mcs4.per(esnr, 1500);
+        }
+        let snap = link.snapshot_uncached(t, pos);
+        acc += effective_snr_db(&snap.csi, snap.mean_snr_db, Modulation::Qam16);
+    }
+    acc
+}
+
+/// One-shot fig13-style drive; returns (wall_s, events, frames).
+fn macro_drive(spec: FlowSpec, label: &str) -> (f64, u64, u64) {
+    let start = Instant::now();
+    let run = drive(SystemKind::Wgtt(wgtt::WgttConfig::default()), 15.0, spec, 1);
+    let wall = start.elapsed().as_secs_f64();
+    let events = run.world.report.events_handled;
+    let frames = run.world.report.frames_on_air;
+    println!(
+        "{label:<52} wall: {wall:.2} s  events/s: {:.0}  frames/s: {:.0}",
+        events as f64 / wall,
+        frames as f64 / wall
+    );
+    (wall, events, frames)
+}
+
+fn main() {
+    // Identical realizations for both sides: the shipping process is
+    // constructed *through* the reference, so the comparison is pure
+    // implementation, not channel luck.
+    let stream = RngStream::root(42).derive("bench-link");
+    let fast = FadingProcess::new(stream, 6.7, 9.0);
+    let refp = reference::FadingProcess::new(stream, 6.7, 9.0);
+
+    println!("== frame_path micro ==");
+    let mut c = Clock { ns: 0 };
+    let csi_ref = measure("csi_at/reference", || {
+        let t = c.tick();
+        black_box(refp.csi_at(t))
+    });
+    let mut c = Clock { ns: 0 };
+    let csi_fast = measure("csi_at/twiddle", || {
+        let t = c.tick();
+        black_box(fast.csi_at(t))
+    });
+
+    let mut c = Clock { ns: 0 };
+    let wb_ref = measure("wideband_gain_at/reference", || {
+        let t = c.tick();
+        black_box(refp.wideband_gain_at(t))
+    });
+    let mut c = Clock { ns: 0 };
+    let wb_fast = measure("wideband_gain_at/zero-materialization", || {
+        let t = c.tick();
+        black_box(fast.wideband_gain_at(t))
+    });
+
+    // The ESNR map alone, on a fixed snapshot (identical on both sides —
+    // it is untouched by this PR; benched to show where the per-frame
+    // budget now goes).
+    let csi = fast.csi_at(SimTime::from_micros(321));
+    let esnr_map = measure("esnr/map (56-subcarrier inversion)", || {
+        black_box(effective_snr_db(&csi, 25.0, Modulation::Qam16))
+    });
+
+    // Full per-frame verdict at 8 APs, 8-MPDU A-MPDU + measurement.
+    let (links, plan) = radio_links(NUM_APS, 15.0, 42);
+    let pos = plan.position_at(SimTime::from_millis(2_500));
+    let mut c = Clock { ns: 0 };
+    let verdict_ref = measure("frame_verdict/reference (8 APs)", || {
+        let t = c.tick();
+        black_box(verdict_reference(&links, t, pos))
+    });
+    let mut c = Clock { ns: 0 };
+    let verdict_memo = measure("frame_verdict/memoized (8 APs)", || {
+        let t = c.tick();
+        black_box(verdict_fast(&links, t, pos))
+    });
+
+    println!();
+    println!("== frame_path macro (fig13-style one-shot drives, WGTT @ 15 mph, seed 1) ==");
+    let (udp_wall, udp_events, udp_frames) = macro_drive(
+        FlowSpec::DownlinkUdp { rate_mbps: 30.0 },
+        "macro/udp-30mbps",
+    );
+    let (tcp_wall, tcp_events, tcp_frames) =
+        macro_drive(FlowSpec::DownlinkTcpBulk, "macro/tcp-bulk");
+
+    println!();
+    println!(
+        "speedups: csi_at {:.2}x  wideband {:.2}x  frame_verdict {:.2}x",
+        csi_ref / csi_fast,
+        wb_ref / wb_fast,
+        verdict_ref / verdict_memo
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"frame_path\",\n",
+            "  \"units\": \"ns_per_iter\",\n",
+            "  \"micro\": {{\n",
+            "    \"csi_at_reference\": {:.1},\n",
+            "    \"csi_at_twiddle\": {:.1},\n",
+            "    \"csi_at_speedup\": {:.2},\n",
+            "    \"wideband_reference\": {:.1},\n",
+            "    \"wideband_zero_materialization\": {:.1},\n",
+            "    \"wideband_speedup\": {:.2},\n",
+            "    \"esnr_map\": {:.1},\n",
+            "    \"frame_verdict_reference_8ap\": {:.1},\n",
+            "    \"frame_verdict_memoized_8ap\": {:.1},\n",
+            "    \"frame_verdict_speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"macro\": {{\n",
+            "    \"udp_30mbps_15mph\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
+            "\"events_per_s\": {:.0}, \"frames\": {}, \"frames_per_s\": {:.0} }},\n",
+            "    \"tcp_bulk_15mph\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
+            "\"events_per_s\": {:.0}, \"frames\": {}, \"frames_per_s\": {:.0} }}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        csi_ref,
+        csi_fast,
+        csi_ref / csi_fast,
+        wb_ref,
+        wb_fast,
+        wb_ref / wb_fast,
+        esnr_map,
+        verdict_ref,
+        verdict_memo,
+        verdict_ref / verdict_memo,
+        udp_wall,
+        udp_events,
+        udp_events as f64 / udp_wall,
+        udp_frames,
+        udp_frames as f64 / udp_wall,
+        tcp_wall,
+        tcp_events,
+        tcp_events as f64 / tcp_wall,
+        tcp_frames,
+        tcp_frames as f64 / tcp_wall,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frame_path.json");
+    std::fs::write(path, &json).expect("write BENCH_frame_path.json");
+    println!("wrote {path}");
+}

@@ -14,6 +14,28 @@
 //! sinusoid frequencies and phases are fixed at construction from the
 //! experiment seed, so the channel can be sampled at arbitrary instants by
 //! any subsystem and is identical across compared systems.
+//!
+//! ## The zero-redundancy fast path
+//!
+//! CSI synthesis runs once per overhearing AP per uplink frame — the
+//! simulator's hottest loop now that AP selection is O(1) per frame. The
+//! shipping [`FadingProcess`] therefore precomputes everything that does
+//! not depend on the sample instant at construction:
+//!
+//! * the **twiddle table** `e^{−j2π f_k τ_l}` for all 56 subcarriers ×
+//!   [`NUM_TAPS`] taps (the seed called `Complex::from_polar` 56 × taps
+//!   times per sample for values that never change);
+//! * per-tap **scatter/LoS/power scales** (`√(1/n)`, the Rician K
+//!   normalization, `√power`), removing a dozen square roots per sample;
+//! * the sinusoid banks as **fixed arrays** so synthesis allocates
+//!   nothing ([`csi_at`](FadingProcess::csi_at) fills a stack array
+//!   instead of collecting a `Vec`).
+//!
+//! Every accumulation runs in the seed's exact order, so the fast path is
+//! **bit-identical** to the retained seed implementation
+//! ([`reference::FadingProcess`]) — enforced per subcarrier with
+//! `f64::to_bits` by `crates/radio/tests/prop_fading.rs`, which keeps
+//! every experiment artifact byte-identical per seed.
 
 use crate::complex::Complex;
 use crate::csi::{subcarrier_offset_hz, Csi, NUM_SUBCARRIERS};
@@ -30,55 +52,212 @@ pub const TAP_SPACING_NS: f64 = 50.0;
 /// for a close-to-Rayleigh envelope while staying cheap to evaluate.
 const SINUSOIDS_PER_TAP: usize = 8;
 
-#[derive(Debug, Clone)]
-struct Sinusoid {
-    /// Angular Doppler frequency of this path, rad/s.
-    omega: f64,
-    /// Phase offset for the real (in-phase) component.
-    phase_i: f64,
-    /// Phase offset for the quadrature component.
-    phase_q: f64,
-}
+/// The seed implementation, retained verbatim as the bit-identity oracle.
+///
+/// [`FadingProcess`](crate::fading::FadingProcess) (the shipping,
+/// twiddle-table implementation) is constructed *through* this type, so
+/// the two can never disagree on the channel realization; the property
+/// suite (`tests/prop_fading.rs`) and the `frame_path` bench drive both.
+pub mod reference {
+    use super::{
+        subcarrier_offset_hz, Complex, Csi, RngStream, SimTime, NUM_SUBCARRIERS, NUM_TAPS,
+        SINUSOIDS_PER_TAP, TAP_SPACING_NS,
+    };
 
-#[derive(Debug, Clone)]
-struct Tap {
-    /// Mean linear power of this tap (all taps sum to 1).
-    power: f64,
-    /// Excess delay, seconds.
-    delay_s: f64,
-    /// Scattered (Rayleigh) component synthesizer.
-    sinusoids: Vec<Sinusoid>,
-    /// Line-of-sight component: `Some((amplitude, omega, phase))`.
-    los: Option<(f64, f64, f64)>,
-}
+    #[derive(Debug, Clone)]
+    pub(super) struct Sinusoid {
+        /// Angular Doppler frequency of this path, rad/s.
+        pub(super) omega: f64,
+        /// Phase offset for the real (in-phase) component.
+        pub(super) phase_i: f64,
+        /// Phase offset for the quadrature component.
+        pub(super) phase_q: f64,
+    }
 
-impl Tap {
-    /// Complex gain at time `t` (seconds).
-    fn gain_at(&self, t: f64) -> Complex {
-        let n = self.sinusoids.len() as f64;
-        let mut re = 0.0;
-        let mut im = 0.0;
-        for s in &self.sinusoids {
-            re += (s.omega * t + s.phase_i).cos();
-            im += (s.omega * t + s.phase_q).sin();
+    #[derive(Debug, Clone)]
+    pub(super) struct Tap {
+        /// Mean linear power of this tap (all taps sum to 1).
+        pub(super) power: f64,
+        /// Excess delay, seconds.
+        pub(super) delay_s: f64,
+        /// Scattered (Rayleigh) component synthesizer.
+        pub(super) sinusoids: Vec<Sinusoid>,
+        /// Line-of-sight component: `Some((amplitude, omega, phase))`.
+        pub(super) los: Option<(f64, f64, f64)>,
+    }
+
+    impl Tap {
+        /// Complex gain at time `t` (seconds).
+        pub(super) fn gain_at(&self, t: f64) -> Complex {
+            let n = self.sinusoids.len() as f64;
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for s in &self.sinusoids {
+                re += (s.omega * t + s.phase_i).cos();
+                im += (s.omega * t + s.phase_q).sin();
+            }
+            // Scattered power: each of the I/Q sums has variance n/2, so this
+            // scaling gives the scattered part unit mean power.
+            let scatter_scale = (1.0 / n).sqrt();
+            let mut g = Complex::new(re * scatter_scale, im * scatter_scale);
+            if let Some((amp, omega, phase)) = self.los {
+                // Rician: deterministic LoS phasor plus scaled scatter.
+                let k_scale = (1.0 / (1.0 + amp * amp)).sqrt();
+                g = g.scale(k_scale) + Complex::from_polar(amp * k_scale, omega * t + phase);
+            }
+            g.scale(self.power.sqrt())
         }
-        // Scattered power: each of the I/Q sums has variance n/2, so this
-        // scaling gives the scattered part unit mean power.
-        let scatter_scale = (1.0 / n).sqrt();
-        let mut g = Complex::new(re * scatter_scale, im * scatter_scale);
-        if let Some((amp, omega, phase)) = self.los {
-            // Rician: deterministic LoS phasor plus scaled scatter.
-            let k_scale = (1.0 / (1.0 + amp * amp)).sqrt();
-            g = g.scale(k_scale) + Complex::from_polar(amp * k_scale, omega * t + phase);
+    }
+
+    /// The seed's time-varying small-scale channel of one link.
+    #[derive(Debug, Clone)]
+    pub struct FadingProcess {
+        pub(super) taps: Vec<Tap>,
+        /// Maximum Doppler shift, Hz.
+        pub(super) doppler_hz: f64,
+    }
+
+    impl FadingProcess {
+        /// Build a fading process (see
+        /// [`FadingProcess::new`](super::FadingProcess::new) for the
+        /// parameter contract; this is the seed constructor, verbatim).
+        pub fn new(stream: RngStream, speed_mps: f64, rician_k_db: f64) -> Self {
+            let mut rng = stream.derive("fading-taps").rng();
+            let doppler_hz = (speed_mps / crate::WAVELENGTH_M).max(1.0);
+            let omega_max = std::f64::consts::TAU * doppler_hz;
+
+            // Exponential power-delay profile with ≈50 ns RMS delay spread
+            // (the paper notes WGTT's small cells keep delay spread indoor-like).
+            let decay_ns = 50.0;
+            let mut powers: Vec<f64> = (0..NUM_TAPS)
+                .map(|l| (-(l as f64) * TAP_SPACING_NS / decay_ns).exp())
+                .collect();
+            let total: f64 = powers.iter().sum();
+            for p in &mut powers {
+                *p /= total;
+            }
+
+            let taps = powers
+                .iter()
+                .enumerate()
+                .map(|(l, &power)| {
+                    let sinusoids = (0..SINUSOIDS_PER_TAP)
+                        .map(|_| {
+                            // Clarke: arrival angles uniform on the circle give
+                            // Doppler shifts fd·cos(α).
+                            let alpha = rng.uniform_range(0.0, std::f64::consts::TAU);
+                            Sinusoid {
+                                omega: omega_max * alpha.cos(),
+                                phase_i: rng.uniform_range(0.0, std::f64::consts::TAU),
+                                phase_q: rng.uniform_range(0.0, std::f64::consts::TAU),
+                            }
+                        })
+                        .collect();
+                    let los = if l == 0 && rician_k_db.is_finite() {
+                        let k_lin = crate::db_to_linear(rician_k_db);
+                        // LoS Doppler: direct path at a random but fixed angle.
+                        let alpha0 = rng.uniform_range(0.0, std::f64::consts::TAU);
+                        Some((
+                            k_lin.sqrt(),
+                            omega_max * alpha0.cos(),
+                            rng.uniform_range(0.0, std::f64::consts::TAU),
+                        ))
+                    } else {
+                        None
+                    };
+                    Tap {
+                        power,
+                        delay_s: l as f64 * TAP_SPACING_NS * 1e-9,
+                        sinusoids,
+                        los,
+                    }
+                })
+                .collect();
+
+            FadingProcess { taps, doppler_hz }
         }
-        g.scale(self.power.sqrt())
+
+        /// Maximum Doppler shift, Hz.
+        pub fn doppler_hz(&self) -> f64 {
+            self.doppler_hz
+        }
+
+        /// Per-subcarrier frequency response at instant `t`, normalized to
+        /// unit mean power: `H_k(t) = Σ_l g_l(t)·e^{−j2π f_k τ_l}`.
+        pub fn csi_at(&self, t: SimTime) -> Csi {
+            let ts = t.as_secs_f64();
+            let gains: Vec<Complex> = self.taps.iter().map(|tap| tap.gain_at(ts)).collect();
+            let mut h = [Complex::ZERO; NUM_SUBCARRIERS];
+            for (i, hk) in h.iter_mut().enumerate() {
+                let f = subcarrier_offset_hz(i);
+                let mut acc = Complex::ZERO;
+                for (tap, &g) in self.taps.iter().zip(gains.iter()) {
+                    let phase = -std::f64::consts::TAU * f * tap.delay_s;
+                    acc += g * Complex::from_polar(1.0, phase);
+                }
+                *hk = acc;
+            }
+            Csi { h }
+        }
+
+        /// Wideband (subcarrier-averaged) instantaneous power gain at `t`.
+        pub fn wideband_gain_at(&self, t: SimTime) -> f64 {
+            self.csi_at(t).mean_power()
+        }
     }
 }
 
-/// The time-varying small-scale channel of one link.
+/// One tap's time-invariant synthesis tables: the sinusoid bank flattened
+/// into fixed arrays plus every construction-time-computable scale. All
+/// values are the *same bits* the reference computes per call, so
+/// [`Tap::gain_at`] reproduces the seed accumulation exactly while doing
+/// one multiply per sinusoid (the hoisted `ω·t`) and zero square roots.
+#[derive(Debug, Clone)]
+struct Tap {
+    /// Angular Doppler frequency per sinusoid, rad/s.
+    omega: [f64; SINUSOIDS_PER_TAP],
+    /// In-phase phase offsets.
+    phase_i: [f64; SINUSOIDS_PER_TAP],
+    /// Quadrature phase offsets.
+    phase_q: [f64; SINUSOIDS_PER_TAP],
+    /// `√(1/n)` — unit-power scaling of the scattered sum.
+    scatter_scale: f64,
+    /// Rician LoS component: `(amp·k_scale, k_scale, omega, phase)`.
+    los: Option<(f64, f64, f64, f64)>,
+    /// `√power` of this tap.
+    power_sqrt: f64,
+}
+
+impl Tap {
+    /// Complex gain at time `t` (seconds). Bit-identical to
+    /// [`reference`]'s `Tap::gain_at`: same accumulation order, with the
+    /// per-sinusoid `ω·t` product computed once instead of twice and the
+    /// scales looked up instead of re-derived.
+    #[inline]
+    fn gain_at(&self, t: f64) -> Complex {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for k in 0..SINUSOIDS_PER_TAP {
+            let wt = self.omega[k] * t;
+            re += (wt + self.phase_i[k]).cos();
+            im += (wt + self.phase_q[k]).sin();
+        }
+        let mut g = Complex::new(re * self.scatter_scale, im * self.scatter_scale);
+        if let Some((amp_scaled, k_scale, omega, phase)) = self.los {
+            g = g.scale(k_scale) + Complex::from_polar(amp_scaled, omega * t + phase);
+        }
+        g.scale(self.power_sqrt)
+    }
+}
+
+/// The time-varying small-scale channel of one link (twiddle-table fast
+/// path; see the module docs for the equivalence contract).
 #[derive(Debug, Clone)]
 pub struct FadingProcess {
-    taps: Vec<Tap>,
+    taps: [Tap; NUM_TAPS],
+    /// `e^{−j2π f_k τ_l}` per (subcarrier, tap) — time-invariant, so the
+    /// per-sample synthesis is pure multiply-accumulate.
+    twiddle: [[Complex; NUM_TAPS]; NUM_SUBCARRIERS],
     /// Maximum Doppler shift, Hz.
     doppler_hz: f64,
 }
@@ -95,59 +274,57 @@ impl FadingProcess {
     /// * `rician_k_db` — K-factor of the first tap, dB. Use ≈ 6 dB for the
     ///   open-road mainlobe geometry; `f64::NEG_INFINITY` for pure Rayleigh.
     pub fn new(stream: RngStream, speed_mps: f64, rician_k_db: f64) -> Self {
-        let mut rng = stream.derive("fading-taps").rng();
-        let doppler_hz = (speed_mps / crate::WAVELENGTH_M).max(1.0);
-        let omega_max = std::f64::consts::TAU * doppler_hz;
+        // Draw the realization through the seed constructor so the two
+        // implementations can never diverge on parameters, then bake the
+        // time-invariant tables.
+        Self::from_reference(&reference::FadingProcess::new(
+            stream,
+            speed_mps,
+            rician_k_db,
+        ))
+    }
 
-        // Exponential power-delay profile with ≈50 ns RMS delay spread
-        // (the paper notes WGTT's small cells keep delay spread indoor-like).
-        let decay_ns = 50.0;
-        let mut powers: Vec<f64> = (0..NUM_TAPS)
-            .map(|l| (-(l as f64) * TAP_SPACING_NS / decay_ns).exp())
-            .collect();
-        let total: f64 = powers.iter().sum();
-        for p in &mut powers {
-            *p /= total;
-        }
-
-        let taps = powers
-            .iter()
-            .enumerate()
-            .map(|(l, &power)| {
-                let sinusoids = (0..SINUSOIDS_PER_TAP)
-                    .map(|_| {
-                        // Clarke: arrival angles uniform on the circle give
-                        // Doppler shifts fd·cos(α).
-                        let alpha = rng.uniform_range(0.0, std::f64::consts::TAU);
-                        Sinusoid {
-                            omega: omega_max * alpha.cos(),
-                            phase_i: rng.uniform_range(0.0, std::f64::consts::TAU),
-                            phase_q: rng.uniform_range(0.0, std::f64::consts::TAU),
-                        }
-                    })
-                    .collect();
-                let los = if l == 0 && rician_k_db.is_finite() {
-                    let k_lin = crate::db_to_linear(rician_k_db);
-                    // LoS Doppler: direct path at a random but fixed angle.
-                    let alpha0 = rng.uniform_range(0.0, std::f64::consts::TAU);
-                    Some((
-                        k_lin.sqrt(),
-                        omega_max * alpha0.cos(),
-                        rng.uniform_range(0.0, std::f64::consts::TAU),
-                    ))
-                } else {
-                    None
-                };
-                Tap {
-                    power,
-                    delay_s: l as f64 * TAP_SPACING_NS * 1e-9,
-                    sinusoids,
-                    los,
-                }
+    /// Precompute the fast-path tables from a seed-constructed process.
+    pub fn from_reference(r: &reference::FadingProcess) -> Self {
+        assert_eq!(r.taps.len(), NUM_TAPS, "reference tap count fixed");
+        let taps: [Tap; NUM_TAPS] = std::array::from_fn(|l| {
+            let rt = &r.taps[l];
+            let mut omega = [0.0; SINUSOIDS_PER_TAP];
+            let mut phase_i = [0.0; SINUSOIDS_PER_TAP];
+            let mut phase_q = [0.0; SINUSOIDS_PER_TAP];
+            for (k, s) in rt.sinusoids.iter().enumerate() {
+                omega[k] = s.omega;
+                phase_i[k] = s.phase_i;
+                phase_q[k] = s.phase_q;
+            }
+            // The exact expressions the reference evaluates per call.
+            let n = rt.sinusoids.len() as f64;
+            let scatter_scale = (1.0 / n).sqrt();
+            let los = rt.los.map(|(amp, om, ph)| {
+                let k_scale = (1.0 / (1.0 + amp * amp)).sqrt();
+                (amp * k_scale, k_scale, om, ph)
+            });
+            Tap {
+                omega,
+                phase_i,
+                phase_q,
+                scatter_scale,
+                los,
+                power_sqrt: rt.power.sqrt(),
+            }
+        });
+        let twiddle: [[Complex; NUM_TAPS]; NUM_SUBCARRIERS] = std::array::from_fn(|i| {
+            let f = subcarrier_offset_hz(i);
+            std::array::from_fn(|l| {
+                let phase = -std::f64::consts::TAU * f * r.taps[l].delay_s;
+                Complex::from_polar(1.0, phase)
             })
-            .collect();
-
-        FadingProcess { taps, doppler_hz }
+        });
+        FadingProcess {
+            taps,
+            twiddle,
+            doppler_hz: r.doppler_hz,
+        }
     }
 
     /// Maximum Doppler shift, Hz.
@@ -160,18 +337,23 @@ impl FadingProcess {
         9.0 / (16.0 * std::f64::consts::PI * self.doppler_hz)
     }
 
+    /// The six tap gains at `ts` seconds, into a stack array (no
+    /// allocation — the seed collected a `Vec` here every sample).
+    #[inline]
+    fn gains_at(&self, ts: f64) -> [Complex; NUM_TAPS] {
+        std::array::from_fn(|l| self.taps[l].gain_at(ts))
+    }
+
     /// Per-subcarrier frequency response at instant `t`, normalized to
     /// unit mean power: `H_k(t) = Σ_l g_l(t)·e^{−j2π f_k τ_l}`.
     pub fn csi_at(&self, t: SimTime) -> Csi {
         let ts = t.as_secs_f64();
-        let gains: Vec<Complex> = self.taps.iter().map(|tap| tap.gain_at(ts)).collect();
+        let gains = self.gains_at(ts);
         let mut h = [Complex::ZERO; NUM_SUBCARRIERS];
-        for (i, hk) in h.iter_mut().enumerate() {
-            let f = subcarrier_offset_hz(i);
+        for (hk, tw) in h.iter_mut().zip(self.twiddle.iter()) {
             let mut acc = Complex::ZERO;
-            for (tap, &g) in self.taps.iter().zip(gains.iter()) {
-                let phase = -std::f64::consts::TAU * f * tap.delay_s;
-                acc += g * Complex::from_polar(1.0, phase);
+            for (&g, &w) in gains.iter().zip(tw.iter()) {
+                acc += g * w;
             }
             *hk = acc;
         }
@@ -181,8 +363,22 @@ impl FadingProcess {
     /// Wideband (subcarrier-averaged) instantaneous power gain at `t`,
     /// relative to the large-scale mean. This is what an RSSI measurement
     /// fluctuates with.
+    ///
+    /// Accumulates `|H_k|²` directly in subcarrier order — the same
+    /// summation [`Csi::mean_power`] performs — without materializing the
+    /// 56-coefficient snapshot it would immediately reduce away.
     pub fn wideband_gain_at(&self, t: SimTime) -> f64 {
-        self.csi_at(t).mean_power()
+        let ts = t.as_secs_f64();
+        let gains = self.gains_at(ts);
+        let mut total = 0.0;
+        for tw in self.twiddle.iter() {
+            let mut acc = Complex::ZERO;
+            for (&g, &w) in gains.iter().zip(tw.iter()) {
+                acc += g * w;
+            }
+            total += acc.norm_sq();
+        }
+        total / NUM_SUBCARRIERS as f64
     }
 }
 
@@ -337,5 +533,28 @@ mod tests {
         let dr = deep(&ray);
         let dc = deep(&ric);
         assert!(dr > dc, "rayleigh deep fades {dr} vs rician {dc}");
+    }
+
+    #[test]
+    fn fast_path_bit_identical_to_reference() {
+        // Spot check here; the exhaustive random-replay suite lives in
+        // tests/prop_fading.rs.
+        for (seed, k_db) in [(1u64, 9.0), (2, f64::NEG_INFINITY), (3, 6.0)] {
+            let stream = RngStream::root(seed).derive("test-link");
+            let fast = FadingProcess::new(stream, 6.7, k_db);
+            let refp = reference::FadingProcess::new(stream, 6.7, k_db);
+            for us in [0u64, 137, 5_000, 1_234_567] {
+                let t = SimTime::from_micros(us);
+                let (a, b) = (fast.csi_at(t), refp.csi_at(t));
+                for k in 0..NUM_SUBCARRIERS {
+                    assert_eq!(a.h[k].re.to_bits(), b.h[k].re.to_bits());
+                    assert_eq!(a.h[k].im.to_bits(), b.h[k].im.to_bits());
+                }
+                assert_eq!(
+                    fast.wideband_gain_at(t).to_bits(),
+                    refp.wideband_gain_at(t).to_bits()
+                );
+            }
+        }
     }
 }

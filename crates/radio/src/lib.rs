@@ -39,7 +39,7 @@ pub use csi::{Csi, NUM_SUBCARRIERS, SUBCARRIER_SPACING_HZ};
 pub use esnr::{effective_snr_db, Modulation};
 pub use fading::FadingProcess;
 pub use geometry::Position;
-pub use link::{Link, LinkBudget, LinkSnapshot};
+pub use link::{Link, LinkBudget, LinkSnapshot, SnapshotMemo};
 pub use pathloss::PathLossModel;
 pub use shadowing::Shadowing;
 

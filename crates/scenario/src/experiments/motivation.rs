@@ -39,6 +39,7 @@ pub fn radio_links(n: usize, speed_mph: f64, seed: u64) -> (Vec<Link>, ClientPla
                 9.0,
             ),
             shadowing: None,
+            memo: Default::default(),
         })
         .collect();
     (links, plan)

@@ -220,6 +220,12 @@ pub struct RunReport {
     /// Debug: client BA responses scheduled / transmitted / decoded at
     /// their target AP.
     pub dbg_ba: (u64, u64, u64),
+    /// Discrete events handled by [`World::run`] — the macro-bench's
+    /// events/s numerator.
+    pub events_handled: u64,
+    /// Frames whose on-air time completed (data, keepalive and control
+    /// alike) — the macro-bench's frames/s numerator.
+    pub frames_on_air: u64,
     /// The run's duration.
     pub duration: SimDuration,
 }
@@ -443,6 +449,7 @@ impl World {
                         pathloss: PathLossModel::roadside(),
                         fading: FadingProcess::new(stream, plan.speed_mps.max(0.3), 9.0),
                         shadowing: None,
+                        memo: Default::default(),
                     },
                 );
             }
@@ -641,8 +648,7 @@ impl World {
     fn esnr_now(&self, ap: NodeId, client: NodeId, now: SimTime) -> f64 {
         let pos = self.client_pos(client, now);
         self.link(ap, client)
-            .snapshot(now, pos)
-            .esnr_db(Modulation::Qam16)
+            .esnr_db_at(now, pos, Modulation::Qam16)
     }
 
     /// The ESNR an AP *measures* from one frame's CSI: the true value
@@ -711,8 +717,7 @@ impl World {
     /// (ap, client) link at `now`.
     fn roll_mpdu(&mut self, ap: NodeId, client: NodeId, now: SimTime, mcs: Mcs, len: u16) -> bool {
         let pos = self.client_pos(client, now);
-        let snap = self.link(ap, client).snapshot(now, pos);
-        let esnr = wgtt_radio::effective_snr_db(&snap.csi, snap.mean_snr_db, mcs.modulation());
+        let esnr = self.link(ap, client).esnr_db_at(now, pos, mcs.modulation());
         let per = mcs.per(esnr, len);
         !self.rng.chance(per)
     }
@@ -721,8 +726,7 @@ impl World {
     /// management) which is sent at a robust basic rate.
     fn roll_control(&mut self, ap: NodeId, client: NodeId, now: SimTime) -> bool {
         let pos = self.client_pos(client, now);
-        let snap = self.link(ap, client).snapshot(now, pos);
-        let esnr = wgtt_radio::effective_snr_db(&snap.csi, snap.mean_snr_db, Modulation::Qpsk);
+        let esnr = self.link(ap, client).esnr_db_at(now, pos, Modulation::Qpsk);
         // 32-byte control frame at the 24 Mbit/s basic rate ≈ MCS2 PER.
         let per = Mcs::Mcs2.per(esnr, 64);
         !self.rng.chance(per)
@@ -757,6 +761,7 @@ impl World {
         self.report.duration = duration;
         self.bootstrap();
         while let Some((now, ev)) = self.queue.pop_until(self.end_at) {
+            self.report.events_handled += 1;
             self.handle(now, ev);
         }
         self.finalize();

@@ -198,6 +198,7 @@ impl World {
     // ------------------------------------------------------ frame ends
 
     fn on_tx_end(&mut self, tx: TxId, frame: Frame, now: SimTime) {
+        self.report.frames_on_air += 1;
         self.log_frame(now, &frame);
         match frame.kind {
             FrameKind::Ampdu { ref mpdus } if self.is_ap(frame.from) => {

@@ -8,7 +8,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,7 +57,14 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     next_id: u64,
-    cancelled: std::collections::HashSet<EventId>,
+    /// Every id still physically in the heap, mapped to whether it has
+    /// been cancelled. Tracking liveness (rather than a bare cancelled
+    /// set) makes [`EventQueue::cancel`] a no-op for already-popped or
+    /// never-scheduled ids — previously those leaked into the set forever
+    /// and made [`EventQueue::len`] underflow.
+    live: HashMap<EventId, bool>,
+    /// Count of entries in `heap` whose `live` flag is cancelled.
+    cancelled: usize,
     now: SimTime,
 }
 
@@ -74,7 +81,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             next_id: 0,
-            cancelled: std::collections::HashSet::new(),
+            live: HashMap::new(),
+            cancelled: 0,
             now: SimTime::ZERO,
         }
     }
@@ -99,6 +107,7 @@ impl<E> EventQueue<E> {
         self.next_id += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.live.insert(id, false);
         self.heap.push(Entry {
             at,
             seq,
@@ -110,16 +119,25 @@ impl<E> EventQueue<E> {
 
     /// Cancel a previously scheduled event. Cancellation is lazy: the entry
     /// stays in the heap but is skipped when popped. Returns `true` the
-    /// first time a live event is cancelled.
+    /// first time a live event is cancelled; cancelling an already-popped,
+    /// already-cancelled, or never-scheduled id is a no-op returning
+    /// `false` (it must not poison future bookkeeping).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.cancelled.insert(id)
+        match self.live.get_mut(&id) {
+            Some(flag) if !*flag => {
+                *flag = true;
+                self.cancelled += 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Pop the earliest live event, advancing the clock to its timestamp.
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
+            if self.remove_tracking(entry.id) {
                 continue;
             }
             debug_assert!(entry.at >= self.now, "event queue went back in time");
@@ -131,6 +149,7 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest live event only if it fires at or before `deadline`.
     pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        self.gc_cancelled_head();
         if self.peek_time()? <= deadline {
             self.pop()
         } else {
@@ -138,22 +157,56 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Timestamp of the earliest live event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let e = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&e.id);
-                continue;
-            }
-            return Some(entry.at);
+    /// Timestamp of the earliest live event without popping it. Read-only:
+    /// safe for callers that must not mutate. When the heap head happens
+    /// to be a lazily-cancelled entry this falls back to scanning for the
+    /// earliest live entry (the `&mut` paths garbage-collect such heads
+    /// via [`EventQueue::gc_cancelled_head`], so the scan is rare).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.cancelled == 0 {
+            return self.heap.peek().map(|e| e.at);
         }
-        None
+        match self.heap.peek() {
+            Some(head) if !self.live.get(&head.id).copied().unwrap_or(false) => Some(head.at),
+            _ => self
+                .heap
+                .iter()
+                .filter(|e| !self.live.get(&e.id).copied().unwrap_or(false))
+                .map(|e| (e.at, e.seq))
+                .min()
+                .map(|(at, _)| at),
+        }
+    }
+
+    /// Drop lazily-cancelled entries off the heap head so subsequent
+    /// [`EventQueue::peek_time`] calls stay O(1). Called from the `&mut`
+    /// paths; harmless to call at any time.
+    pub fn gc_cancelled_head(&mut self) {
+        while self.cancelled > 0 {
+            match self.heap.peek() {
+                Some(head) if self.live.get(&head.id).copied().unwrap_or(false) => {
+                    let e = self.heap.pop().expect("peeked entry exists");
+                    self.remove_tracking(e.id);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Forget `id`'s tracking entry, returning whether it was cancelled.
+    fn remove_tracking(&mut self, id: EventId) -> bool {
+        match self.live.remove(&id) {
+            Some(true) => {
+                self.cancelled -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Number of live (non-cancelled) events still queued.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.cancelled
     }
 
     /// Whether no live events remain.
@@ -250,6 +303,69 @@ mod tests {
         );
         assert_eq!(q.pop_until(SimTime::from_millis(10)), None);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        // Regression: cancelling an id that already fired used to park it
+        // in the cancelled set forever, leaking memory and underflowing
+        // len() (heap.len() - cancelled.len()).
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), "fired");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("fired"));
+        assert!(!q.cancel(id), "cancelling a popped id must return false");
+        assert_eq!(q.len(), 0);
+        q.schedule(SimTime::from_millis(2), "live");
+        assert_eq!(q.len(), 1, "len must not underflow after dead cancel");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("live"));
+    }
+
+    #[test]
+    fn double_cancel_and_unknown_id_are_noops() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(2), ());
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id), "second cancel of the same id");
+        assert_eq!(q.len(), 1);
+        // An id from a different queue instance (never scheduled here).
+        let foreign = EventQueue::<()>::new().schedule(SimTime::from_millis(9), ());
+        assert!(!q.cancel(foreign));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(SimTime::from_millis(2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn readonly_peek_time_sees_past_cancelled_head() {
+        // peek_time(&self) must not mutate, yet still report the earliest
+        // *live* event even when the heap head is a cancelled entry that
+        // no &mut path has garbage-collected yet.
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(7), ());
+        q.cancel(id);
+        let q_ref: &EventQueue<()> = &q;
+        assert_eq!(q_ref.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q_ref.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn gc_keeps_peek_cheap_after_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let dead: Vec<_> = (0..8)
+            .map(|i| q.schedule(SimTime::from_millis(i), i))
+            .collect();
+        q.schedule(SimTime::from_millis(100), 100);
+        for id in dead {
+            assert!(q.cancel(id));
+        }
+        q.gc_cancelled_head();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(100)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(100));
+        assert!(q.pop().is_none());
     }
 
     #[test]
