@@ -5,22 +5,27 @@
 //!
 //! "reference" is the seed implementation, kept verbatim as
 //! `wgtt_radio::fading::reference` (the bit-identity oracle of
-//! `crates/radio/tests/prop_fading.rs`); "twiddle"/"memo" is the
-//! shipping path (precomputed subcarrier×tap twiddle table, flattened
-//! sinusoid banks, zero-alloc synthesis, single-entry link memo).
+//! `crates/radio/tests/prop_fading.rs`) and
+//! `wgtt_radio::esnr::reference` (the 200-step bisection oracle of
+//! `crates/radio/tests/prop_esnr.rs`); "twiddle"/"memo"/"table+newton"
+//! is the shipping path (precomputed subcarrier×tap twiddle table,
+//! flattened sinusoid banks, zero-alloc synthesis, single-entry link
+//! memo, monotone-Hermite BER→SNR inverse).
 //!
 //! Unlike the other benches this one also needs the numbers back, so it
 //! times with a local median-of-samples helper (same calibration scheme
 //! as the vendored criterion shim, same `time: [lo mid hi]` output
 //! shape) and finishes with an end-to-end macro-bench: one-shot
 //! fig13-style drives reporting events/s and frames/s. Everything is
-//! written to `BENCH_frame_path.json` at the workspace root — the first
-//! point of the perf trajectory ROADMAP asks every future perf PR to be
-//! measured against.
+//! written to `BENCH_frame_path.json` at the workspace root as a
+//! *trajectory*: earlier PRs' measured points are embedded as literals
+//! and this run's point is appended, so the file accumulates the
+//! before/after history ROADMAP asks every perf PR to extend.
 
 use criterion::black_box;
 use std::time::Instant;
 use wgtt_mac::Mcs;
+use wgtt_radio::esnr::reference as esnr_reference;
 use wgtt_radio::fading::reference;
 use wgtt_radio::{effective_snr_db, FadingProcess, Link, Modulation, Position};
 use wgtt_scenario::experiments::common::drive;
@@ -112,17 +117,20 @@ fn verdict_fast(links: &[Link], t: SimTime, pos: Position) -> f64 {
 }
 
 /// The same frame's work the way the seed did it: every sample
-/// re-synthesizes the CSI and re-runs the ESNR inversion.
+/// re-synthesizes the CSI and re-runs the ESNR map through the 200-step
+/// bisection inverse (`esnr::reference`), so this side stays the true
+/// seed baseline even as the shipping inverse gets faster.
 fn verdict_reference(links: &[Link], t: SimTime, pos: Position) -> f64 {
     let mut acc = 0.0;
     for link in links {
         for _ in 0..MPDUS {
             let snap = link.snapshot_uncached(t, pos);
-            let esnr = effective_snr_db(&snap.csi, snap.mean_snr_db, Modulation::Qam16);
+            let esnr =
+                esnr_reference::effective_snr_db(&snap.csi, snap.mean_snr_db, Modulation::Qam16);
             acc += Mcs::Mcs4.per(esnr, 1500);
         }
         let snap = link.snapshot_uncached(t, pos);
-        acc += effective_snr_db(&snap.csi, snap.mean_snr_db, Modulation::Qam16);
+        acc += esnr_reference::effective_snr_db(&snap.csi, snap.mean_snr_db, Modulation::Qam16);
     }
     acc
 }
@@ -173,11 +181,48 @@ fn main() {
         black_box(fast.wideband_gain_at(t))
     });
 
-    // The ESNR map alone, on a fixed snapshot (identical on both sides —
-    // it is untouched by this PR; benched to show where the per-frame
-    // budget now goes).
+    // The BER→SNR inversion alone — this PR's tentpole. A spread of
+    // targets log-spaced across the achievable range, cycling all four
+    // modulations, so the measurement walks the whole table instead of
+    // sitting on one cache-hot knot.
+    let mods = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+    ];
+    let targets: Vec<(Modulation, f64)> = (0..64)
+        .map(|i| {
+            (
+                mods[i % 4],
+                10f64.powf(-12.0 + 12.0 * (i as f64 + 0.5) / 64.0),
+            )
+        })
+        .collect();
+    let mut i = 0usize;
+    let inv_ref = measure("snr_for_ber/reference (200-step bisection)", || {
+        i = (i + 1) % targets.len();
+        let (m, ber) = targets[i];
+        black_box(esnr_reference::snr_for_ber(m, ber))
+    });
+    let mut i = 0usize;
+    let inv_fast = measure("snr_for_ber/table+newton", || {
+        i = (i + 1) % targets.len();
+        let (m, ber) = targets[i];
+        black_box(m.snr_for_ber(ber))
+    });
+
+    // The full ESNR map (56 subcarrier BERs + one inversion) on a fixed
+    // snapshot, seed inverse vs shipping inverse.
     let csi = fast.csi_at(SimTime::from_micros(321));
-    let esnr_map = measure("esnr/map (56-subcarrier inversion)", || {
+    let map_ref = measure("esnr/map reference (56 BERs + bisection)", || {
+        black_box(esnr_reference::effective_snr_db(
+            &csi,
+            25.0,
+            Modulation::Qam16,
+        ))
+    });
+    let map_fast = measure("esnr/map fast (56 BERs + table+newton)", || {
         black_box(effective_snr_db(&csi, 25.0, Modulation::Qam16))
     });
 
@@ -206,35 +251,71 @@ fn main() {
 
     println!();
     println!(
-        "speedups: csi_at {:.2}x  wideband {:.2}x  frame_verdict {:.2}x",
+        "speedups: csi_at {:.2}x  wideband {:.2}x  snr_for_ber {:.2}x  esnr_map {:.2}x  frame_verdict {:.2}x",
         csi_ref / csi_fast,
         wb_ref / wb_fast,
+        inv_ref / inv_fast,
+        map_ref / map_fast,
         verdict_ref / verdict_memo
     );
 
+    // Trajectory: the PR-3 point (measured when the zero-redundancy PHY
+    // path landed; its esnr_map used the then-shared bisection inverse)
+    // is embedded verbatim, and this run appends the fast-inverse point.
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"frame_path\",\n",
             "  \"units\": \"ns_per_iter\",\n",
-            "  \"micro\": {{\n",
-            "    \"csi_at_reference\": {:.1},\n",
-            "    \"csi_at_twiddle\": {:.1},\n",
-            "    \"csi_at_speedup\": {:.2},\n",
-            "    \"wideband_reference\": {:.1},\n",
-            "    \"wideband_zero_materialization\": {:.1},\n",
-            "    \"wideband_speedup\": {:.2},\n",
-            "    \"esnr_map\": {:.1},\n",
-            "    \"frame_verdict_reference_8ap\": {:.1},\n",
-            "    \"frame_verdict_memoized_8ap\": {:.1},\n",
-            "    \"frame_verdict_speedup\": {:.2}\n",
-            "  }},\n",
-            "  \"macro\": {{\n",
-            "    \"udp_30mbps_15mph\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
+            "  \"trajectory\": [\n",
+            "    {{\n",
+            "      \"point\": \"phy-zero-redundancy\",\n",
+            "      \"micro\": {{\n",
+            "        \"csi_at_reference\": 5019.9,\n",
+            "        \"csi_at_twiddle\": 1048.9,\n",
+            "        \"csi_at_speedup\": 4.79,\n",
+            "        \"wideband_reference\": 4661.5,\n",
+            "        \"wideband_zero_materialization\": 1040.4,\n",
+            "        \"wideband_speedup\": 4.48,\n",
+            "        \"esnr_map\": 13385.7,\n",
+            "        \"frame_verdict_reference_8ap\": 1055640.2,\n",
+            "        \"frame_verdict_memoized_8ap\": 119999.7,\n",
+            "        \"frame_verdict_speedup\": 8.80\n",
+            "      }},\n",
+            "      \"macro\": {{\n",
+            "        \"udp_30mbps_15mph\": {{ \"wall_s\": 0.662, \"events\": 267372, ",
+            "\"events_per_s\": 403871, \"frames\": 4668, \"frames_per_s\": 7051 }},\n",
+            "        \"tcp_bulk_15mph\": {{ \"wall_s\": 1.077, \"events\": 361265, ",
+            "\"events_per_s\": 335312, \"frames\": 8710, \"frames_per_s\": 8084 }}\n",
+            "      }}\n",
+            "    }},\n",
+            "    {{\n",
+            "      \"point\": \"esnr-fast-inverse\",\n",
+            "      \"micro\": {{\n",
+            "        \"csi_at_reference\": {:.1},\n",
+            "        \"csi_at_twiddle\": {:.1},\n",
+            "        \"csi_at_speedup\": {:.2},\n",
+            "        \"wideband_reference\": {:.1},\n",
+            "        \"wideband_zero_materialization\": {:.1},\n",
+            "        \"wideband_speedup\": {:.2},\n",
+            "        \"snr_for_ber_reference\": {:.1},\n",
+            "        \"snr_for_ber_fast\": {:.1},\n",
+            "        \"snr_for_ber_speedup\": {:.2},\n",
+            "        \"esnr_map_reference\": {:.1},\n",
+            "        \"esnr_map_fast\": {:.1},\n",
+            "        \"esnr_map_speedup\": {:.2},\n",
+            "        \"frame_verdict_reference_8ap\": {:.1},\n",
+            "        \"frame_verdict_memoized_8ap\": {:.1},\n",
+            "        \"frame_verdict_speedup\": {:.2}\n",
+            "      }},\n",
+            "      \"macro\": {{\n",
+            "        \"udp_30mbps_15mph\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
             "\"events_per_s\": {:.0}, \"frames\": {}, \"frames_per_s\": {:.0} }},\n",
-            "    \"tcp_bulk_15mph\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
+            "        \"tcp_bulk_15mph\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
             "\"events_per_s\": {:.0}, \"frames\": {}, \"frames_per_s\": {:.0} }}\n",
-            "  }}\n",
+            "      }}\n",
+            "    }}\n",
+            "  ]\n",
             "}}\n"
         ),
         csi_ref,
@@ -243,7 +324,12 @@ fn main() {
         wb_ref,
         wb_fast,
         wb_ref / wb_fast,
-        esnr_map,
+        inv_ref,
+        inv_fast,
+        inv_ref / inv_fast,
+        map_ref,
+        map_fast,
+        map_ref / map_fast,
         verdict_ref,
         verdict_memo,
         verdict_ref / verdict_memo,

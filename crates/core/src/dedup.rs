@@ -5,13 +5,19 @@
 //! — so the controller must drop the copies before forwarding to the
 //! Internet, or TCP sees spurious duplicates. The paper uses a hash set
 //! keyed by a 48-bit value built from the source IP address and the IPv4
-//! identification field. We add bounded memory: keys age out FIFO once
-//! the set reaches capacity (the ident field wraps at 65,536 packets per
-//! source, so unbounded retention would eventually *drop fresh packets*).
+//! identification field. We add bounded memory: once the set reaches
+//! capacity, the *least recently seen* key ages out (the ident field
+//! wraps at 65,536 packets per source, so unbounded retention would
+//! eventually *drop fresh packets*). Recency — not insertion order — is
+//! what must drive eviction: a duplicate hit proves the key's flow is
+//! still alive across multiple APs, and under the old FIFO order a
+//! long-lived chatty flow's key aged out while its copies were still
+//! arriving, so a late third copy was re-accepted and forwarded twice.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 
-/// Bounded-memory duplicate filter over 48-bit packet keys.
+/// Bounded-memory duplicate filter over 48-bit packet keys, evicting in
+/// least-recently-seen order.
 ///
 /// ```
 /// use wgtt::dedup::DedupFilter;
@@ -21,8 +27,14 @@ use std::collections::{HashSet, VecDeque};
 /// ```
 #[derive(Debug)]
 pub struct DedupFilter {
-    seen: HashSet<u64>,
-    order: VecDeque<u64>,
+    /// key → recency stamp of its most recent sighting (first copy *or*
+    /// duplicate hit).
+    seen: HashMap<u64, u64>,
+    /// recency stamp → key; `BTreeMap` iteration order is ascending, so
+    /// the first entry is always the eviction victim.
+    order: BTreeMap<u64, u64>,
+    /// Monotonic sighting counter backing the recency stamps.
+    tick: u64,
     capacity: usize,
     /// Packets accepted (first copies).
     pub accepted: u64,
@@ -35,8 +47,9 @@ impl DedupFilter {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "dedup capacity must be positive");
         DedupFilter {
-            seen: HashSet::with_capacity(capacity),
-            order: VecDeque::with_capacity(capacity),
+            seen: HashMap::with_capacity(capacity),
+            order: BTreeMap::new(),
+            tick: 0,
             capacity,
             accepted: 0,
             duplicates: 0,
@@ -44,18 +57,23 @@ impl DedupFilter {
     }
 
     /// Observe `key`. Returns `true` if this is the first (and thus
-    /// forwardable) copy.
+    /// forwardable) copy. A duplicate hit refreshes the key's recency,
+    /// so an actively chatty flow is never evicted ahead of idle ones.
     pub fn check_and_insert(&mut self, key: u64) -> bool {
-        if self.seen.contains(&key) {
+        self.tick += 1;
+        if let Some(stamp) = self.seen.get_mut(&key) {
             self.duplicates += 1;
+            let old = std::mem::replace(stamp, self.tick);
+            self.order.remove(&old);
+            self.order.insert(self.tick, key);
             return false;
         }
-        if self.order.len() >= self.capacity {
-            let old = self.order.pop_front().expect("non-empty at capacity");
-            self.seen.remove(&old);
+        if self.seen.len() >= self.capacity {
+            let (_, victim) = self.order.pop_first().expect("non-empty at capacity");
+            self.seen.remove(&victim);
         }
-        self.seen.insert(key);
-        self.order.push_back(key);
+        self.seen.insert(key, self.tick);
+        self.order.insert(self.tick, key);
         self.accepted += 1;
         true
     }
@@ -97,7 +115,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_ages_out_fifo() {
+    fn capacity_ages_out_least_recent() {
         let mut d = DedupFilter::new(3);
         for k in [1u64, 2, 3] {
             d.check_and_insert(k);
@@ -108,6 +126,30 @@ mod tests {
         assert!(d.check_and_insert(1));
         // Key 3 still remembered.
         assert!(!d.check_and_insert(3));
+    }
+
+    #[test]
+    fn duplicate_hit_refreshes_recency() {
+        // Regression (§3.2.2 filter): a long-lived chatty flow keeps
+        // producing duplicate copies of key 1 via multiple APs. Under
+        // FIFO eviction the key aged out while still active, so a late
+        // third copy was re-accepted and forwarded twice to the WAN.
+        let mut d = DedupFilter::new(3);
+        assert!(d.check_and_insert(1)); // the chatty flow's key
+        assert!(d.check_and_insert(2));
+        assert!(d.check_and_insert(3));
+        assert!(!d.check_and_insert(1)); // second AP's copy — refreshes 1
+        assert!(d.check_and_insert(4)); // must evict 2 (least recent), not 1
+        assert!(
+            !d.check_and_insert(1),
+            "late third copy of an active flow's key must still be a duplicate"
+        );
+        // Key 2 was the eviction victim instead.
+        assert!(d.check_and_insert(2));
+        assert_eq!(d.len(), 3);
+        // Counters stayed consistent throughout: 5 first copies, 2 dups.
+        assert_eq!(d.accepted, 5);
+        assert_eq!(d.duplicates, 2);
     }
 
     #[test]

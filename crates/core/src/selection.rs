@@ -288,6 +288,14 @@ impl ApSelector {
     /// O(1) on frames where no window changed since the last query; the
     /// O(A) rescan runs only when the cached winner's value fell (new
     /// reading below its old reduce, front expiry, or AP removal).
+    ///
+    /// **Tie-break contract:** exact ties go to the *lowest AP id*,
+    /// independent of reading arrival order, cache state, or re-query —
+    /// the same verdict as the oracle's ascending-id strict-`>` scan.
+    /// Ties are not hypothetical: the ESNR inversion clamps BER at
+    /// 1e-12, so every strong in-range AP saturates at the identical
+    /// per-modulation ceiling, and an unstable order here would flap the
+    /// serving AP among them on every frame.
     pub fn best(&mut self, now: SimTime) -> Option<(NodeId, f64)> {
         self.process_expiries(now);
         if let Some(cached) = self.best_cache {
@@ -683,6 +691,58 @@ mod tests {
         s.remove_ap(AP1);
         s.record(AP2, ms(45), 10.0);
         assert_eq!(s.evaluate(ms(50)), Verdict::SwitchTo(AP2));
+    }
+
+    #[test]
+    fn saturation_ties_break_to_lowest_ap_id() {
+        // Multiple strong in-range APs saturate at the same per-
+        // modulation ESNR ceiling (the 1e-12 BER clamp), producing
+        // *exact* float ties. The documented order: lowest AP id wins,
+        // regardless of which AP's reading arrived first.
+        let ceiling = wgtt_radio::linear_to_db(wgtt_radio::Modulation::Qam16.snr_for_ber(0.0));
+        for order in [
+            [AP1, AP2, AP3],
+            [AP3, AP2, AP1],
+            [AP2, AP1, AP3],
+            [AP3, AP1, AP2],
+        ] {
+            let mut s = selector();
+            for (i, &ap) in order.iter().enumerate() {
+                s.record(ap, ms(i as u64), ceiling);
+            }
+            let (best, v) = s.best(ms(3)).expect("candidates exist");
+            assert_eq!(best, AP1, "insertion order {order:?} broke the tie");
+            assert_eq!(v, ceiling);
+            // Stable across re-queries and later tied readings.
+            s.record(AP3, ms(4), ceiling);
+            assert_eq!(s.best(ms(4)), Some((AP1, ceiling)));
+        }
+    }
+
+    #[test]
+    fn saturation_ties_do_not_flap_the_serving_ap() {
+        // A client parked between saturated APs: whoever serves stays
+        // serving — a tied challenger never wins the margin test, and
+        // the argmax itself is pinned to the lowest id, so evaluate()
+        // returns Stay forever instead of ping-ponging.
+        let ceiling = wgtt_radio::linear_to_db(wgtt_radio::Modulation::Qam64.snr_for_ber(0.0));
+        let mut s = selector();
+        s.record(AP2, ms(0), ceiling);
+        s.set_current(AP2, ms(0));
+        for t in 1..200u64 {
+            s.record(AP1, ms(t), ceiling);
+            s.record(AP2, ms(t), ceiling);
+            s.record(AP3, ms(t), ceiling);
+            assert_eq!(
+                s.evaluate(ms(t)),
+                Verdict::Stay,
+                "tied APs must not flap at t={t}"
+            );
+        }
+        // Once the tied winner-by-id is removed, the next lowest id
+        // takes over deterministically.
+        s.remove_ap(AP1);
+        assert_eq!(s.best(ms(200)).map(|(ap, _)| ap), Some(AP2));
     }
 
     #[test]

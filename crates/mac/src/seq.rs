@@ -20,22 +20,37 @@ pub const SEQ_SPACE: u16 = 4096;
 /// Half the sequence space; the threshold for "ahead vs behind".
 const HALF: u16 = SEQ_SPACE / 2;
 
+/// Bitmask folding a u16 into the 12-bit sequence space (4096 is a
+/// power of two, so `& MASK` ≡ `% SEQ_SPACE`).
+const MASK: u16 = SEQ_SPACE - 1;
+
 /// Increment a sequence number, wrapping mod 4096.
+///
+/// The operand is folded into the 12-bit space first, so `s + 1` cannot
+/// overflow u16 (the naive form panicked on `seq_next(u16::MAX)` in
+/// debug builds).
 #[inline]
 pub fn seq_next(s: u16) -> u16 {
-    (s + 1) % SEQ_SPACE
+    ((s & MASK) + 1) & MASK
 }
 
 /// Add `n` to a sequence number, wrapping mod 4096.
+///
+/// Operands are folded into the 12-bit space first, so any u16 input is
+/// well-defined: the naive `(s + n) % 4096` overflowed u16 in debug
+/// builds for out-of-range inputs like `seq_add(65000, 5000)`.
 #[inline]
 pub fn seq_add(s: u16, n: u16) -> u16 {
-    (s + n) % SEQ_SPACE
+    ((s & MASK) + (n & MASK)) & MASK
 }
 
 /// Forward distance from `from` to `to` in `[0, 4096)`.
+///
+/// Like [`seq_add`], operands are folded into the 12-bit space first so
+/// the intermediate sum (< 2·4096) cannot overflow u16.
 #[inline]
 pub fn seq_sub(to: u16, from: u16) -> u16 {
-    (to + SEQ_SPACE - from) % SEQ_SPACE
+    ((to & MASK) + SEQ_SPACE - (from & MASK)) & MASK
 }
 
 /// True if `a` is strictly before `b` in the wrapped ordering — i.e. the
@@ -62,6 +77,20 @@ mod tests {
         assert_eq!(seq_next(0), 1);
         assert_eq!(seq_next(4094), 4095);
         assert_eq!(seq_next(4095), 0);
+    }
+
+    #[test]
+    fn out_of_range_operands_fold_instead_of_overflowing() {
+        // Regression: these panicked with "attempt to add with overflow"
+        // in debug builds before the operands were masked into the
+        // 12-bit space.
+        assert_eq!(seq_add(65000, 5000), (65000u32 + 5000) as u16 % 4096);
+        assert_eq!(seq_add(u16::MAX, u16::MAX), (2 * 65535u32 % 4096) as u16);
+        // 65535 folds to 4095, whose successor wraps to 0.
+        assert_eq!(seq_next(u16::MAX), 0);
+        assert_eq!(seq_sub(5, 65000), 5 + 4096 - 65000 % 4096);
+        // Folding is exactly mod-4096 reduction of each operand.
+        assert_eq!(seq_add(65000, 5000), seq_add(65000 % 4096, 5000 % 4096));
     }
 
     #[test]
@@ -94,13 +123,36 @@ mod tests {
     }
 
     proptest! {
+        // The whole u16 domain is fair game: out-of-range operands fold
+        // into the 12-bit space (they used to overflow in debug builds).
         #[test]
-        fn add_then_sub_roundtrip(s in 0u16..4096, n in 0u16..4096) {
-            prop_assert_eq!(seq_sub(seq_add(s, n), s), n);
+        fn add_then_sub_roundtrip(s in 0u16..=u16::MAX, n in 0u16..=u16::MAX) {
+            prop_assert_eq!(seq_sub(seq_add(s, n), s), n & MASK);
         }
 
         #[test]
-        fn lt_is_antisymmetric_off_half(a in 0u16..4096, b in 0u16..4096) {
+        fn add_matches_u32_modular_arithmetic(s in 0u16..=u16::MAX, n in 0u16..=u16::MAX) {
+            prop_assert_eq!(seq_add(s, n) as u32, (s as u32 + n as u32) % SEQ_SPACE as u32);
+        }
+
+        #[test]
+        fn sub_matches_i32_modular_arithmetic(to in 0u16..=u16::MAX, from in 0u16..=u16::MAX) {
+            prop_assert_eq!(
+                seq_sub(to, from) as i32,
+                (to as i32 - from as i32).rem_euclid(SEQ_SPACE as i32)
+            );
+        }
+
+        #[test]
+        fn operands_fold_before_the_arithmetic(s in 0u16..=u16::MAX, n in 0u16..=u16::MAX) {
+            prop_assert_eq!(seq_add(s, n), seq_add(s & MASK, n & MASK));
+            prop_assert_eq!(seq_sub(s, n), seq_sub(s & MASK, n & MASK));
+            prop_assert_eq!(seq_next(s), seq_next(s & MASK));
+            prop_assert!(seq_lt(s, n) == seq_lt(s & MASK, n & MASK));
+        }
+
+        #[test]
+        fn lt_is_antisymmetric_off_half(a in 0u16..=u16::MAX, b in 0u16..=u16::MAX) {
             let d = seq_sub(b, a);
             if d != 0 && d != HALF {
                 prop_assert!(seq_lt(a, b) != seq_lt(b, a));
@@ -108,7 +160,7 @@ mod tests {
         }
 
         #[test]
-        fn window_has_exactly_len_members(start in 0u16..4096, len in 0u16..512) {
+        fn window_has_exactly_len_members(start in 0u16..=u16::MAX, len in 0u16..512) {
             let count = (0..SEQ_SPACE)
                 .filter(|&s| seq_in_window(s, start, len))
                 .count();
@@ -116,7 +168,7 @@ mod tests {
         }
 
         #[test]
-        fn next_is_add_one(s in 0u16..4096) {
+        fn next_is_add_one(s in 0u16..=u16::MAX) {
             prop_assert_eq!(seq_next(s), seq_add(s, 1));
         }
     }

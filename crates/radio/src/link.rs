@@ -75,8 +75,8 @@ pub struct Link {
 /// delivery roll, and once more for the noise-perturbed CSI measurement
 /// the controller sees. The channel is a pure function of
 /// `(t, client_pos)`, so those samples are bit-identical — this memo
-/// synthesizes the 56-subcarrier snapshot (and the expensive
-/// ESNR bisection) once and replays the same bits for repeats.
+/// synthesizes the 56-subcarrier snapshot (and the ESNR inversion) once
+/// and replays the same bits for repeats.
 ///
 /// Interior mutability (`RefCell`) keeps [`Link::snapshot`] callable
 /// through `&Link` while `World` holds other mutable state; `World`s are
@@ -174,10 +174,10 @@ impl Link {
     }
 
     /// Effective SNR (dB) at `(t, client_pos)` under `modulation`,
-    /// memoizing both the snapshot and the ESNR inversion (a ~200-step
-    /// bisection over per-subcarrier BER — the priciest per-frame step).
-    /// Equal to `self.snapshot(t, client_pos).esnr_db(modulation)` bit
-    /// for bit.
+    /// memoizing both the snapshot and the ESNR inversion (the 56-entry
+    /// BER map plus the fast table-and-Newton BER→SNR inverse of
+    /// [`crate::esnr`] — still the priciest per-frame step). Equal to
+    /// `self.snapshot(t, client_pos).esnr_db(modulation)` bit for bit.
     pub fn esnr_db_at(&self, t: SimTime, client_pos: Position, modulation: Modulation) -> f64 {
         {
             let memo = self.memo.0.borrow();
