@@ -12,9 +12,11 @@
 //!   parallel connections; the metric is the full load time (Table 5).
 
 pub mod conference;
+pub mod mix;
 pub mod video;
 pub mod web;
 
 pub use conference::{ConferenceSink, ConferenceSource};
+pub use mix::{AppKind, TrafficMix};
 pub use video::{PlaybackState, VideoPlayer};
 pub use web::PageLoad;

@@ -30,10 +30,11 @@ use wgtt_radio::fading::reference;
 use wgtt_radio::{effective_snr_db, FadingProcess, Link, Modulation, Position};
 use wgtt_scenario::experiments::common::drive;
 use wgtt_scenario::experiments::motivation::radio_links;
+use wgtt_scenario::fleet::FleetConfig;
 use wgtt_scenario::world::FlowSpec;
 use wgtt_scenario::SystemKind;
 use wgtt_sim::rng::RngStream;
-use wgtt_sim::time::SimTime;
+use wgtt_sim::time::{SimDuration, SimTime};
 
 /// Wall time each measurement sample aims to occupy.
 const TARGET_SAMPLE_NANOS: u128 = 5_000_000;
@@ -150,6 +151,24 @@ fn macro_drive(spec: FlowSpec, label: &str) -> (f64, u64, u64) {
     (wall, events, frames)
 }
 
+/// One-shot fleet corridor (10 vehicles × 8 picocell APs, mixed apps,
+/// 10 simulated seconds); returns (wall_s, events, frames). This is the
+/// many-client many-AP contention regime none of the fig13 drives
+/// exercise.
+fn macro_fleet(label: &str) -> (f64, u64, u64) {
+    let mut cfg = FleetConfig::corridor(10, 8);
+    cfg.duration = SimDuration::from_secs(10);
+    let start = Instant::now();
+    let report = cfg.run(SystemKind::Wgtt(wgtt::WgttConfig::default()), 1);
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "{label:<52} wall: {wall:.2} s  events/s: {:.0}  frames/s: {:.0}",
+        report.events_handled as f64 / wall,
+        report.frames_on_air as f64 / wall
+    );
+    (wall, report.events_handled, report.frames_on_air)
+}
+
 fn main() {
     // Identical realizations for both sides: the shipping process is
     // constructed *through* the reference, so the comparison is pure
@@ -248,6 +267,7 @@ fn main() {
     );
     let (tcp_wall, tcp_events, tcp_frames) =
         macro_drive(FlowSpec::DownlinkTcpBulk, "macro/tcp-bulk");
+    let (fleet_wall, fleet_events, fleet_frames) = macro_fleet("macro/fleet-10veh-8ap");
 
     println!();
     println!(
@@ -259,9 +279,8 @@ fn main() {
         verdict_ref / verdict_memo
     );
 
-    // Trajectory: the PR-3 point (measured when the zero-redundancy PHY
-    // path landed; its esnr_map used the then-shared bisection inverse)
-    // is embedded verbatim, and this run appends the fast-inverse point.
+    // Trajectory: earlier PRs' points (measured when they landed) are
+    // embedded verbatim, and this run appends the fleet-corridor point.
     let json = format!(
         concat!(
             "{{\n",
@@ -292,6 +311,32 @@ fn main() {
             "    {{\n",
             "      \"point\": \"esnr-fast-inverse\",\n",
             "      \"micro\": {{\n",
+            "        \"csi_at_reference\": 6856.2,\n",
+            "        \"csi_at_twiddle\": 984.6,\n",
+            "        \"csi_at_speedup\": 6.96,\n",
+            "        \"wideband_reference\": 6899.0,\n",
+            "        \"wideband_zero_materialization\": 1509.5,\n",
+            "        \"wideband_speedup\": 4.57,\n",
+            "        \"snr_for_ber_reference\": 14099.5,\n",
+            "        \"snr_for_ber_fast\": 815.6,\n",
+            "        \"snr_for_ber_speedup\": 17.29,\n",
+            "        \"esnr_map_reference\": 16508.0,\n",
+            "        \"esnr_map_fast\": 2219.3,\n",
+            "        \"esnr_map_speedup\": 7.44,\n",
+            "        \"frame_verdict_reference_8ap\": 1332065.3,\n",
+            "        \"frame_verdict_memoized_8ap\": 33458.7,\n",
+            "        \"frame_verdict_speedup\": 39.81\n",
+            "      }},\n",
+            "      \"macro\": {{\n",
+            "        \"udp_30mbps_15mph\": {{ \"wall_s\": 0.292, \"events\": 267372, ",
+            "\"events_per_s\": 917078, \"frames\": 4668, \"frames_per_s\": 16011 }},\n",
+            "        \"tcp_bulk_15mph\": {{ \"wall_s\": 0.471, \"events\": 361265, ",
+            "\"events_per_s\": 767359, \"frames\": 8710, \"frames_per_s\": 18501 }}\n",
+            "      }}\n",
+            "    }},\n",
+            "    {{\n",
+            "      \"point\": \"fleet-corridor\",\n",
+            "      \"micro\": {{\n",
             "        \"csi_at_reference\": {:.1},\n",
             "        \"csi_at_twiddle\": {:.1},\n",
             "        \"csi_at_speedup\": {:.2},\n",
@@ -312,6 +357,8 @@ fn main() {
             "        \"udp_30mbps_15mph\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
             "\"events_per_s\": {:.0}, \"frames\": {}, \"frames_per_s\": {:.0} }},\n",
             "        \"tcp_bulk_15mph\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
+            "\"events_per_s\": {:.0}, \"frames\": {}, \"frames_per_s\": {:.0} }},\n",
+            "        \"fleet_10veh_8ap_10s\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
             "\"events_per_s\": {:.0}, \"frames\": {}, \"frames_per_s\": {:.0} }}\n",
             "      }}\n",
             "    }}\n",
@@ -343,6 +390,11 @@ fn main() {
         tcp_events as f64 / tcp_wall,
         tcp_frames,
         tcp_frames as f64 / tcp_wall,
+        fleet_wall,
+        fleet_events,
+        fleet_events as f64 / fleet_wall,
+        fleet_frames,
+        fleet_frames as f64 / fleet_wall,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frame_path.json");
     std::fs::write(path, &json).expect("write BENCH_frame_path.json");

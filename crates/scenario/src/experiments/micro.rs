@@ -198,6 +198,7 @@ pub fn fig23(seed: u64, quick: bool) -> ExperimentOutput {
             speed_mps: v,
             direction: crate::testbed::Direction::East,
             stop: None,
+            shuttle: None,
         };
         let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
         let start = SimTime::from_secs_f64(8.0 / v);

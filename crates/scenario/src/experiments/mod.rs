@@ -26,13 +26,15 @@
 //! | `table5` | web page load time |
 //!
 //! Extensions beyond the paper's artifacts: `fig10` (coverage heatmap),
-//! `ablation_selector`, `ablation_back_fwd`, `ext_stop_and_go`, and
-//! `ext_multichannel` (the §7 discussion, implemented).
+//! `ablation_selector`, `ablation_back_fwd`, `ext_stop_and_go`,
+//! `ext_multichannel` (the §7 discussion, implemented), and
+//! `fleet_smoke` (a CI-sized [`crate::fleet`] corridor).
 
 pub mod apps;
 pub mod common;
 pub mod endtoend;
 pub mod extensions;
+pub mod fleetexp;
 pub mod micro;
 pub mod motivation;
 pub mod multiclient;
@@ -65,6 +67,7 @@ pub fn run(id: &str, seed: u64, quick: bool) -> Option<ExperimentOutput> {
         "ablation_back_fwd" => extensions::ablation_back_fwd(seed),
         "ext_stop_and_go" => extensions::ext_stop_and_go(seed),
         "ext_multichannel" => extensions::ext_multichannel(seed),
+        "fleet_smoke" => fleetexp::fleet_smoke(seed, quick),
         _ => return None,
     })
 }
@@ -115,7 +118,7 @@ pub fn render_all(ids: &[String], seed: u64, quick: bool, csv: bool, jobs: usize
 
 /// Every experiment id: the paper's artifacts in paper order, then the
 /// extension/ablation studies.
-pub const ALL: [&str; 23] = [
+pub const ALL: [&str; 24] = [
     "fig2",
     "fig4",
     "table1",
@@ -139,4 +142,5 @@ pub const ALL: [&str; 23] = [
     "ablation_back_fwd",
     "ext_stop_and_go",
     "ext_multichannel",
+    "fleet_smoke",
 ];

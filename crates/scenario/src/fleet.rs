@@ -1,0 +1,506 @@
+//! Fleet-scale corridor scenario generator.
+//!
+//! The paper's testbed is one 8-AP block of one road with one or two
+//! cars. A transit *network* is hundreds of vehicles over kilometres of
+//! corridor — the deployment the abstract actually argues for. This
+//! module generates such corridors parametrically: AP spacing and
+//! count, antenna azimuth, per-AP cell radius (which drives the channel
+//! reuse plan), a speed profile, directional and stop-and-go traffic
+//! fractions, and a per-vehicle application mix drawn from
+//! [`wgtt_apps::mix::TrafficMix`]. Everything derives from one seed
+//! through named [`RngStream`]s, so a fleet run is exactly as
+//! reproducible as the single-car figures.
+//!
+//! The companion [`FleetReport`] reduces a run to the aggregates a
+//! network operator would watch: per-vehicle p50/p99 PHY bitrate
+//! (bounded-memory sketch, never the raw sample stream), switch rate
+//! per vehicle-minute, and the downlink outage-duration CDF — including
+//! vehicles that never received a frame, which report one full-run
+//! outage instead of a NaN.
+
+use crate::testbed::{ClientPlan, Direction, StopAndGo, TestbedConfig, MPH};
+use crate::world::{FlowSpec, SystemKind, World};
+use wgtt_apps::mix::{AppKind, TrafficMix};
+use wgtt_mac::frame::NodeId;
+use wgtt_radio::Position;
+use wgtt_sim::rng::RngStream;
+use wgtt_sim::time::SimDuration;
+
+/// Offered load of the telemetry-only uplink (position beacons, fare
+/// payments): 64 kbit/s.
+const TELEMETRY_MBPS: f64 = 0.064;
+/// Streaming-video downlink rate — matches the 720p
+/// [`wgtt_apps::video::VideoPlayer`] consumption rate (2.5 Mbit/s).
+const VIDEO_MBPS: f64 = 2.5;
+/// Web-fetch transfer size — the paper's 2.1 MB eBay homepage
+/// ([`wgtt_apps::web::PageLoad`]).
+const WEB_BYTES: u64 = 2_100_000;
+/// Speed samples are clamped into this band (mph): no parked fleet
+/// vehicles, nothing faster than arterial traffic.
+const SPEED_CLAMP_MPH: (f64, f64) = (3.0, 60.0);
+
+/// Parameters of a generated corridor fleet scenario.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of vehicles on the corridor.
+    pub n_vehicles: usize,
+    /// Number of roadside APs.
+    pub n_aps: usize,
+    /// Distance between adjacent APs, metres.
+    pub ap_spacing_m: f64,
+    /// Nominal usable cell radius per AP, metres. Drives the channel
+    /// reuse plan: when a cell reaches past the next AP, adjacent APs
+    /// alternate channels to trade overhearing for interference (§7).
+    pub cell_radius_m: f64,
+    /// Boresight azimuth of every AP antenna, radians in world
+    /// coordinates (`None` = the testbed default, facing the road).
+    pub antenna_azimuth_rad: Option<f64>,
+    /// Mean vehicle speed, mph.
+    pub speed_mean_mph: f64,
+    /// Vehicle speed standard deviation, mph.
+    pub speed_std_mph: f64,
+    /// Fraction of vehicles travelling the opposite direction in the far
+    /// lane.
+    pub opposing_fraction: f64,
+    /// Fraction of vehicles that make one stop-and-go pause at a random
+    /// waypoint along the corridor.
+    pub stop_and_go_fraction: f64,
+    /// Application mix dealt across the fleet.
+    pub mix: TrafficMix,
+    /// Run duration.
+    pub duration: SimDuration,
+}
+
+impl FleetConfig {
+    /// An urban-corridor default at the paper's picocell density: 8 m
+    /// AP spacing on one channel (the narrow-beam roadside dishes leave
+    /// dead zones between APs spaced much wider than the road offset),
+    /// 20 ± 6 mph traffic with 30 % opposing and 20 % stop-and-go, the
+    /// default transit application mix, 30 s of simulated time.
+    pub fn corridor(n_vehicles: usize, n_aps: usize) -> Self {
+        FleetConfig {
+            n_vehicles,
+            n_aps,
+            ap_spacing_m: 8.0,
+            cell_radius_m: 8.0,
+            antenna_azimuth_rad: None,
+            speed_mean_mph: 20.0,
+            speed_std_mph: 6.0,
+            opposing_fraction: 0.3,
+            stop_and_go_fraction: 0.2,
+            mix: TrafficMix::transit_default(),
+            duration: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Corridor length covered by the AP array, metres.
+    pub fn road_len(&self) -> f64 {
+        self.ap_spacing_m * (self.n_aps.saturating_sub(1)) as f64
+    }
+
+    /// Channel reuse factor implied by the cell geometry: 1 (single
+    /// channel) while cells stay within one AP spacing, otherwise enough
+    /// channels that co-channel cells don't overlap, capped at 3 (the
+    /// non-overlapping 2.4 GHz set).
+    pub fn channel_reuse(&self) -> usize {
+        if self.cell_radius_m <= self.ap_spacing_m {
+            1
+        } else {
+            ((self.cell_radius_m / self.ap_spacing_m).ceil() as usize).clamp(2, 3)
+        }
+    }
+
+    /// Generate the deterministic scenario for `seed`: the testbed
+    /// (AP array + per-vehicle drive plans), the application kind dealt
+    /// to each vehicle, and the flow attachments realizing those apps.
+    ///
+    /// Each vehicle consumes its own derived RNG stream, so one
+    /// vehicle's conditional draws (stop-and-go waypoint, say) never
+    /// shift another vehicle's deal.
+    pub fn generate(&self, seed: u64) -> (TestbedConfig, Vec<AppKind>, Vec<(usize, FlowSpec)>) {
+        assert!(self.n_aps >= 2, "a corridor needs at least two APs");
+        assert!(self.n_vehicles >= 1, "a fleet needs at least one vehicle");
+        let road_len = self.road_len();
+        let reuse = self.channel_reuse();
+
+        let ap_x: Vec<f64> = (0..self.n_aps)
+            .map(|i| i as f64 * self.ap_spacing_m)
+            .collect();
+        let ap_channels: Vec<u8> = if reuse == 1 {
+            Vec::new()
+        } else {
+            (0..self.n_aps).map(|i| (i % reuse) as u8).collect()
+        };
+
+        let root = RngStream::root(seed).derive("fleet");
+        let mut clients = Vec::with_capacity(self.n_vehicles);
+        let mut kinds = Vec::with_capacity(self.n_vehicles);
+        let mut flows = Vec::new();
+        for vi in 0..self.n_vehicles {
+            let mut rng = root.derive_indexed("vehicle", vi as u64).rng();
+            let speed_mph = rng
+                .normal_with(self.speed_mean_mph, self.speed_std_mph)
+                .clamp(SPEED_CLAMP_MPH.0, SPEED_CLAMP_MPH.1);
+            let opposing = rng.chance(self.opposing_fraction);
+            // Vehicles start spread along the corridor (a fleet in
+            // steady state), not clumped at the entrance.
+            let start_x = rng.uniform_range(-5.0, road_len + 5.0);
+            let stop = if rng.chance(self.stop_and_go_fraction) {
+                Some(StopAndGo {
+                    at_x: rng.uniform_range(0.0, road_len.max(1.0)),
+                    pause_s: rng.uniform_range(5.0, 20.0),
+                })
+            } else {
+                None
+            };
+            let (direction, y) = if opposing {
+                (Direction::West, -3.5)
+            } else {
+                (Direction::East, 0.0)
+            };
+            clients.push(ClientPlan {
+                start: Position::new(start_x, y),
+                speed_mps: speed_mph * MPH,
+                direction,
+                stop,
+                // Transit vehicles work the corridor, turning around
+                // just past each end, instead of driving off to
+                // infinity (which would leave their last AP burning
+                // airtime at an unreachable client). The 5 m tails
+                // stay inside the end APs' beams.
+                shuttle: Some((-5.0, road_len + 5.0)),
+            });
+
+            let kind = self.mix.sample(&mut rng);
+            kinds.push(kind);
+            match kind {
+                AppKind::Video => flows.push((
+                    vi,
+                    FlowSpec::DownlinkUdp {
+                        rate_mbps: VIDEO_MBPS,
+                    },
+                )),
+                AppKind::Web => flows.push((vi, FlowSpec::DownlinkTcpBytes { bytes: WEB_BYTES })),
+                AppKind::Conference => {
+                    flows.push((vi, FlowSpec::DownlinkConference { adaptive: true }));
+                    flows.push((vi, FlowSpec::UplinkConference { adaptive: true }));
+                }
+                AppKind::Telemetry => {
+                    flows.push((
+                        vi,
+                        FlowSpec::UplinkUdp {
+                            rate_mbps: TELEMETRY_MBPS,
+                        },
+                    ));
+                }
+            }
+        }
+
+        let cfg = TestbedConfig {
+            ap_x,
+            ap_channels,
+            clients,
+            ap_boresight_rad: self.antenna_azimuth_rad,
+        };
+        (cfg, kinds, flows)
+    }
+
+    /// Build the world for this scenario (lean sampling on: the
+    /// per-(client, AP) ESNR trace loop is dead weight at fleet scale).
+    pub fn build_world(&self, system: SystemKind, seed: u64) -> (World, Vec<AppKind>) {
+        let (cfg, kinds, flows) = self.generate(seed);
+        let mut world = World::new_multi(cfg, system, flows, seed);
+        world.sample_lean = true;
+        (world, kinds)
+    }
+
+    /// Run the scenario end to end and reduce it to fleet aggregates.
+    pub fn run(&self, system: SystemKind, seed: u64) -> FleetReport {
+        let (mut world, kinds) = self.build_world(system, seed);
+        world.run(self.duration);
+        FleetReport::from_world(&world, &kinds, self)
+    }
+}
+
+/// Per-vehicle reduction of a fleet run.
+#[derive(Debug, Clone)]
+pub struct VehicleStats {
+    /// The vehicle's client node id.
+    pub client: NodeId,
+    /// The application dealt to this vehicle.
+    pub kind: AppKind,
+    /// Whether the vehicle's app has a downlink component (outage is
+    /// only defined for these).
+    pub has_downlink: bool,
+    /// Median delivered PHY bitrate (Mbit/s), `None` if no frame was
+    /// ever transmitted to this vehicle.
+    pub bitrate_p50_mbps: Option<f64>,
+    /// 99th-percentile delivered PHY bitrate (Mbit/s).
+    pub bitrate_p99_mbps: Option<f64>,
+    /// Total downlink outage time, seconds.
+    pub outage_s: f64,
+    /// Number of distinct outages.
+    pub outages: u64,
+    /// A downlink vehicle that never decoded a single frame: the whole
+    /// run is one outage.
+    pub full_outage: bool,
+}
+
+/// Fleet-level aggregates of one corridor run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Vehicles simulated.
+    pub vehicles: usize,
+    /// APs deployed.
+    pub aps: usize,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// One entry per vehicle, in vehicle-index order.
+    pub per_vehicle: Vec<VehicleStats>,
+    /// Completed AP switches across the fleet.
+    pub switches: u64,
+    /// Switches per vehicle-minute — the operator's roaming-churn rate.
+    pub switch_rate_per_vehicle_minute: f64,
+    /// Downlink outage durations pooled across all downlink vehicles as
+    /// `(seconds, cumulative_fraction)` pairs; full-outage vehicles
+    /// contribute one full-run sample each.
+    pub outage_cdf: Vec<(f64, f64)>,
+    /// Downlink vehicles that never decoded a frame.
+    pub full_outage_vehicles: usize,
+    /// Events handled by the run (macro-bench numerator).
+    pub events_handled: u64,
+    /// Frames that completed on the air (macro-bench numerator).
+    pub frames_on_air: u64,
+    /// Robustness counters (normally zero; see `RunReport`).
+    pub backhaul_misaddressed: u64,
+    /// Delivered-frame refs that no longer resolved (normally zero).
+    pub missing_packet_refs: u64,
+}
+
+impl FleetReport {
+    /// Reduce a finished world into fleet aggregates.
+    pub fn from_world(world: &World, kinds: &[AppKind], cfg: &FleetConfig) -> Self {
+        let report = &world.report;
+        let ids = world.client_ids();
+        assert_eq!(ids.len(), kinds.len(), "one app kind per vehicle");
+
+        let mut per_vehicle = Vec::with_capacity(ids.len());
+        let mut outage_samples: Vec<f64> = Vec::new();
+        let mut full_outage_vehicles = 0;
+        let dur_s = cfg.duration.as_secs_f64();
+        for (&client, &kind) in ids.iter().zip(kinds) {
+            let has_downlink = kind != AppKind::Telemetry;
+            let bitrate = report.bitrate_series.get(&client);
+            let bitrate_p50_mbps = bitrate.and_then(|d| d.quantile(0.5));
+            let bitrate_p99_mbps = bitrate.and_then(|d| d.quantile(0.99));
+            let mut outage_s = 0.0;
+            let mut outages = 0u64;
+            let mut full_outage = false;
+            if has_downlink {
+                if report.last_delivery.contains_key(&client) {
+                    if let Some(d) = report.outage_durations.get(&client) {
+                        // The exact backend's CDF is one point per
+                        // sample, so it doubles as a raw-sample view.
+                        for (v, _) in d.cdf() {
+                            outage_s += v;
+                            outages += 1;
+                            outage_samples.push(v);
+                        }
+                    }
+                } else {
+                    // Never decoded a frame: one full-run outage, not
+                    // a NaN from dividing by zero deliveries.
+                    full_outage = true;
+                    full_outage_vehicles += 1;
+                    outage_s = dur_s;
+                    outages = 1;
+                    outage_samples.push(dur_s);
+                }
+            }
+            per_vehicle.push(VehicleStats {
+                client,
+                kind,
+                has_downlink,
+                bitrate_p50_mbps,
+                bitrate_p99_mbps,
+                outage_s,
+                outages,
+                full_outage,
+            });
+        }
+
+        outage_samples.sort_by(|a, b| a.partial_cmp(b).expect("outage is never NaN"));
+        let n = outage_samples.len() as f64;
+        let outage_cdf: Vec<(f64, f64)> = outage_samples
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect();
+
+        let vehicle_minutes = ids.len() as f64 * dur_s / 60.0;
+        let switch_rate_per_vehicle_minute = if vehicle_minutes > 0.0 {
+            report.switches as f64 / vehicle_minutes
+        } else {
+            0.0
+        };
+
+        FleetReport {
+            vehicles: ids.len(),
+            aps: cfg.n_aps,
+            duration: cfg.duration,
+            per_vehicle,
+            switches: report.switches,
+            switch_rate_per_vehicle_minute,
+            outage_cdf,
+            full_outage_vehicles,
+            events_handled: report.events_handled,
+            frames_on_air: report.frames_on_air,
+            backhaul_misaddressed: report.backhaul_misaddressed,
+            missing_packet_refs: report.missing_packet_refs,
+        }
+    }
+
+    /// Quantile of the pooled per-vehicle statistic `f` across vehicles
+    /// that have one (nearest-rank).
+    fn quantile_of(&self, q: f64, f: impl Fn(&VehicleStats) -> Option<f64>) -> Option<f64> {
+        let mut vals: Vec<f64> = self.per_vehicle.iter().filter_map(f).collect();
+        if vals.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("stat is never NaN"));
+        let idx = ((q * (vals.len() - 1) as f64).round() as usize).min(vals.len() - 1);
+        Some(vals[idx])
+    }
+
+    /// Fleet quantile of the per-vehicle *median* bitrates.
+    pub fn fleet_bitrate_p50(&self, q: f64) -> Option<f64> {
+        self.quantile_of(q, |v| v.bitrate_p50_mbps)
+    }
+
+    /// Fleet quantile of the per-vehicle *p99* bitrates.
+    pub fn fleet_bitrate_p99(&self, q: f64) -> Option<f64> {
+        self.quantile_of(q, |v| v.bitrate_p99_mbps)
+    }
+
+    /// Quantile of the pooled outage-duration samples.
+    pub fn outage_quantile(&self, q: f64) -> Option<f64> {
+        if self.outage_cdf.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let idx = ((q * (self.outage_cdf.len() - 1) as f64).round() as usize)
+            .min(self.outage_cdf.len() - 1);
+        Some(self.outage_cdf[idx].0)
+    }
+
+    /// Fraction of downlink vehicles whose whole run was one outage.
+    pub fn full_outage_fraction(&self) -> f64 {
+        let dl = self.per_vehicle.iter().filter(|v| v.has_downlink).count();
+        if dl == 0 {
+            0.0
+        } else {
+            self.full_outage_vehicles as f64 / dl as f64
+        }
+    }
+
+    /// A compact single-line digest (the CLI and smoke test print it).
+    pub fn digest(&self) -> String {
+        format!(
+            "vehicles={} aps={} dur={:.0}s events={} frames={} switches={} \
+             switch_rate={:.2}/veh-min bitrate_p50[p50]={} outage_p99={} full_outage={}",
+            self.vehicles,
+            self.aps,
+            self.duration.as_secs_f64(),
+            self.events_handled,
+            self.frames_on_air,
+            self.switches,
+            self.switch_rate_per_vehicle_minute,
+            fmt_opt(self.fleet_bitrate_p50(0.5)),
+            fmt_opt(self.outage_quantile(0.99)),
+            self.full_outage_vehicles,
+        )
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.2}"),
+        None => "none".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgtt::WgttConfig;
+
+    #[test]
+    fn generate_is_deterministic_and_sized() {
+        let cfg = FleetConfig::corridor(24, 12);
+        let (t1, k1, f1) = cfg.generate(9);
+        let (t2, k2, f2) = cfg.generate(9);
+        assert_eq!(t1.ap_x, t2.ap_x);
+        assert_eq!(k1, k2);
+        assert_eq!(f1.len(), f2.len());
+        assert_eq!(t1.clients.len(), 24);
+        assert_eq!(t1.ap_x.len(), 12);
+        // Paper-density default: cells fit the spacing, one channel.
+        assert_eq!(cfg.channel_reuse(), 1);
+        assert!(t1.ap_channels.is_empty());
+        // A different seed deals a different fleet.
+        let (_, k3, _) = cfg.generate(10);
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn wide_cells_alternate_channels() {
+        let mut cfg = FleetConfig::corridor(4, 12);
+        cfg.cell_radius_m = 2.0 * cfg.ap_spacing_m;
+        assert_eq!(cfg.channel_reuse(), 2);
+        let (t, _, _) = cfg.generate(1);
+        assert_eq!(t.ap_channels, vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn every_vehicle_gets_at_least_one_flow() {
+        let cfg = FleetConfig::corridor(40, 8);
+        let (_, kinds, flows) = cfg.generate(3);
+        for (vi, kind) in kinds.iter().enumerate() {
+            assert!(
+                flows.iter().any(|&(i, _)| i == vi),
+                "vehicle {vi} ({kind:?}) has no flow"
+            );
+        }
+    }
+
+    #[test]
+    fn single_channel_when_cells_fit_spacing() {
+        let mut cfg = FleetConfig::corridor(4, 8);
+        cfg.cell_radius_m = 15.0;
+        cfg.ap_spacing_m = 20.0;
+        assert_eq!(cfg.channel_reuse(), 1);
+        let (t, _, _) = cfg.generate(1);
+        assert!(t.ap_channels.is_empty());
+    }
+
+    #[test]
+    fn small_fleet_runs_and_aggregates() {
+        let mut cfg = FleetConfig::corridor(4, 6);
+        cfg.duration = SimDuration::from_secs(5);
+        let report = cfg.run(SystemKind::Wgtt(WgttConfig::default()), 11);
+        assert_eq!(report.vehicles, 4);
+        assert_eq!(report.per_vehicle.len(), 4);
+        assert!(report.events_handled > 0);
+        assert!(report.frames_on_air > 0);
+        assert_eq!(report.backhaul_misaddressed, 0);
+        assert_eq!(report.missing_packet_refs, 0);
+        // CDF, if present, is monotone and ends at 1.
+        if let Some(last) = report.outage_cdf.last() {
+            assert!((last.1 - 1.0).abs() < 1e-12);
+            for w in report.outage_cdf.windows(2) {
+                assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+            }
+        }
+        // The digest renders without panicking.
+        assert!(report.digest().contains("vehicles=4"));
+    }
+}

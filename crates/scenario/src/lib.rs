@@ -14,14 +14,18 @@
 //! * [`experiments`] — one driver per table/figure of the paper's
 //!   evaluation, each returning printable rows (see DESIGN.md §4 for the
 //!   index);
+//! * [`fleet`] — the parametric fleet-scale corridor generator (hundreds
+//!   of vehicles, dozens of APs) and its aggregate report;
 //! * [`pcap`] — Wireshark-compatible capture of the backhaul tunnels;
 //! * [`results`] — small formatting helpers for paper-style output.
 
 pub mod experiments;
+pub mod fleet;
 pub mod pcap;
 pub mod results;
 pub mod testbed;
 pub mod world;
 
+pub use fleet::{FleetConfig, FleetReport};
 pub use testbed::{ClientPlan, Direction, TestbedConfig};
 pub use world::{RunReport, SystemKind, World};

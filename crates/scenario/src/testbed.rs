@@ -37,7 +37,7 @@ pub struct StopAndGo {
 }
 
 /// One client's drive plan: straight-line constant-speed motion, with an
-/// optional stop-and-go pause.
+/// optional stop-and-go pause and an optional shuttle route.
 #[derive(Debug, Clone, Copy)]
 pub struct ClientPlan {
     /// Position at t = 0, metres.
@@ -48,6 +48,12 @@ pub struct ClientPlan {
     pub direction: Direction,
     /// Optional mid-drive stop.
     pub stop: Option<StopAndGo>,
+    /// Shuttle route bounds `(west_x, east_x)`: instead of driving off
+    /// to infinity, the vehicle turns around at each bound (a transit
+    /// vehicle working a corridor). `None` = the paper's one-way
+    /// drive-by. The stop-and-go pause, if any, applies on the first
+    /// approach only.
+    pub shuttle: Option<(f64, f64)>,
 }
 
 impl ClientPlan {
@@ -59,6 +65,7 @@ impl ClientPlan {
             speed_mps: speed_mph * MPH,
             direction: Direction::East,
             stop: None,
+            shuttle: None,
         }
     }
 
@@ -79,6 +86,7 @@ impl ClientPlan {
             speed_mps: speed_mph * MPH,
             direction: Direction::East,
             stop: None,
+            shuttle: None,
         }
     }
 
@@ -89,6 +97,7 @@ impl ClientPlan {
             speed_mps: speed_mph * MPH,
             direction: Direction::East,
             stop: None,
+            shuttle: None,
         }
     }
 
@@ -100,6 +109,7 @@ impl ClientPlan {
             speed_mps: speed_mph * MPH,
             direction: Direction::West,
             stop: None,
+            shuttle: None,
         }
     }
 
@@ -122,10 +132,29 @@ impl ClientPlan {
                 };
             }
         }
-        match self.direction {
-            Direction::East => Position::new(self.start.x + travel, self.start.y),
-            Direction::West => Position::new(self.start.x - travel, self.start.y),
+        let x = match self.direction {
+            Direction::East => self.start.x + travel,
+            Direction::West => self.start.x - travel,
+        };
+        Position::new(self.fold_shuttle(x), self.start.y)
+    }
+
+    /// Reflect an unbounded along-road coordinate into the shuttle
+    /// bounds (triangle wave: the vehicle turns around at each end).
+    fn fold_shuttle(&self, x: f64) -> f64 {
+        let Some((lo, hi)) = self.shuttle else {
+            return x;
+        };
+        let span = hi - lo;
+        if span <= 0.0 {
+            return lo;
         }
+        let period = 2.0 * span;
+        let mut u = (x - lo) % period;
+        if u < 0.0 {
+            u += period;
+        }
+        lo + if u <= span { u } else { period - u }
     }
 
     /// Time to traverse `dist` metres (`None` for a parked client).
@@ -149,6 +178,11 @@ pub struct TestbedConfig {
     pub ap_channels: Vec<u8>,
     /// Client drive plans.
     pub clients: Vec<ClientPlan>,
+    /// Boresight direction of every AP's directional antenna, radians
+    /// in world coordinates (`None` = the paper testbed's default of
+    /// facing the road, −π/2). Fleet corridors steer this to model
+    /// down-the-road mounting.
+    pub ap_boresight_rad: Option<f64>,
 }
 
 impl TestbedConfig {
@@ -161,6 +195,7 @@ impl TestbedConfig {
             ap_x: vec![0.0, 6.0, 12.0, 18.0, 26.0, 35.0, 44.0, 53.0],
             ap_channels: Vec::new(),
             clients: Vec::new(),
+            ap_boresight_rad: None,
         }
     }
 
@@ -178,6 +213,7 @@ impl TestbedConfig {
             ap_x: vec![0.0, 7.5],
             ap_channels: Vec::new(),
             clients: Vec::new(),
+            ap_boresight_rad: None,
         }
     }
 
@@ -244,6 +280,7 @@ mod tests {
             speed_mps: 0.0,
             direction: Direction::East,
             stop: None,
+            shuttle: None,
         };
         assert_eq!(p.position_at(SimTime::from_secs(100)), p.start);
         assert!(p.time_to_cover(10.0).is_none());

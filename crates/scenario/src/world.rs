@@ -226,6 +226,22 @@ pub struct RunReport {
     /// Frames whose on-air time completed (data, keepalive and control
     /// alike) — the macro-bench's frames/s numerator.
     pub frames_on_air: u64,
+    /// Backhaul messages addressed past the AP array, dropped instead
+    /// of crashing the run (robustness counter; see `on_backhaul`).
+    pub backhaul_misaddressed: u64,
+    /// Delivered-frame packet refs that no longer resolved in the
+    /// packet store, skipped instead of crashing the run.
+    pub missing_packet_refs: u64,
+    /// Instant of the most recent decoded downlink A-MPDU per client.
+    /// Clients that never decoded a frame have no entry — the fleet
+    /// aggregation layer reports them as 100 % outage rather than
+    /// dividing by a zero frame count.
+    pub last_delivery: HashMap<NodeId, SimTime>,
+    /// Downlink outage durations (s) per client: every gap of at least
+    /// [`OUTAGE_MIN`] between successive decoded A-MPDUs, measured from
+    /// `traffic_start`, with the trailing gap closed at the end of the
+    /// run by `finalize`.
+    pub outage_durations: HashMap<NodeId, Distribution>,
     /// The run's duration.
     pub duration: SimDuration,
 }
@@ -325,6 +341,10 @@ pub struct World {
     links: HashMap<(NodeId, NodeId), Link>,
     system: SystemState,
     clients: Vec<ClientNode>,
+    /// First client NodeId: 100 for every paper-scale world, pushed up
+    /// to the AP count for corridors with ≥ 100 APs so client ids can
+    /// never collide with AP ids (`is_ap` is an id-range test).
+    client_base: u32,
     flows: Vec<Flow>,
     factory: PacketFactory,
     packets: HashMap<u64, Packet>,
@@ -363,6 +383,11 @@ pub struct World {
     capture_ident: u16,
     /// Trace only at or after this instant.
     pub trace_from: SimTime,
+    /// Skip the per-(client, AP) ESNR-trace/accuracy sampling loop in
+    /// `on_sample`. Fleet runs set this: with hundreds of vehicles and
+    /// dozens of APs that loop is O(clients × APs) every 10 ms and the
+    /// fleet report never reads the traces it would fill.
+    pub sample_lean: bool,
     end_at: SimTime,
 }
 
@@ -386,6 +411,10 @@ const UDP_LEN: u16 = 1500;
 const CONF_CHUNK: u32 = 1200;
 /// Client keepalive (NULL-data) interval.
 const KEEPALIVE_INTERVAL: SimDuration = SimDuration::from_millis(50);
+/// Smallest gap between decoded downlink A-MPDUs counted as an outage.
+/// Below this, the gap is ordinary contention/backoff; above it, the
+/// client perceptibly stalled (≈ two baseline beacon intervals).
+const OUTAGE_MIN: SimDuration = SimDuration::from_millis(200);
 /// CSI estimation error applied to *measured* ESNR readings (the true
 /// channel still decides delivery) — the reason a single reading is noisy
 /// and the paper's median-over-W smoothing matters (Fig. 21).
@@ -422,9 +451,15 @@ impl World {
         let mut medium = Medium::roadside();
         let ap_positions = cfg.ap_positions();
         let n_aps = ap_positions.len();
+        // Client ids historically start at 100; a fleet corridor with
+        // ≥ 100 APs would alias AP ids into the client range, so the
+        // base moves up with the AP count (identical to the old scheme
+        // for every world the paper experiments build).
+        let client_base = 100u32.max(n_aps as u32);
 
         // Radio links: one fading realization per (AP, client) pair,
         // shared verbatim between compared systems at equal seeds.
+        let boresight = cfg.ap_boresight_rad.unwrap_or(-std::f64::consts::FRAC_PI_2);
         let mut links = HashMap::new();
         for (ai, &ap_pos) in ap_positions.iter().enumerate() {
             let ap_id = NodeId(ai as u32);
@@ -433,7 +468,7 @@ impl World {
                 medium.set_channel(ap_id, ch);
             }
             for (ci, plan) in cfg.clients.iter().enumerate() {
-                let client_id = NodeId(100 + ci as u32);
+                let client_id = NodeId(client_base + ci as u32);
                 let stream = root
                     .derive("link")
                     .derive_indexed("ap", ai as u64)
@@ -442,7 +477,7 @@ impl World {
                     (ap_id, client_id),
                     Link {
                         ap_pos,
-                        ap_boresight_rad: -std::f64::consts::FRAC_PI_2,
+                        ap_boresight_rad: boresight,
                         ap_antenna: ParabolicAntenna::laird_gd24bp(),
                         client_antenna_dbi: 0.0,
                         budget: LinkBudget::default(),
@@ -483,7 +518,7 @@ impl World {
             .iter()
             .enumerate()
             .map(|(ci, &plan)| {
-                let id = NodeId(100 + ci as u32);
+                let id = NodeId(client_base + ci as u32);
                 medium.set_position(id, plan.position_at(SimTime::ZERO));
                 let roamer = match system {
                     SystemKind::Wgtt(_) => None,
@@ -497,7 +532,10 @@ impl World {
                 ClientNode {
                     id,
                     plan,
-                    ip: Ipv4Addr::new(172, 16, 0, 100 + ci as u8),
+                    // Client addresses spread over the low two octets:
+                    // `100 + ci` would overflow the single-octet form at
+                    // ci = 156, which a fleet-sized world reaches easily.
+                    ip: Ipv4Addr::new(172, 16, ((100 + ci) >> 8) as u8, (100 + ci) as u8),
                     ba_rx: HashMap::new(),
                     up_fresh: std::collections::VecDeque::new(),
                     up_retries: Vec::new(),
@@ -525,6 +563,7 @@ impl World {
             links,
             system: system_state,
             clients,
+            client_base,
             flows: Vec::new(),
             factory: PacketFactory::new(),
             packets: HashMap::new(),
@@ -544,6 +583,7 @@ impl World {
             backhaul_capture: None,
             capture_ident: 0,
             trace_from: SimTime::ZERO,
+            sample_lean: false,
             end_at: SimTime::ZERO,
             cfg,
         };
@@ -626,7 +666,11 @@ impl World {
     // ------------------------------------------------------------ helpers
 
     fn client_index(&self, id: NodeId) -> usize {
-        (id.0 - 100) as usize
+        debug_assert!(
+            id.0 >= self.client_base,
+            "client_index called with a non-client id {id:?}"
+        );
+        id.0.saturating_sub(self.client_base) as usize
     }
 
     fn is_ap(&self, id: NodeId) -> bool {
@@ -745,17 +789,23 @@ impl World {
         }
     }
 
-    fn packet_by_ref(&self, r: PacketRef) -> Packet {
-        *self
-            .packets
-            .get(&r.id)
-            .expect("packet store holds every in-flight packet")
+    /// Resolve an in-flight packet ref. `None` — a ref outliving its
+    /// store entry (duplicate delivery racing cleanup in a large world)
+    /// — is the caller's cue to skip the frame, not a crash.
+    fn packet_by_ref(&self, r: PacketRef) -> Option<Packet> {
+        self.packets.get(&r.id).copied()
     }
 
     // -------------------------------------------------------- run control
 
     /// Run the world for `duration`, returning when the queue drains past
     /// it. Consumes nothing; results accumulate in [`World::report`].
+    /// Client node ids in client-index order (index `ci` of the plan /
+    /// flow-attachment APIs maps to `client_ids()[ci]`).
+    pub fn client_ids(&self) -> Vec<NodeId> {
+        self.clients.iter().map(|c| c.id).collect()
+    }
+
     pub fn run(&mut self, duration: SimDuration) {
         self.end_at = SimTime::ZERO + duration;
         self.report.duration = duration;
@@ -982,6 +1032,27 @@ impl World {
         log.push(format!("{now} {} > {}: {desc}", frame.from, frame.to));
     }
 
+    /// Record a decoded downlink A-MPDU for `client` and close any
+    /// outage ([`OUTAGE_MIN`] or longer since the previous delivery,
+    /// or since `traffic_start` for the first one).
+    fn note_delivery(&mut self, client: NodeId, now: SimTime) {
+        let from = self
+            .report
+            .last_delivery
+            .get(&client)
+            .copied()
+            .unwrap_or(self.traffic_start);
+        let gap = now.saturating_since(from);
+        if gap >= OUTAGE_MIN {
+            self.report
+                .outage_durations
+                .entry(client)
+                .or_default()
+                .record(gap.as_secs_f64());
+        }
+        self.report.last_delivery.insert(client, now);
+    }
+
     fn finalize(&mut self) {
         // Pull per-flow observables into the report.
         for flow in &self.flows {
@@ -1018,6 +1089,43 @@ impl World {
                 .insert(c.id, (c.up_mpdus_sent, c.up_mpdu_retx));
             if let Some(r) = &c.roamer {
                 self.report.failed_handshakes += r.failed_handshakes;
+            }
+        }
+        // Close the trailing outage gap for clients that did deliver at
+        // least once. Clients with no `last_delivery` entry are left
+        // alone: the fleet layer reports them as one full-run outage
+        // rather than inventing a zero-sample distribution here.
+        //
+        // A client whose downlink demand is entirely finite (web-style
+        // transfers) and fully delivered goes legitimately quiet after
+        // the last byte; that idle tail is not an outage. The trailing
+        // gap is only closed for clients with open-ended downlink
+        // demand or an unfinished finite transfer.
+        let mut open_demand: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        for flow in &self.flows {
+            let open = match &flow.kind {
+                FlowKind::DownUdp { .. } | FlowKind::DownConf { .. } => true,
+                FlowKind::DownTcp { limit: None, .. } => true,
+                FlowKind::DownTcp { limit: Some(_), .. } => {
+                    !self.report.tcp_completion.contains_key(&flow.id)
+                }
+                FlowKind::UpUdp { .. } | FlowKind::UpConf { .. } => false,
+            };
+            if open {
+                open_demand.insert(flow.client);
+            }
+        }
+        for (client, last) in self.report.last_delivery.clone() {
+            if !open_demand.contains(&client) {
+                continue;
+            }
+            let gap = self.end_at.saturating_since(last);
+            if gap >= OUTAGE_MIN {
+                self.report
+                    .outage_durations
+                    .entry(client)
+                    .or_default()
+                    .record(gap.as_secs_f64());
             }
         }
         match &self.system {

@@ -119,6 +119,13 @@ impl World {
                     return;
                 };
                 let ai = ap_id.0 as usize;
+                if ai >= aps.len() {
+                    // A message addressed past the AP array (a stale id
+                    // from a reconfigured corridor segment) is dropped,
+                    // not a crash: timeouts re-drive the protocol.
+                    self.report.backhaul_misaddressed += 1;
+                    return;
+                }
                 let kick_client = match &msg {
                     BackhaulMsg::DownlinkData { client, .. }
                     | BackhaulMsg::Start { client, .. }
@@ -402,7 +409,10 @@ impl World {
 
     /// A downlink packet was decoded (and MAC-deduplicated) at the client.
     fn deliver_to_client(&mut self, client: NodeId, pref: PacketRef, now: SimTime) {
-        let packet = self.packet_by_ref(pref);
+        let Some(packet) = self.packet_by_ref(pref) else {
+            self.report.missing_packet_refs += 1;
+            return;
+        };
         let fi = packet.flow.0 as usize;
         if fi >= self.flows.len() {
             return;
@@ -531,7 +541,12 @@ impl World {
                     .or_default()
                     .record(now, ap.0 as f64 + 1.0);
             }
-            // ESNR traces + oracle accuracy.
+            // ESNR traces + oracle accuracy. O(clients × APs) every
+            // tick; fleet runs opt out (`sample_lean`) — their report
+            // never reads these traces.
+            if self.sample_lean {
+                continue;
+            }
             let mut best: Option<(NodeId, f64)> = None;
             for ai in 0..n_aps {
                 let ap = NodeId(ai);

@@ -308,6 +308,7 @@ impl World {
             );
         }
         if decoded_any {
+            self.note_delivery(client, now);
             self.report.dbg_ba.0 += 1;
             let ci = self.client_index(client);
             let key = self.ba_rx_key(ap);
@@ -398,7 +399,10 @@ impl World {
                 };
                 self.backhaul_send(csi.to, csi.msg, now);
                 for r in new_refs {
-                    let packet = self.packet_by_ref(r);
+                    let Some(packet) = self.packet_by_ref(r) else {
+                        self.report.missing_packet_refs += 1;
+                        continue;
+                    };
                     self.backhaul_send(
                         BackhaulDest::Controller,
                         BackhaulMsg::UplinkData { ap, packet },
@@ -407,7 +411,10 @@ impl World {
                 }
             } else if assoc_ap == Some(ap) {
                 for r in new_refs {
-                    let packet = self.packet_by_ref(r);
+                    let Some(packet) = self.packet_by_ref(r) else {
+                        self.report.missing_packet_refs += 1;
+                        continue;
+                    };
                     self.on_wan_uplink(packet, now);
                 }
             }

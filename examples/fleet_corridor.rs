@@ -1,0 +1,171 @@
+//! Fleet-scale corridor run: hundreds of vehicles over dozens of
+//! picocell APs, with per-vehicle traffic mixes and fleet aggregates.
+//!
+//! ```sh
+//! cargo run --release --example fleet_corridor -- \
+//!     --vehicles 200 --aps 32 --seed 1 --duration 30
+//! ```
+
+use std::time::Instant;
+
+use wgtt::WgttConfig;
+use wgtt_apps::mix::AppKind;
+use wgtt_scenario::fleet::FleetConfig;
+use wgtt_scenario::world::SystemKind;
+use wgtt_sim::time::SimDuration;
+
+struct Args {
+    vehicles: usize,
+    aps: usize,
+    spacing_m: Option<f64>,
+    cell_radius_m: Option<f64>,
+    seed: u64,
+    duration_s: f64,
+    per_vehicle: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        vehicles: 200,
+        aps: 32,
+        spacing_m: None,
+        cell_radius_m: None,
+        seed: 1,
+        duration_s: 30.0,
+        per_vehicle: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<f64>()
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--vehicles" => args.vehicles = take("--vehicles") as usize,
+            "--aps" => args.aps = take("--aps") as usize,
+            "--spacing" => args.spacing_m = Some(take("--spacing")),
+            "--cell-radius" => args.cell_radius_m = Some(take("--cell-radius")),
+            "--seed" => args.seed = take("--seed") as u64,
+            "--duration" => args.duration_s = take("--duration"),
+            "--per-vehicle" => args.per_vehicle = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: fleet_corridor [--vehicles N] [--aps N] [--spacing M] \
+                     [--cell-radius M] [--seed S] [--duration SECS]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let mut cfg = FleetConfig::corridor(a.vehicles, a.aps);
+    if let Some(s) = a.spacing_m {
+        cfg.ap_spacing_m = s;
+    }
+    if let Some(r) = a.cell_radius_m {
+        cfg.cell_radius_m = r;
+    }
+    cfg.duration = SimDuration::from_secs_f64(a.duration_s);
+
+    println!(
+        "fleet corridor: {} vehicles, {} APs x {:.0} m ({:.0} m road), \
+         reuse {}, seed {}, {:.0} s",
+        cfg.n_vehicles,
+        cfg.n_aps,
+        cfg.ap_spacing_m,
+        cfg.road_len(),
+        cfg.channel_reuse(),
+        a.seed,
+        a.duration_s,
+    );
+
+    let wall = Instant::now();
+    let report = cfg.run(SystemKind::Wgtt(WgttConfig::default()), a.seed);
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let count = |k: AppKind| report.per_vehicle.iter().filter(|v| v.kind == k).count();
+    println!(
+        "\napp mix: video {} / web {} / conference {} / telemetry {}",
+        count(AppKind::Video),
+        count(AppKind::Web),
+        count(AppKind::Conference),
+        count(AppKind::Telemetry),
+    );
+
+    println!("\nthroughput (delivered PHY bitrate, Mbit/s):");
+    for q in [0.10, 0.50, 0.90] {
+        println!(
+            "  fleet p{:<2.0} of per-vehicle p50: {}   of per-vehicle p99: {}",
+            q * 100.0,
+            fmt(report.fleet_bitrate_p50(q)),
+            fmt(report.fleet_bitrate_p99(q)),
+        );
+    }
+
+    println!("\nroaming:");
+    println!(
+        "  {} switches, {:.2} per vehicle-minute",
+        report.switches, report.switch_rate_per_vehicle_minute
+    );
+
+    println!("\ndownlink outages (gaps >= 200 ms):");
+    match report.outage_quantile(0.5) {
+        Some(_) => {
+            for q in [0.50, 0.90, 0.99] {
+                println!(
+                    "  p{:<2.0} duration: {} s",
+                    q * 100.0,
+                    fmt(report.outage_quantile(q))
+                );
+            }
+        }
+        None => println!("  none observed"),
+    }
+    println!(
+        "  vehicles in full outage: {} ({:.1} % of downlink vehicles)",
+        report.full_outage_vehicles,
+        report.full_outage_fraction() * 100.0
+    );
+
+    if a.per_vehicle {
+        println!("\nper-vehicle:");
+        for v in &report.per_vehicle {
+            println!(
+                "  {:?} {:<10} p50={} p99={} outage={:.1}s x{}{}",
+                v.client,
+                format!("{:?}", v.kind),
+                fmt(v.bitrate_p50_mbps),
+                fmt(v.bitrate_p99_mbps),
+                v.outage_s,
+                v.outages,
+                if v.full_outage { " FULL-OUTAGE" } else { "" },
+            );
+        }
+    }
+
+    println!("\nscale:");
+    println!(
+        "  {} events, {} frames in {:.1} s wall -> {:.0} events/s, {:.0} frames/s",
+        report.events_handled,
+        report.frames_on_air,
+        wall_s,
+        report.events_handled as f64 / wall_s,
+        report.frames_on_air as f64 / wall_s,
+    );
+    assert_eq!(report.backhaul_misaddressed, 0, "misaddressed backhaul");
+    assert_eq!(report.missing_packet_refs, 0, "dangling packet refs");
+}
+
+fn fmt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.2}"),
+        None => "n/a".to_string(),
+    }
+}

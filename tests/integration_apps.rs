@@ -14,6 +14,7 @@ fn static_world(spec: FlowSpec, seed: u64) -> World {
         speed_mps: 0.0,
         direction: Direction::East,
         stop: None,
+        shuttle: None,
     };
     let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
     let mut w = World::new(
@@ -51,6 +52,7 @@ fn conferencing_sustains_frame_rate_on_good_link() {
         speed_mps: 0.0,
         direction: Direction::East,
         stop: None,
+        shuttle: None,
     };
     let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
     let mut w = World::new_multi(

@@ -15,6 +15,7 @@ fn static_client_world(spec: FlowSpec, seed: u64) -> World {
         speed_mps: 0.0,
         direction: Direction::East,
         stop: None,
+        shuttle: None,
     };
     let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
     let mut w = World::new(

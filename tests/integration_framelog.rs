@@ -13,6 +13,7 @@ fn frame_log_captures_the_exchange() {
         speed_mps: 0.0,
         direction: Direction::East,
         stop: None,
+        shuttle: None,
     };
     let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
     let mut w = World::new(
@@ -45,6 +46,7 @@ fn backhaul_capture_produces_a_valid_pcap() {
         speed_mps: 0.0,
         direction: Direction::East,
         stop: None,
+        shuttle: None,
     };
     let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
     let mut w = World::new(

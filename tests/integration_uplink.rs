@@ -15,6 +15,7 @@ fn world_at(x: f64, spec: FlowSpec, seed: u64) -> World {
         speed_mps: 0.0,
         direction: Direction::East,
         stop: None,
+        shuttle: None,
     };
     let cfg = TestbedConfig::paper_array().with_clients(vec![plan]);
     let mut w = World::new(
