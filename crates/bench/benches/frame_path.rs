@@ -20,7 +20,10 @@
 //! written to `BENCH_frame_path.json` at the workspace root as a
 //! *trajectory*: earlier PRs' measured points are embedded as literals
 //! and this run's point is appended, so the file accumulates the
-//! before/after history ROADMAP asks every perf PR to extend.
+//! before/after history ROADMAP asks every perf PR to extend. The
+//! current point, `sharded-world`, adds the sharded-engine scaling
+//! macro: one districted corridor through the sequential monolithic
+//! engine vs `shard::run_sharded`.
 
 use criterion::black_box;
 use std::time::Instant;
@@ -31,6 +34,7 @@ use wgtt_radio::{effective_snr_db, FadingProcess, Link, Modulation, Position};
 use wgtt_scenario::experiments::common::drive;
 use wgtt_scenario::experiments::motivation::radio_links;
 use wgtt_scenario::fleet::FleetConfig;
+use wgtt_scenario::shard::run_sharded;
 use wgtt_scenario::world::FlowSpec;
 use wgtt_scenario::SystemKind;
 use wgtt_sim::rng::RngStream;
@@ -169,6 +173,51 @@ fn macro_fleet(label: &str) -> (f64, u64, u64) {
     (wall, report.events_handled, report.frames_on_air)
 }
 
+/// The sharded-engine scaling point: one districted corridor
+/// (96 vehicles x 64 APs in 4 districts, 4 simulated seconds) run
+/// through both engines on the *same* scenario — byte-identical
+/// reports either way (`tests/integration_shard.rs` is the proof), so
+/// the wall-clock ratio is a pure engine comparison. The sequential
+/// monolithic `World` walks the whole fleet in every per-frame decode
+/// loop and pays the full shared event queue; each district world
+/// only ever touches its own sixteenth of the client x AP cross
+/// product, so the sharded engine wins even on one core, before
+/// thread parallelism. The headline number normalizes to the oracle's
+/// workload: (oracle events / sharded wall) vs (oracle events /
+/// oracle wall), i.e. events/s on the identical simulated scenario.
+fn macro_sharded() -> ((f64, u64), (f64, u64)) {
+    let mut cfg = FleetConfig::corridor(96, 64);
+    cfg.duration = SimDuration::from_secs(4);
+    cfg.districts = 4;
+    let system = SystemKind::Wgtt(wgtt::WgttConfig::default());
+
+    let start = Instant::now();
+    let seq = cfg.run(system, 1);
+    let seq_wall = start.elapsed().as_secs_f64();
+    println!(
+        "{:<52} wall: {seq_wall:.2} s  events/s: {:.0}",
+        "macro/sharded-96veh-64ap-4d/sequential",
+        seq.events_handled as f64 / seq_wall
+    );
+
+    // Coarse 100 ms sync window: the window is proven invisible to
+    // results (prop_shard), and the 300 us default's barrier cadence
+    // is lockstep overhead this single-machine bench need not pay.
+    let start = Instant::now();
+    let shard = run_sharded(&cfg, system, 1, 4, Some(SimDuration::from_millis(100)));
+    let shard_wall = start.elapsed().as_secs_f64();
+    println!(
+        "{:<52} wall: {shard_wall:.2} s  events/s: {:.0}",
+        "macro/sharded-96veh-64ap-4d/4-workers",
+        shard.events_handled as f64 / shard_wall
+    );
+
+    (
+        (seq_wall, seq.events_handled),
+        (shard_wall, shard.events_handled),
+    )
+}
+
 fn main() {
     // Identical realizations for both sides: the shipping process is
     // constructed *through* the reference, so the comparison is pure
@@ -268,6 +317,7 @@ fn main() {
     let (tcp_wall, tcp_events, tcp_frames) =
         macro_drive(FlowSpec::DownlinkTcpBulk, "macro/tcp-bulk");
     let (fleet_wall, fleet_events, fleet_frames) = macro_fleet("macro/fleet-10veh-8ap");
+    let ((seq_wall, seq_events), (shard_wall, shard_events)) = macro_sharded();
 
     println!();
     println!(
@@ -337,6 +387,34 @@ fn main() {
             "    {{\n",
             "      \"point\": \"fleet-corridor\",\n",
             "      \"micro\": {{\n",
+            "        \"csi_at_reference\": 5778.2,\n",
+            "        \"csi_at_twiddle\": 1214.4,\n",
+            "        \"csi_at_speedup\": 4.76,\n",
+            "        \"wideband_reference\": 5276.1,\n",
+            "        \"wideband_zero_materialization\": 1183.9,\n",
+            "        \"wideband_speedup\": 4.46,\n",
+            "        \"snr_for_ber_reference\": 14090.8,\n",
+            "        \"snr_for_ber_fast\": 583.2,\n",
+            "        \"snr_for_ber_speedup\": 24.16,\n",
+            "        \"esnr_map_reference\": 16220.2,\n",
+            "        \"esnr_map_fast\": 2112.7,\n",
+            "        \"esnr_map_speedup\": 7.68,\n",
+            "        \"frame_verdict_reference_8ap\": 1417952.0,\n",
+            "        \"frame_verdict_memoized_8ap\": 32856.8,\n",
+            "        \"frame_verdict_speedup\": 43.16\n",
+            "      }},\n",
+            "      \"macro\": {{\n",
+            "        \"udp_30mbps_15mph\": {{ \"wall_s\": 0.279, \"events\": 275495, ",
+            "\"events_per_s\": 987675, \"frames\": 5176, \"frames_per_s\": 18556 }},\n",
+            "        \"tcp_bulk_15mph\": {{ \"wall_s\": 0.451, \"events\": 416417, ",
+            "\"events_per_s\": 923712, \"frames\": 10092, \"frames_per_s\": 22386 }},\n",
+            "        \"fleet_10veh_8ap_10s\": {{ \"wall_s\": 0.418, \"events\": 202537, ",
+            "\"events_per_s\": 484962, \"frames\": 12025, \"frames_per_s\": 28793 }}\n",
+            "      }}\n",
+            "    }},\n",
+            "    {{\n",
+            "      \"point\": \"sharded-world\",\n",
+            "      \"micro\": {{\n",
             "        \"csi_at_reference\": {:.1},\n",
             "        \"csi_at_twiddle\": {:.1},\n",
             "        \"csi_at_speedup\": {:.2},\n",
@@ -359,7 +437,13 @@ fn main() {
             "        \"tcp_bulk_15mph\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
             "\"events_per_s\": {:.0}, \"frames\": {}, \"frames_per_s\": {:.0} }},\n",
             "        \"fleet_10veh_8ap_10s\": {{ \"wall_s\": {:.3}, \"events\": {}, ",
-            "\"events_per_s\": {:.0}, \"frames\": {}, \"frames_per_s\": {:.0} }}\n",
+            "\"events_per_s\": {:.0}, \"frames\": {}, \"frames_per_s\": {:.0} }},\n",
+            "        \"sharded_96veh_64ap_4d_4s\": {{\n",
+            "          \"sequential_1shard\": {{ \"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {:.0} }},\n",
+            "          \"sharded_4d_4w\": {{ \"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {:.0}, ",
+            "\"oracle_workload_events_per_s\": {:.0} }},\n",
+            "          \"same_scenario_events_per_s_speedup\": {:.2}\n",
+            "        }}\n",
             "      }}\n",
             "    }}\n",
             "  ]\n",
@@ -395,6 +479,14 @@ fn main() {
         fleet_events as f64 / fleet_wall,
         fleet_frames,
         fleet_frames as f64 / fleet_wall,
+        seq_wall,
+        seq_events,
+        seq_events as f64 / seq_wall,
+        shard_wall,
+        shard_events,
+        shard_events as f64 / shard_wall,
+        seq_events as f64 / shard_wall,
+        seq_wall / shard_wall,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frame_path.json");
     std::fs::write(path, &json).expect("write BENCH_frame_path.json");

@@ -69,7 +69,13 @@ pub struct Controller {
     cfg: WgttConfig,
     clients: HashMap<NodeId, ClientState>,
     all_aps: Vec<NodeId>,
-    dedup: DedupFilter,
+    /// Uplink de-duplication, one filter per source address. The dedup
+    /// key already namespaces by source (src ⧺ IP ident, §3.2.2), so
+    /// splitting the filter changes no verdicts short of eviction
+    /// pressure — and it makes every piece of controller state
+    /// per-client, which is what lets a spatially sharded run keep a
+    /// controller per shard without cross-shard coupling.
+    dedup: HashMap<u32, DedupFilter>,
     /// Run statistics.
     pub stats: ControllerStats,
 }
@@ -78,7 +84,7 @@ impl Controller {
     /// A controller managing the given AP array.
     pub fn new(cfg: WgttConfig, aps: Vec<NodeId>) -> Self {
         Controller {
-            dedup: DedupFilter::new(cfg.dedup_capacity),
+            dedup: HashMap::new(),
             cfg,
             clients: HashMap::new(),
             all_aps: aps,
@@ -205,7 +211,13 @@ impl Controller {
                 self.evaluate(client, now)
             }
             BackhaulMsg::UplinkData { packet, .. } => {
-                if self.dedup.check_and_insert(packet.dedup_key()) {
+                let src = (packet.dedup_key() >> 16) as u32;
+                let cap = self.cfg.dedup_capacity;
+                let filter = self
+                    .dedup
+                    .entry(src)
+                    .or_insert_with(|| DedupFilter::new(cap));
+                if filter.check_and_insert(packet.dedup_key()) {
                     self.stats.uplink_forwarded += 1;
                     vec![ControllerAction::ToWan { packet }]
                 } else {

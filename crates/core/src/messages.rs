@@ -106,6 +106,19 @@ impl BackhaulMsg {
             BackhaulMsg::Stop { .. } | BackhaulMsg::Start { .. } | BackhaulMsg::SwitchAck { .. }
         )
     }
+
+    /// The client a *control* message concerns (`None` for data, CSI,
+    /// Block-ACK-forward and association-sync traffic). Control loss and
+    /// processing jitter are modelled per affected client so that one
+    /// client's switch never perturbs another's random stream.
+    pub fn control_client(&self) -> Option<NodeId> {
+        match self {
+            BackhaulMsg::Stop { client, .. }
+            | BackhaulMsg::Start { client, .. }
+            | BackhaulMsg::SwitchAck { client, .. } => Some(*client),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -218,6 +218,16 @@ impl ApSelector {
     /// [`ApSelector::evaluate`] notices the dead link and switches away
     /// (the silence grace does not protect a removed AP: its
     /// `last_reading` is gone with the link).
+    ///
+    /// Removal-then-reinsert is safe against the lazy heap: a later
+    /// `record(ap, ..)` starts from a fresh `queued_deadline: None`, so
+    /// it always re-queues its front. Stale entries left behind either
+    /// mismatch `queued_deadline` (skipped on pop) or — when the
+    /// reinserted reading carries the removed front's timestamp — alias
+    /// the fresh deadline exactly, in which case the "live" visit *is*
+    /// the legitimate expiry of the new front. The hand-off
+    /// interleavings in `prop_selection.rs` pin both paths against the
+    /// full-scan oracle.
     pub fn remove_ap(&mut self, ap: NodeId) {
         if self.links.remove(&ap).is_some() {
             // Stale heap entries for `ap` are skipped on pop. The cache

@@ -421,3 +421,188 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Removal-then-reinsert interleavings (shard hand-off regression).
+//
+// When a picocell district hands a client record off, the receiving
+// selector can see `remove_ap(a)` for its *cached argmax* followed by a
+// fresh `record(a, ..)` for the same id — sometimes at the very same
+// instant. The lazy `ExpiryHeap` never deletes eagerly, so after the
+// reinsert the heap holds a stale entry for `a`, and if the reinserted
+// reading carries the removed front's timestamp the stale deadline
+// *aliases* the freshly queued one (`queued_deadline` matches both).
+// The liveness check then treats the stale entry as live. That visit
+// must be a harmless legitimate expiry, never a cache corruption. The
+// property and the pinned regressions below hold the fast path to the
+// oracle through exactly these interleavings; they pass at high case
+// counts, proving the alias is benign — the contract is pinned here so
+// any future heap/cache change that breaks it fails loudly.
+// ---------------------------------------------------------------------
+
+/// Bit-exact policies (Mean has its own epsilon suite above).
+const EXACT_POLICIES: [SelectionPolicy; 3] = [
+    SelectionPolicy::Median,
+    SelectionPolicy::Max,
+    SelectionPolicy::Latest,
+];
+
+proptest! {
+    /// Random interleavings biased to the hand-off shape: warm the
+    /// argmax cache, remove the cached winner specifically, and
+    /// reinsert the same id — usually at the same instant, so stale
+    /// heap entries alias fresh deadlines as often as possible.
+    #[test]
+    fn removed_argmax_reinsertion_matches_oracle(
+        policy_idx in 0usize..3,
+        ops in proptest::collection::vec(
+            (0u32..10, 0u32..4, 0u64..1_500, 0u32..600), 1..200
+        )
+    ) {
+        let policy = EXACT_POLICIES[policy_idx];
+        let mut fast = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        let mut oracle = FullScanSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        fast.set_policy(policy);
+        oracle.set_policy(policy);
+        let mut t_us = 0u64;
+        for (kind, ap_raw, dt_us, raw) in ops {
+            // ~20% duplicate timestamps; the rest small sub-window steps
+            // with occasional window-clearing jumps.
+            t_us += match dt_us {
+                0..=299 => 0,
+                300..=1_399 => dt_us - 300,
+                _ => (dt_us - 1_400) * 12_000,
+            };
+            let now = SimTime::from_micros(t_us);
+            let ap = NodeId(ap_raw % 4);
+            match kind {
+                // The hand-off: remove the *cached argmax* (cache is
+                // warm — best() just ran), then usually reinsert the
+                // same id at the same `now`, creating the stale-entry
+                // deadline alias.
+                0..=3 => {
+                    let winner = fast.best(now).map(|(a, _)| a);
+                    prop_assert_eq!(winner, oracle.best(now).map(|(a, _)| a));
+                    if let Some(w) = winner {
+                        fast.remove_ap(w);
+                        oracle.remove_ap(w);
+                        if kind != 3 {
+                            let v = esnr(raw);
+                            fast.record(w, now, v);
+                            oracle.record(w, now, v);
+                        }
+                    }
+                }
+                // Background traffic so a runner-up exists to rescan to.
+                4..=6 => {
+                    let v = esnr(raw);
+                    fast.record(ap, now, v);
+                    oracle.record(ap, now, v);
+                }
+                // Arbitrary (usually non-winner) removal.
+                7 => {
+                    fast.remove_ap(ap);
+                    oracle.remove_ap(ap);
+                }
+                // Expiry-only query: drains due heap entries, stale
+                // aliases included.
+                8 => {
+                    prop_assert_eq!(
+                        fast.in_range(now), oracle.in_range(now),
+                        "in_range diverged at t={}µs", t_us
+                    );
+                }
+                // Full verdicts with switches applied.
+                _ => {
+                    let fv = fast.evaluate(now);
+                    prop_assert_eq!(fv, oracle.evaluate(now), "verdict diverged at t={}µs", t_us);
+                    if let Verdict::SwitchTo(target) = fv {
+                        fast.set_current(target, now);
+                        oracle.set_current(target, now);
+                    }
+                }
+            }
+            let fast_bits = fast.best(now).map(|(a, v)| (a, v.to_bits()));
+            let oracle_bits = oracle.best(now).map(|(a, v)| (a, v.to_bits()));
+            prop_assert_eq!(fast_bits, oracle_bits, "best diverged at t={}µs", t_us);
+        }
+    }
+}
+
+/// Pinned regression: remove the cached argmax, reinsert it at the
+/// *same instant* — the stale heap entry now carries the identical
+/// deadline the fresh front queued, so the liveness check treats it as
+/// live. Its visit must behave as the legitimate expiry of the new
+/// front, and the second (genuinely queued) duplicate must be skipped
+/// without a double-expire.
+#[test]
+fn stale_heap_entry_aliasing_a_reinserted_front_is_harmless() {
+    let a = NodeId(1);
+    let b = NodeId(2);
+    let mut s = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+    let t0 = SimTime::from_micros(0);
+    s.record(a, t0, 30.0);
+    s.record(b, SimTime::from_millis(5), 20.0);
+    // Warm the cache: `a` is the argmax, heap holds (t0 + W, a).
+    assert_eq!(s.best(SimTime::from_millis(6)), Some((a, 30.0)));
+    // Hand-off: drop the winner, reinsert it at its original timestamp.
+    // The fresh front re-queues the *same* deadline the stale entry
+    // already holds.
+    s.remove_ap(a);
+    s.record(a, t0, 25.0);
+    assert_eq!(s.best(SimTime::from_millis(6)), Some((a, 25.0)));
+    // One tick past the aliased deadline both duplicates become due.
+    // The first pops as "live" and performs the (correct) expiry of the
+    // reinserted reading; the second must be detected stale. Result:
+    // `a`'s window is empty and the runner-up wins.
+    let past = SimTime::from_micros(10_001);
+    assert_eq!(s.best(past), Some((b, 20.0)));
+    assert_eq!(s.in_range(past), vec![b]);
+    // And `a` is genuinely gone, not resurrectable by a later query.
+    assert_eq!(s.median_esnr(a, past), None);
+}
+
+/// Pinned regression: remove the cached argmax, reinsert it *later*.
+/// The stale entry (old deadline) pops strictly before the new front's
+/// deadline and must be skipped — honouring it would expire nothing,
+/// but mishandling `queued_deadline` there would lose the live entry
+/// and miss the real expiry that follows.
+#[test]
+fn removal_of_cached_argmax_then_later_reinsert_expires_on_time() {
+    let a = NodeId(1);
+    let b = NodeId(2);
+    let mut s = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+    s.record(a, SimTime::from_micros(0), 30.0);
+    s.record(b, SimTime::from_millis(5), 20.0);
+    assert_eq!(s.best(SimTime::from_millis(6)), Some((a, 30.0)));
+    s.remove_ap(a);
+    // Reinsert 2 ms later: fresh deadline 12 ms, stale entry still 10 ms.
+    s.record(a, SimTime::from_millis(2), 25.0);
+    assert_eq!(s.best(SimTime::from_millis(6)), Some((a, 25.0)));
+    // Past the stale deadline but before the fresh one: the stale pop
+    // must not expire the reinserted reading.
+    assert_eq!(s.best(SimTime::from_micros(10_500)), Some((a, 25.0)));
+    // Past the fresh deadline the reading really expires.
+    assert_eq!(s.best(SimTime::from_micros(12_001)), Some((b, 20.0)));
+}
+
+/// Pinned regression: removal while the heap entry is already *due*
+/// (pop sees `links.get_mut == None`), then reinsert. The orphaned pop
+/// must not dirty or corrupt the cache built after the reinsert.
+#[test]
+fn due_heap_entry_for_a_removed_ap_is_garbage_collected_on_pop() {
+    let a = NodeId(1);
+    let b = NodeId(2);
+    let mut s = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+    s.record(a, SimTime::from_micros(0), 30.0);
+    s.record(b, SimTime::from_micros(0), 20.0);
+    assert_eq!(s.best(SimTime::from_micros(1)), Some((a, 30.0)));
+    s.remove_ap(a);
+    // Reinsert well past the orphaned deadline; the first query both
+    // pops the orphan (no link → skipped) and serves from the cache
+    // folded by the reinsert.
+    let later = SimTime::from_millis(20);
+    s.record(a, later, 5.0);
+    assert_eq!(s.best(later), Some((a, 5.0)));
+    assert_eq!(s.in_range(later), vec![a]);
+}

@@ -249,6 +249,27 @@ impl Medium {
             .unwrap_or_default()
     }
 
+    /// Overlapping senders that can actually corrupt reception of `id`
+    /// at `rx`: same channel and within interference range, mirroring
+    /// the [`Medium::outcome_for`] corruption rule. A sender several
+    /// cell-radii away overlaps in time but contributes nothing at the
+    /// receiver, so it must not enter capture comparisons either.
+    pub fn interferers_for(&self, id: TxId, rx: NodeId) -> Vec<NodeId> {
+        self.ongoing
+            .iter()
+            .find(|o| o.id == id)
+            .map(|o| {
+                o.overlapped_with
+                    .iter()
+                    .copied()
+                    .filter(|&other| {
+                        other != rx && self.in_range(other, rx, self.interference_range_m)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// Whether transmission `id` overlapped any other transmission at all
     /// (collision accounting for Table 3, independent of receivers).
     pub fn overlapped(&self, id: TxId) -> bool {

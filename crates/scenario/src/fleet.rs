@@ -69,6 +69,20 @@ pub struct FleetConfig {
     pub mix: TrafficMix,
     /// Run duration.
     pub duration: SimDuration,
+    /// Number of spatially separated districts the corridor splits into.
+    /// Districts are contiguous AP/vehicle blocks with a [`Self::
+    /// district_gap_m`] of empty road between them; with the gap wider
+    /// than every radio interaction range, districts cannot exchange a
+    /// single frame, carrier-sense deferral, or capture event — which is
+    /// what lets `scenario::shard` run them on parallel threads with a
+    /// bit-identical merged report. `1` (the default) is the classic
+    /// unbroken corridor.
+    pub districts: usize,
+    /// Empty road between adjacent districts' AP blocks, metres. The
+    /// default 160 m clears the 40 m carrier-sense/interference range
+    /// and the 120 m decode horizon even after the 5 m shuttle tails on
+    /// each side.
+    pub district_gap_m: f64,
 }
 
 impl FleetConfig {
@@ -90,12 +104,44 @@ impl FleetConfig {
             stop_and_go_fraction: 0.2,
             mix: TrafficMix::transit_default(),
             duration: SimDuration::from_secs(30),
+            districts: 1,
+            district_gap_m: 160.0,
         }
     }
 
-    /// Corridor length covered by the AP array, metres.
+    /// APs per district: contiguous, near-equal blocks (the first
+    /// `n_aps % districts` districts take one extra).
+    pub fn district_ap_counts(&self) -> Vec<usize> {
+        split_counts(self.n_aps, self.districts)
+    }
+
+    /// Vehicles per district, blocked the same way as the APs.
+    pub fn district_vehicle_counts(&self) -> Vec<usize> {
+        split_counts(self.n_vehicles, self.districts)
+    }
+
+    /// World x-coordinate of each district's first AP.
+    fn district_x0s(&self) -> Vec<f64> {
+        let counts = self.district_ap_counts();
+        let mut x0 = 0.0;
+        let mut out = Vec::with_capacity(counts.len());
+        for &c in &counts {
+            out.push(x0);
+            x0 += self.ap_spacing_m * (c.saturating_sub(1)) as f64 + self.district_gap_m;
+        }
+        out
+    }
+
+    /// Corridor length covered by the AP array, metres: the district
+    /// spans plus the inter-district gaps (identical to the old
+    /// `spacing × (n_aps − 1)` for the default single district).
     pub fn road_len(&self) -> f64 {
-        self.ap_spacing_m * (self.n_aps.saturating_sub(1)) as f64
+        let counts = self.district_ap_counts();
+        let spans: f64 = counts
+            .iter()
+            .map(|&c| self.ap_spacing_m * (c.saturating_sub(1)) as f64)
+            .sum();
+        spans + self.district_gap_m * (counts.len().saturating_sub(1)) as f64
     }
 
     /// Channel reuse factor implied by the cell geometry: 1 (single
@@ -118,91 +164,186 @@ impl FleetConfig {
     /// vehicle's conditional draws (stop-and-go waypoint, say) never
     /// shift another vehicle's deal.
     pub fn generate(&self, seed: u64) -> (TestbedConfig, Vec<AppKind>, Vec<(usize, FlowSpec)>) {
-        assert!(self.n_aps >= 2, "a corridor needs at least two APs");
-        assert!(self.n_vehicles >= 1, "a fleet needs at least one vehicle");
-        let road_len = self.road_len();
-        let reuse = self.channel_reuse();
-
-        let ap_x: Vec<f64> = (0..self.n_aps)
-            .map(|i| i as f64 * self.ap_spacing_m)
-            .collect();
-        let ap_channels: Vec<u8> = if reuse == 1 {
-            Vec::new()
-        } else {
-            (0..self.n_aps).map(|i| (i % reuse) as u8).collect()
-        };
-
-        let root = RngStream::root(seed).derive("fleet");
+        let mut ap_x = Vec::with_capacity(self.n_aps);
+        let mut ap_channels = Vec::new();
         let mut clients = Vec::with_capacity(self.n_vehicles);
         let mut kinds = Vec::with_capacity(self.n_vehicles);
         let mut flows = Vec::new();
-        for vi in 0..self.n_vehicles {
-            let mut rng = root.derive_indexed("vehicle", vi as u64).rng();
-            let speed_mph = rng
-                .normal_with(self.speed_mean_mph, self.speed_std_mph)
-                .clamp(SPEED_CLAMP_MPH.0, SPEED_CLAMP_MPH.1);
-            let opposing = rng.chance(self.opposing_fraction);
-            // Vehicles start spread along the corridor (a fleet in
-            // steady state), not clumped at the entrance.
-            let start_x = rng.uniform_range(-5.0, road_len + 5.0);
-            let stop = if rng.chance(self.stop_and_go_fraction) {
-                Some(StopAndGo {
-                    at_x: rng.uniform_range(0.0, road_len.max(1.0)),
-                    pause_s: rng.uniform_range(5.0, 20.0),
-                })
-            } else {
-                None
-            };
-            let (direction, y) = if opposing {
-                (Direction::West, -3.5)
-            } else {
-                (Direction::East, 0.0)
-            };
-            clients.push(ClientPlan {
-                start: Position::new(start_x, y),
-                speed_mps: speed_mph * MPH,
-                direction,
-                stop,
-                // Transit vehicles work the corridor, turning around
-                // just past each end, instead of driving off to
-                // infinity (which would leave their last AP burning
-                // airtime at an unreachable client). The 5 m tails
-                // stay inside the end APs' beams.
-                shuttle: Some((-5.0, road_len + 5.0)),
-            });
-
-            let kind = self.mix.sample(&mut rng);
-            kinds.push(kind);
-            match kind {
-                AppKind::Video => flows.push((
-                    vi,
-                    FlowSpec::DownlinkUdp {
-                        rate_mbps: VIDEO_MBPS,
-                    },
-                )),
-                AppKind::Web => flows.push((vi, FlowSpec::DownlinkTcpBytes { bytes: WEB_BYTES })),
-                AppKind::Conference => {
-                    flows.push((vi, FlowSpec::DownlinkConference { adaptive: true }));
-                    flows.push((vi, FlowSpec::UplinkConference { adaptive: true }));
-                }
-                AppKind::Telemetry => {
-                    flows.push((
-                        vi,
-                        FlowSpec::UplinkUdp {
-                            rate_mbps: TELEMETRY_MBPS,
-                        },
-                    ));
-                }
-            }
+        for p in self.district_plan(seed) {
+            let first_vehicle = p.first_vehicle;
+            ap_x.extend_from_slice(&p.cfg.ap_x);
+            ap_channels.extend_from_slice(&p.cfg.ap_channels);
+            clients.extend_from_slice(&p.cfg.clients);
+            kinds.extend(p.kinds);
+            flows.extend(p.flows.into_iter().map(|(lv, f)| (first_vehicle + lv, f)));
         }
-
         let cfg = TestbedConfig {
             ap_x,
             ap_channels,
             clients,
             ap_boresight_rad: self.antenna_azimuth_rad,
+            ap_id_offset: 0,
+            // `None` resolves to the same fleet-wide base the district
+            // plans bake in, so client ids agree between the monolithic
+            // world and the shards.
+            client_id_first: None,
+            client_index_offset: 0,
         };
         (cfg, kinds, flows)
+    }
+
+    /// Generate the per-district decomposition of the scenario: one
+    /// self-contained [`TestbedConfig`] per district, carrying globally
+    /// consistent AP/client ids and drawing from the same per-vehicle
+    /// RNG streams as the monolithic [`FleetConfig::generate`] — which
+    /// is in fact implemented as the concatenation of these plans, so
+    /// the two can never drift apart.
+    pub fn district_plan(&self, seed: u64) -> Vec<DistrictPlan> {
+        assert!(self.n_aps >= 2, "a corridor needs at least two APs");
+        assert!(self.n_vehicles >= 1, "a fleet needs at least one vehicle");
+        assert!(self.districts >= 1, "at least one district");
+        assert!(
+            self.n_aps >= 2 * self.districts,
+            "each district needs at least two APs"
+        );
+        assert!(
+            self.n_vehicles >= self.districts,
+            "each district needs at least one vehicle"
+        );
+        assert!(
+            self.districts == 1 || self.district_gap_m >= 150.0,
+            "the district gap must clear every radio interaction range \
+             (decode horizon + shuttle tails)"
+        );
+        let reuse = self.channel_reuse();
+        let ap_counts = self.district_ap_counts();
+        let veh_counts = self.district_vehicle_counts();
+        let x0s = self.district_x0s();
+        // Fleet-wide client-id base: what a monolithic world would pick.
+        let client_base = 100u32.max(self.n_aps as u32);
+        let root = RngStream::root(seed).derive("fleet");
+
+        let mut plans = Vec::with_capacity(self.districts);
+        let mut first_ap = 0usize;
+        let mut first_vehicle = 0usize;
+        for d in 0..self.districts {
+            let n_ap = ap_counts[d];
+            let n_veh = veh_counts[d];
+            let x0 = x0s[d];
+            let d_len = self.ap_spacing_m * (n_ap.saturating_sub(1)) as f64;
+            let ap_x: Vec<f64> = (0..n_ap)
+                .map(|j| x0 + j as f64 * self.ap_spacing_m)
+                .collect();
+            let ap_channels: Vec<u8> = if reuse == 1 {
+                Vec::new()
+            } else {
+                // Channels follow the *global* AP index so the reuse
+                // pattern is unbroken across district boundaries.
+                (0..n_ap).map(|j| ((first_ap + j) % reuse) as u8).collect()
+            };
+            let mut clients = Vec::with_capacity(n_veh);
+            let mut kinds = Vec::with_capacity(n_veh);
+            let mut flows = Vec::new();
+            for lv in 0..n_veh {
+                let vi = first_vehicle + lv;
+                let mut rng = root.derive_indexed("vehicle", vi as u64).rng();
+                let speed_mph = rng
+                    .normal_with(self.speed_mean_mph, self.speed_std_mph)
+                    .clamp(SPEED_CLAMP_MPH.0, SPEED_CLAMP_MPH.1);
+                let opposing = rng.chance(self.opposing_fraction);
+                // Vehicles start spread along their district (a fleet in
+                // steady state), not clumped at the entrance. The draws
+                // are district-relative, so a single-district corridor
+                // reproduces the historical sequence bit for bit.
+                let start_x = x0 + rng.uniform_range(-5.0, d_len + 5.0);
+                let stop = if rng.chance(self.stop_and_go_fraction) {
+                    Some(StopAndGo {
+                        at_x: x0 + rng.uniform_range(0.0, d_len.max(1.0)),
+                        pause_s: rng.uniform_range(5.0, 20.0),
+                    })
+                } else {
+                    None
+                };
+                let (direction, y) = if opposing {
+                    (Direction::West, -3.5)
+                } else {
+                    (Direction::East, 0.0)
+                };
+                clients.push(ClientPlan {
+                    start: Position::new(start_x, y),
+                    speed_mps: speed_mph * MPH,
+                    direction,
+                    stop,
+                    // Transit vehicles work their district, turning
+                    // around just past each end, instead of driving off
+                    // to infinity (which would leave their last AP
+                    // burning airtime at an unreachable client). The
+                    // 5 m tails stay inside the end APs' beams — and
+                    // inside the district: vehicles never cross the gap,
+                    // which is what makes the decomposition exact.
+                    shuttle: Some((x0 - 5.0, x0 + d_len + 5.0)),
+                });
+
+                let kind = self.mix.sample(&mut rng);
+                kinds.push(kind);
+                match kind {
+                    AppKind::Video => flows.push((
+                        lv,
+                        FlowSpec::DownlinkUdp {
+                            rate_mbps: VIDEO_MBPS,
+                        },
+                    )),
+                    AppKind::Web => {
+                        flows.push((lv, FlowSpec::DownlinkTcpBytes { bytes: WEB_BYTES }));
+                    }
+                    AppKind::Conference => {
+                        flows.push((lv, FlowSpec::DownlinkConference { adaptive: true }));
+                        flows.push((lv, FlowSpec::UplinkConference { adaptive: true }));
+                    }
+                    AppKind::Telemetry => {
+                        flows.push((
+                            lv,
+                            FlowSpec::UplinkUdp {
+                                rate_mbps: TELEMETRY_MBPS,
+                            },
+                        ));
+                    }
+                }
+            }
+            plans.push(DistrictPlan {
+                cfg: TestbedConfig {
+                    ap_x,
+                    ap_channels,
+                    clients,
+                    ap_boresight_rad: self.antenna_azimuth_rad,
+                    ap_id_offset: first_ap as u32,
+                    client_id_first: Some(client_base + first_vehicle as u32),
+                    client_index_offset: first_vehicle,
+                },
+                kinds,
+                flows,
+                first_vehicle,
+                first_ap,
+            });
+            first_ap += n_ap;
+            first_vehicle += n_veh;
+        }
+        plans
+    }
+
+    /// Build one `World` per district (lean sampling on), each covering
+    /// its own slice of the corridor with globally consistent ids and
+    /// RNG streams. These are what `scenario::shard` advances in
+    /// parallel.
+    pub fn district_worlds(&self, system: SystemKind, seed: u64) -> Vec<(World, Vec<AppKind>)> {
+        self.district_plan(seed)
+            .into_iter()
+            .map(|p| {
+                let mut w = World::new_multi(p.cfg, system, p.flows, seed);
+                w.sample_lean = true;
+                (w, p.kinds)
+            })
+            .collect()
     }
 
     /// Build the world for this scenario (lean sampling on: the
@@ -220,6 +361,31 @@ impl FleetConfig {
         world.run(self.duration);
         FleetReport::from_world(&world, &kinds, self)
     }
+}
+
+/// One spatial district of a corridor scenario: a self-contained
+/// [`TestbedConfig`] (global AP/client ids via its offset fields) plus
+/// the app deal and flows of the vehicles that live in it. Flow entries
+/// are keyed by *district-local* vehicle index, ready for
+/// [`World::new_multi`].
+#[derive(Debug, Clone)]
+pub struct DistrictPlan {
+    /// The district's testbed.
+    pub cfg: TestbedConfig,
+    /// App kind per district vehicle, in local vehicle order.
+    pub kinds: Vec<AppKind>,
+    /// Flows keyed by district-local vehicle index.
+    pub flows: Vec<(usize, FlowSpec)>,
+    /// Global index of the district's first vehicle.
+    pub first_vehicle: usize,
+    /// Global index of the district's first AP.
+    pub first_ap: usize,
+}
+
+/// `n` split into `d` contiguous near-equal blocks (earlier blocks take
+/// the remainder).
+fn split_counts(n: usize, d: usize) -> Vec<usize> {
+    (0..d).map(|i| n / d + usize::from(i < n % d)).collect()
 }
 
 /// Per-vehicle reduction of a fleet run.
@@ -358,6 +524,112 @@ impl FleetReport {
             backhaul_misaddressed: report.backhaul_misaddressed,
             missing_packet_refs: report.missing_packet_refs,
         }
+    }
+
+    /// Merge per-district reports into the fleet-wide report, exactly as
+    /// [`FleetReport::from_world`] would have reduced the monolithic
+    /// world: `per_vehicle` concatenates in district order (= global
+    /// vehicle order, since vehicle blocks are contiguous), counters
+    /// sum, the switch rate is recomputed from the summed counts with
+    /// the identical expression, and the pooled outage CDF is re-sorted
+    /// from the districts' samples (stable, so ties keep global vehicle
+    /// order, matching the monolithic sort).
+    pub fn merge(parts: Vec<FleetReport>, cfg: &FleetConfig) -> FleetReport {
+        assert!(!parts.is_empty(), "merge needs at least one district");
+        let dur_s = cfg.duration.as_secs_f64();
+        let mut per_vehicle = Vec::new();
+        let mut outage_samples: Vec<f64> = Vec::new();
+        let mut switches = 0u64;
+        let mut full_outage_vehicles = 0usize;
+        let mut events_handled = 0u64;
+        let mut frames_on_air = 0u64;
+        let mut backhaul_misaddressed = 0u64;
+        let mut missing_packet_refs = 0u64;
+        for p in parts {
+            // The exact per-district CDF is one point per sample, so it
+            // doubles as the raw pooled-sample view.
+            outage_samples.extend(p.outage_cdf.iter().map(|&(v, _)| v));
+            per_vehicle.extend(p.per_vehicle);
+            switches += p.switches;
+            full_outage_vehicles += p.full_outage_vehicles;
+            events_handled += p.events_handled;
+            frames_on_air += p.frames_on_air;
+            backhaul_misaddressed += p.backhaul_misaddressed;
+            missing_packet_refs += p.missing_packet_refs;
+        }
+        outage_samples.sort_by(|a, b| a.partial_cmp(b).expect("outage is never NaN"));
+        let n = outage_samples.len() as f64;
+        let outage_cdf: Vec<(f64, f64)> = outage_samples
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect();
+        let vehicles = per_vehicle.len();
+        let vehicle_minutes = vehicles as f64 * dur_s / 60.0;
+        let switch_rate_per_vehicle_minute = if vehicle_minutes > 0.0 {
+            switches as f64 / vehicle_minutes
+        } else {
+            0.0
+        };
+        FleetReport {
+            vehicles,
+            aps: cfg.n_aps,
+            duration: cfg.duration,
+            per_vehicle,
+            switches,
+            switch_rate_per_vehicle_minute,
+            outage_cdf,
+            full_outage_vehicles,
+            events_handled,
+            frames_on_air,
+            backhaul_misaddressed,
+            missing_packet_refs,
+        }
+    }
+
+    /// A bit-stable rendering of every aggregate *except*
+    /// `events_handled` (floats via `to_bits`, so equality means bit
+    /// identity). The sharded engine and the monolithic oracle handle
+    /// legitimately different event *counts* — each shard runs its own
+    /// mobility/sample/poll chains — while every physical observable
+    /// must match exactly; worker-count invariance additionally holds
+    /// for the full report including `events_handled`.
+    pub fn equivalence_digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "vehicles={} aps={} dur={:016x} switches={} rate={:016x} cdf_n={} \
+             full_outage={} frames={} misaddr={} missing={}",
+            self.vehicles,
+            self.aps,
+            self.duration.as_secs_f64().to_bits(),
+            self.switches,
+            self.switch_rate_per_vehicle_minute.to_bits(),
+            self.outage_cdf.len(),
+            self.full_outage_vehicles,
+            self.frames_on_air,
+            self.backhaul_misaddressed,
+            self.missing_packet_refs,
+        );
+        for v in &self.per_vehicle {
+            let _ = write!(
+                s,
+                "|{} {:?} {} {:?} {:?} {:016x} {} {}",
+                v.client.0,
+                v.kind,
+                v.has_downlink,
+                v.bitrate_p50_mbps.map(f64::to_bits),
+                v.bitrate_p99_mbps.map(f64::to_bits),
+                v.outage_s.to_bits(),
+                v.outages,
+                v.full_outage,
+            );
+        }
+        for &(v, f) in &self.outage_cdf {
+            let _ = write!(s, "|{:016x},{:016x}", v.to_bits(), f.to_bits());
+        }
+        s
     }
 
     /// Quantile of the pooled per-vehicle statistic `f` across vehicles

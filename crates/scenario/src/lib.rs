@@ -16,6 +16,9 @@
 //!   index);
 //! * [`fleet`] — the parametric fleet-scale corridor generator (hundreds
 //!   of vehicles, dozens of APs) and its aggregate report;
+//! * [`shard`] — the sharded parallel engine: spatial districts on a
+//!   scoped-thread pool, proven shard-count-invariant against the
+//!   sequential world by a differential harness;
 //! * [`pcap`] — Wireshark-compatible capture of the backhaul tunnels;
 //! * [`results`] — small formatting helpers for paper-style output.
 
@@ -23,6 +26,7 @@ pub mod experiments;
 pub mod fleet;
 pub mod pcap;
 pub mod results;
+pub mod shard;
 pub mod testbed;
 pub mod world;
 

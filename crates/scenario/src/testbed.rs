@@ -183,6 +183,20 @@ pub struct TestbedConfig {
     /// facing the road, −π/2). Fleet corridors steer this to model
     /// down-the-road mounting.
     pub ap_boresight_rad: Option<f64>,
+    /// NodeId of the first AP in this config. A monolithic world always
+    /// uses 0; a spatial shard of a larger corridor keeps its APs'
+    /// *global* ids by offsetting into the fleet-wide id space, so a
+    /// sharded run and the monolithic oracle agree on every id-keyed
+    /// observable.
+    pub ap_id_offset: u32,
+    /// Explicit NodeId for the first client (`None` = the historical
+    /// `100.max(n_aps)` rule). Shards of a larger corridor pass the
+    /// fleet-wide base plus their first global vehicle index.
+    pub client_id_first: Option<u32>,
+    /// Global index of the first client in this config (0 for monolithic
+    /// worlds). Per-vehicle RNG streams, IP addresses and keepalive
+    /// staggering key off the global index, never the local one.
+    pub client_index_offset: usize,
 }
 
 impl TestbedConfig {
@@ -196,6 +210,9 @@ impl TestbedConfig {
             ap_channels: Vec::new(),
             clients: Vec::new(),
             ap_boresight_rad: None,
+            ap_id_offset: 0,
+            client_id_first: None,
+            client_index_offset: 0,
         }
     }
 
@@ -214,6 +231,9 @@ impl TestbedConfig {
             ap_channels: Vec::new(),
             clients: Vec::new(),
             ap_boresight_rad: None,
+            ap_id_offset: 0,
+            client_id_first: None,
+            client_index_offset: 0,
         }
     }
 

@@ -158,6 +158,13 @@ struct ClientNode {
     up_ba: BaOriginator,
     up_next_seq: u16,
     up_rate: RateController,
+    /// This client's PHY/MAC random stream: backoff slots, per-MPDU
+    /// error rolls on frames addressed to or sent by it, CSI noise on
+    /// its readings, and control loss/jitter on its switch messages.
+    /// Derived from the *global* vehicle index, so a client draws the
+    /// same sequence whether it lives in a monolithic world or in a
+    /// spatial shard.
+    rng: Xoshiro256,
     up_in_flight_meta: Option<(Mcs, usize)>,
     /// Baseline roamer (None under WGTT).
     roamer: Option<Roamer>,
@@ -348,7 +355,10 @@ pub struct World {
     flows: Vec<Flow>,
     factory: PacketFactory,
     packets: HashMap<u64, Packet>,
-    rng: Xoshiro256,
+    /// Per-AP PHY/MAC random streams (indexed like the other per-AP
+    /// vectors): contention backoff, Block-ACK response jitter, beacon
+    /// deferral. Keyed by global AP id at derivation time.
+    ap_rng: Vec<Xoshiro256>,
     wgtt_cfg: WgttConfig,
     /// AP MAC pipeline gates (indexed by AP id).
     ap_tx_scheduled: Vec<bool>,
@@ -424,6 +434,13 @@ const CSI_NOISE_DB: f64 = 1.5;
 const CAPTURE_MARGIN_DB: f64 = 10.0;
 /// Sentinel packet id for keepalive frames (no packet-store entry).
 const KEEPALIVE_PKT_ID: u64 = u64::MAX;
+/// Beyond this AP–client distance a frame is unreceivable (the roadside
+/// path loss puts the PER at ≈1 well before 120 m), so the every-AP
+/// decode loops skip the pair without consuming a random draw. The skip
+/// is what keeps per-entity RNG streams identical between a monolithic
+/// world and its spatial shards: a shard never even iterates far-away
+/// APs, so the monolithic world must not draw for them.
+const DECODE_HORIZON_M: f64 = 120.0;
 
 impl World {
     /// Build a world: testbed geometry + system + per-client flows
@@ -454,15 +471,19 @@ impl World {
         // Client ids historically start at 100; a fleet corridor with
         // ≥ 100 APs would alias AP ids into the client range, so the
         // base moves up with the AP count (identical to the old scheme
-        // for every world the paper experiments build).
-        let client_base = 100u32.max(n_aps as u32);
+        // for every world the paper experiments build). Shards of a
+        // larger corridor pass the fleet-wide base explicitly so client
+        // ids stay global.
+        let client_base = cfg
+            .client_id_first
+            .unwrap_or_else(|| 100u32.max(n_aps as u32));
 
         // Radio links: one fading realization per (AP, client) pair,
         // shared verbatim between compared systems at equal seeds.
         let boresight = cfg.ap_boresight_rad.unwrap_or(-std::f64::consts::FRAC_PI_2);
         let mut links = HashMap::new();
         for (ai, &ap_pos) in ap_positions.iter().enumerate() {
-            let ap_id = NodeId(ai as u32);
+            let ap_id = NodeId(cfg.ap_id_offset + ai as u32);
             medium.set_position(ap_id, ap_pos);
             if let Some(&ch) = cfg.ap_channels.get(ai) {
                 medium.set_channel(ap_id, ch);
@@ -471,8 +492,8 @@ impl World {
                 let client_id = NodeId(client_base + ci as u32);
                 let stream = root
                     .derive("link")
-                    .derive_indexed("ap", ai as u64)
-                    .derive_indexed("client", ci as u64);
+                    .derive_indexed("ap", u64::from(cfg.ap_id_offset) + ai as u64)
+                    .derive_indexed("client", (cfg.client_index_offset + ci) as u64);
                 links.insert(
                     (ap_id, client_id),
                     Link {
@@ -495,7 +516,9 @@ impl World {
             _ => WgttConfig::default(),
         };
 
-        let ap_ids: Vec<NodeId> = (0..n_aps as u32).map(NodeId).collect();
+        let ap_ids: Vec<NodeId> = (0..n_aps as u32)
+            .map(|ai| NodeId(cfg.ap_id_offset + ai))
+            .collect();
         let system_state = match system {
             SystemKind::Wgtt(c) => SystemState::Wgtt {
                 controller: Controller::new(c, ap_ids.clone()),
@@ -518,6 +541,7 @@ impl World {
             .iter()
             .enumerate()
             .map(|(ci, &plan)| {
+                let gci = cfg.client_index_offset + ci;
                 let id = NodeId(client_base + ci as u32);
                 medium.set_position(id, plan.position_at(SimTime::ZERO));
                 let roamer = match system {
@@ -533,17 +557,20 @@ impl World {
                     id,
                     plan,
                     // Client addresses spread over the low two octets:
-                    // `100 + ci` would overflow the single-octet form at
-                    // ci = 156, which a fleet-sized world reaches easily.
-                    ip: Ipv4Addr::new(172, 16, ((100 + ci) >> 8) as u8, (100 + ci) as u8),
+                    // `100 + gci` would overflow the single-octet form at
+                    // gci = 156, which a fleet-sized world reaches easily.
+                    // The *global* index keeps shard addressing identical
+                    // to the monolithic world's.
+                    ip: Ipv4Addr::new(172, 16, ((100 + gci) >> 8) as u8, (100 + gci) as u8),
                     ba_rx: HashMap::new(),
                     up_fresh: std::collections::VecDeque::new(),
                     up_retries: Vec::new(),
                     up_ba: BaOriginator::default(),
                     up_next_seq: 0,
                     up_rate: RateController::new(
-                        root.derive_indexed("client-rate", ci as u64).rng(),
+                        root.derive_indexed("client-rate", gci as u64).rng(),
                     ),
+                    rng: root.derive_indexed("client-phy", gci as u64).rng(),
                     up_in_flight_meta: None,
                     roamer,
                     tx_scheduled: false,
@@ -567,7 +594,10 @@ impl World {
             flows: Vec::new(),
             factory: PacketFactory::new(),
             packets: HashMap::new(),
-            rng: root.derive("world").rng(),
+            ap_rng: ap_ids
+                .iter()
+                .map(|&id| root.derive_indexed("ap-phy", u64::from(id.0)).rng())
+                .collect(),
             wgtt_cfg,
             ap_tx_scheduled: vec![false; n_aps],
             ap_exchange_pending: vec![false; n_aps],
@@ -674,7 +704,29 @@ impl World {
     }
 
     fn is_ap(&self, id: NodeId) -> bool {
-        (id.0 as usize) < self.cfg.ap_x.len()
+        id.0 >= self.cfg.ap_id_offset
+            && ((id.0 - self.cfg.ap_id_offset) as usize) < self.cfg.ap_x.len()
+    }
+
+    /// Local index of an AP in the per-AP vectors (AP ids are global;
+    /// a shard's vectors cover only its own slice of the corridor).
+    fn ap_index(&self, ap: NodeId) -> usize {
+        debug_assert!(self.is_ap(ap), "ap_index on non-AP id {ap:?}");
+        (ap.0 - self.cfg.ap_id_offset) as usize
+    }
+
+    /// Global NodeId of the AP at local index `aui`.
+    fn ap_id(&self, aui: usize) -> NodeId {
+        NodeId(self.cfg.ap_id_offset + aui as u32)
+    }
+
+    /// Whether `ap` is close enough to `client` for any frame between
+    /// them to be decodable at all. Pure geometry (the drive plan and
+    /// the static AP grid), so both the monolithic world and a spatial
+    /// shard skip exactly the same pairs — before any random draw.
+    fn within_decode_horizon(&self, ap: NodeId, client: NodeId, now: SimTime) -> bool {
+        let apos = self.medium.position(ap);
+        self.client_pos(client, now).distance_to(apos) <= DECODE_HORIZON_M
     }
 
     fn client_pos(&self, id: NodeId, now: SimTime) -> wgtt_radio::Position {
@@ -699,7 +751,9 @@ impl World {
     /// plus estimation noise. Selection consumes these; delivery rolls
     /// use the true channel.
     fn measured_esnr(&mut self, ap: NodeId, client: NodeId, now: SimTime) -> f64 {
-        self.esnr_now(ap, client, now) + self.rng.normal_with(0.0, CSI_NOISE_DB)
+        let true_esnr = self.esnr_now(ap, client, now);
+        let ci = self.client_index(client);
+        true_esnr + self.clients[ci].rng.normal_with(0.0, CSI_NOISE_DB)
     }
 
     /// Received power of a transmission from `a` at `b`, dBm, for
@@ -747,11 +801,14 @@ impl World {
             return true;
         }
         let wanted = self.rssi_between(from, rx, now);
+        // Only overlappers that can actually corrupt this receiver
+        // (same channel, within interference range) enter the capture
+        // comparison — a sender several cells away overlaps in time but
+        // contributes nothing here, exactly as in `Medium::outcome_for`.
         let worst = self
             .medium
-            .overlappers(tx)
+            .interferers_for(tx, rx)
             .into_iter()
-            .filter(|&n| n != rx)
             .map(|n| self.rssi_between(n, rx, now))
             .fold(f64::NEG_INFINITY, f64::max);
         wanted - worst >= CAPTURE_MARGIN_DB
@@ -763,7 +820,8 @@ impl World {
         let pos = self.client_pos(client, now);
         let esnr = self.link(ap, client).esnr_db_at(now, pos, mcs.modulation());
         let per = mcs.per(esnr, len);
-        !self.rng.chance(per)
+        let ci = self.client_index(client);
+        !self.clients[ci].rng.chance(per)
     }
 
     /// Roll reception of a short control frame (Block ACK, ACK, beacon,
@@ -773,7 +831,8 @@ impl World {
         let esnr = self.link(ap, client).esnr_db_at(now, pos, Modulation::Qpsk);
         // 32-byte control frame at the 24 Mbit/s basic rate ≈ MCS2 PER.
         let per = Mcs::Mcs2.per(esnr, 64);
-        !self.rng.chance(per)
+        let ci = self.client_index(client);
+        !self.clients[ci].rng.chance(per)
     }
 
     fn store_packet(&mut self, p: Packet) {
@@ -807,13 +866,45 @@ impl World {
     }
 
     pub fn run(&mut self, duration: SimDuration) {
+        self.begin(duration);
+        self.advance_until(self.end_at());
+        self.finish();
+    }
+
+    /// Start a run without driving it: set the horizon and bootstrap the
+    /// periodic machinery. Pair with [`World::advance_until`] and
+    /// [`World::finish`] — the sharded engine advances many worlds in
+    /// lockstep windows. `begin` + `advance_until(end)` + `finish` is
+    /// exactly [`World::run`].
+    pub fn begin(&mut self, duration: SimDuration) {
         self.end_at = SimTime::ZERO + duration;
         self.report.duration = duration;
         self.bootstrap();
-        while let Some((now, ev)) = self.queue.pop_until(self.end_at) {
+    }
+
+    /// The run horizon set by [`World::begin`].
+    pub fn end_at(&self) -> SimTime {
+        self.end_at
+    }
+
+    /// Drain every event up to `until` (capped at the run horizon).
+    /// Advancing in windows is byte-identical to one straight pass: the
+    /// queue pops in (time, insertion) order either way.
+    pub fn advance_until(&mut self, until: SimTime) {
+        let cap = if until < self.end_at {
+            until
+        } else {
+            self.end_at
+        };
+        while let Some((now, ev)) = self.queue.pop_until(cap) {
             self.report.events_handled += 1;
             self.handle(now, ev);
         }
+    }
+
+    /// Close out the run: fold per-flow and per-client observables into
+    /// [`World::report`].
+    pub fn finish(&mut self) {
         self.finalize();
     }
 
@@ -822,8 +913,8 @@ impl World {
         let client_ids: Vec<NodeId> = self.clients.iter().map(|c| c.id).collect();
         for client in client_ids {
             let pos = self.client_pos(client, SimTime::ZERO);
-            let best_ap = (0..self.cfg.ap_x.len() as u32)
-                .map(NodeId)
+            let best_ap = (0..self.cfg.ap_x.len())
+                .map(|aui| self.ap_id(aui))
                 .max_by(|&a, &b| {
                     let sa = self.link(a, client).mean_snr_db(pos);
                     let sb = self.link(b, client).mean_snr_db(pos);
@@ -862,7 +953,7 @@ impl World {
                 self.queue.schedule(
                     SimTime::ZERO + offset,
                     Ev::Beacon {
-                        ap: NodeId(ai as u32),
+                        ap: NodeId(self.cfg.ap_id_offset + ai as u32),
                         retry: false,
                     },
                 );
@@ -875,8 +966,9 @@ impl World {
         // Client keepalives (staggered so they never systematically
         // collide with each other).
         for (ci, c) in self.clients.iter().enumerate() {
+            let gci = self.cfg.client_index_offset + ci;
             self.queue.schedule(
-                SimTime::ZERO + SimDuration::from_millis(1 + ci as u64 * 7),
+                SimTime::ZERO + SimDuration::from_millis(1 + gci as u64 * 7),
                 Ev::Keepalive { client: c.id },
             );
         }
@@ -1254,5 +1346,97 @@ mod tests {
         // And the sink saw no duplicate deliveries.
         let (_sent, received) = w.report.udp_counts[&FlowId(0)];
         assert!(received <= forwarded);
+    }
+
+    // ------------------------------------------- outage accounting edges
+    //
+    // These drive `note_delivery`/`finalize` directly (same-module
+    // access) so each boundary condition is pinned exactly, without a
+    // full event run in the way.
+
+    /// A fresh world with one open-demand downlink client, its horizon
+    /// pinned at `end`, ready for hand-fed deliveries.
+    fn outage_rig(end: SimDuration) -> (World, NodeId) {
+        let mut w = quick_world(
+            SystemKind::Wgtt(WgttConfig::default()),
+            FlowSpec::DownlinkUdp { rate_mbps: 2.5 },
+            1,
+        );
+        w.end_at = SimTime::ZERO + end;
+        w.report.duration = end;
+        let client = w.client_ids()[0];
+        (w, client)
+    }
+
+    fn outage_samples(w: &World, client: NodeId) -> Vec<f64> {
+        w.report
+            .outage_durations
+            .get(&client)
+            .map(|d| d.cdf().into_iter().map(|(v, _)| v).collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn outage_exactly_at_threshold_counts_and_a_hair_under_does_not() {
+        let (mut w, client) = outage_rig(SimDuration::from_secs(1));
+        // Exactly OUTAGE_MIN since traffic_start: `gap >= OUTAGE_MIN`
+        // must include the boundary.
+        w.note_delivery(client, SimTime::ZERO + OUTAGE_MIN);
+        assert_eq!(outage_samples(&w, client), vec![0.2]);
+
+        let (mut w2, c2) = outage_rig(SimDuration::from_secs(1));
+        w2.note_delivery(c2, SimTime::from_micros(199_999));
+        assert!(
+            outage_samples(&w2, c2).is_empty(),
+            "199.999 ms is not an outage"
+        );
+    }
+
+    #[test]
+    fn back_to_back_outages_split_by_zero_gap_delivery() {
+        let (mut w, client) = outage_rig(SimDuration::from_secs(1));
+        // First outage: nothing until 250 ms.
+        w.note_delivery(client, SimTime::from_millis(250));
+        // Zero-gap duplicate delivery at the same instant: no outage,
+        // no corruption of the last-delivery anchor.
+        w.note_delivery(client, SimTime::from_millis(250));
+        // Second outage: silent again until 500 ms.
+        w.note_delivery(client, SimTime::from_millis(500));
+        assert_eq!(outage_samples(&w, client), vec![0.25, 0.25]);
+        // Finalize closes the 500 ms → 1 s trailing gap as a third.
+        w.finalize();
+        assert_eq!(outage_samples(&w, client), vec![0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn only_delivery_being_the_final_frame_closes_leading_gap_only() {
+        let (mut w, client) = outage_rig(SimDuration::from_secs(1));
+        // The one and only delivery lands exactly at the end of the run:
+        // the leading 1 s gap is an outage; the trailing gap is zero and
+        // must NOT be double-counted by the finalize pass.
+        w.note_delivery(client, w.end_at);
+        w.finalize();
+        assert_eq!(outage_samples(&w, client), vec![1.0]);
+    }
+
+    #[test]
+    fn trailing_gap_is_not_closed_for_uplink_only_demand() {
+        // An uplink-only client goes quiet on the downlink legitimately;
+        // finalize must not invent a trailing outage for it.
+        let mut w = quick_world(
+            SystemKind::Wgtt(WgttConfig::default()),
+            FlowSpec::UplinkUdp { rate_mbps: 0.064 },
+            1,
+        );
+        w.end_at = SimTime::ZERO + SimDuration::from_secs(1);
+        w.report.duration = SimDuration::from_secs(1);
+        let client = w.client_ids()[0];
+        w.note_delivery(client, SimTime::from_millis(300));
+        w.finalize();
+        assert_eq!(
+            outage_samples(&w, client),
+            vec![0.3],
+            "only the leading gap, never a trailing one, for uplink-only demand"
+        );
     }
 }

@@ -44,7 +44,9 @@ impl World {
         {
             return; // skip this beat; the next one is 50 ms away
         }
-        let target = self.serving_of(client).unwrap_or(NodeId(0));
+        let target = self
+            .serving_of(client)
+            .unwrap_or(NodeId(self.cfg.ap_id_offset));
         let frame = Frame {
             from: client,
             to: target,
@@ -68,8 +70,19 @@ impl World {
     /// latency, the switching protocol's processing delays, and the
     /// control-loss probability.
     fn backhaul_send(&mut self, to: BackhaulDest, msg: BackhaulMsg, now: SimTime) {
-        if msg.is_control() && self.rng.chance(self.wgtt_cfg.control_loss_prob) {
-            return; // lost in the Click forwarding path; timeouts recover
+        // Control loss and processing jitter draw from the *affected
+        // client's* stream (exactly the Stop/Start/SwitchAck messages,
+        // which all name one): one vehicle's switch protocol must not
+        // perturb another vehicle's randomness, or shards would diverge
+        // from the monolithic world.
+        if let Some(client) = msg.control_client() {
+            let ci = self.client_index(client);
+            if self.clients[ci]
+                .rng
+                .chance(self.wgtt_cfg.control_loss_prob)
+            {
+                return; // lost in the Click forwarding path; timeouts recover
+            }
         }
         self.capture_backhaul(&to, &msg, now);
         let mut delay = self.wgtt_cfg.backhaul_latency;
@@ -78,8 +91,9 @@ impl World {
             BackhaulMsg::Start { .. } => Some(self.wgtt_cfg.start_processing_mean),
             _ => None,
         };
-        if let Some(mean) = proc {
-            let jitter = self
+        if let (Some(mean), Some(client)) = (proc, msg.control_client()) {
+            let ci = self.client_index(client);
+            let jitter = self.clients[ci]
                 .rng
                 .normal_with(mean.as_secs_f64(), self.wgtt_cfg.processing_std.as_secs_f64())
                 .max(0.0005);
@@ -115,17 +129,18 @@ impl World {
                 self.dispatch_controller_actions(actions, now);
             }
             BackhaulDest::Ap(ap_id) => {
-                let SystemState::Wgtt { aps, .. } = &mut self.system else {
-                    return;
-                };
-                let ai = ap_id.0 as usize;
-                if ai >= aps.len() {
-                    // A message addressed past the AP array (a stale id
-                    // from a reconfigured corridor segment) is dropped,
-                    // not a crash: timeouts re-drive the protocol.
+                if !self.is_ap(ap_id) {
+                    // A message addressed outside the AP array (a stale
+                    // id from a reconfigured corridor segment) is
+                    // dropped, not a crash: timeouts re-drive the
+                    // protocol.
                     self.report.backhaul_misaddressed += 1;
                     return;
                 }
+                let ai = self.ap_index(ap_id);
+                let SystemState::Wgtt { .. } = &mut self.system else {
+                    return;
+                };
                 let kick_client = match &msg {
                     BackhaulMsg::DownlinkData { client, .. }
                     | BackhaulMsg::Start { client, .. }
@@ -134,7 +149,12 @@ impl World {
                 };
                 let is_fwd = matches!(&msg, BackhaulMsg::BlockAckForward { .. });
                 let is_dl = matches!(&msg, BackhaulMsg::DownlinkData { .. });
-                let actions = aps[ai].on_backhaul(msg, now);
+                let actions = {
+                    let SystemState::Wgtt { aps, .. } = &mut self.system else {
+                        unreachable!()
+                    };
+                    aps[ai].on_backhaul(msg, now)
+                };
                 if self.trace_at(now) {
                     if let Some(client) = kick_client {
                         let inf = {
@@ -186,6 +206,7 @@ impl World {
     /// baseline distribution).
     fn route_downlink(&mut self, client: NodeId, packet: Packet, now: SimTime) {
         self.store_packet(packet);
+        let off = self.cfg.ap_id_offset;
         match &mut self.system {
             SystemState::Wgtt { controller, .. } => {
                 let actions = controller.on_downlink(client, packet, now);
@@ -193,7 +214,7 @@ impl World {
             }
             SystemState::Baseline { ds, aps } => {
                 if let Some(ap) = ds.route(client) {
-                    aps[ap.0 as usize].enqueue_downlink(client, packet);
+                    aps[(ap.0 - off) as usize].enqueue_downlink(client, packet);
                     self.kick_ap(ap, now);
                 }
             }
@@ -523,6 +544,7 @@ impl World {
     fn on_sample(&mut self, now: SimTime) {
         let client_ids: Vec<NodeId> = self.clients.iter().map(|c| c.id).collect();
         let n_aps = self.cfg.ap_x.len() as u32;
+        let off = self.cfg.ap_id_offset;
         for client in client_ids {
             // Serving-AP trace.
             let serving = self.serving_of(client);
@@ -549,7 +571,7 @@ impl World {
             }
             let mut best: Option<(NodeId, f64)> = None;
             for ai in 0..n_aps {
-                let ap = NodeId(ai);
+                let ap = NodeId(off + ai);
                 let e = self.esnr_now(ap, client, now);
                 self.report
                     .esnr_traces

@@ -17,7 +17,7 @@ impl World {
     }
 
     fn kick_ap(&mut self, ap: NodeId, now: SimTime) {
-        let ai = ap.0 as usize;
+        let ai = self.ap_index(ap);
         if self.trace_at(now) {
             eprintln!(
                 "{now} kick_ap {ap} sched={} pend={} work={}",
@@ -31,13 +31,13 @@ impl World {
         }
         let at = self
             .medium
-            .access_time(ap, now, self.ap_backoff[ai], &mut self.rng);
+            .access_time(ap, now, self.ap_backoff[ai], &mut self.ap_rng[ai]);
         self.ap_tx_scheduled[ai] = true;
         self.queue.schedule(at, Ev::ApTxStart { ap });
     }
 
     fn on_ap_tx_start(&mut self, ap: NodeId, now: SimTime) {
-        let ai = ap.0 as usize;
+        let ai = self.ap_index(ap);
         self.ap_tx_scheduled[ai] = false;
         if self.ap_exchange_pending[ai] {
             return;
@@ -79,7 +79,7 @@ impl World {
     }
 
     fn resolve_ap_exchange(&mut self, ap: NodeId, now: SimTime) {
-        let ai = ap.0 as usize;
+        let ai = self.ap_index(ap);
         if self.trace_at(now) {
             eprintln!("{now} resolve_ap_exchange {ap}");
         }
@@ -93,7 +93,7 @@ impl World {
     }
 
     fn on_ap_ba_timeout(&mut self, ap: NodeId, client: NodeId, now: SimTime) {
-        let ai = ap.0 as usize;
+        let ai = self.ap_index(ap);
         if self.trace_at(now) {
             eprintln!("{now} ap_ba_timeout {ap}");
         }
@@ -125,7 +125,9 @@ impl World {
             return;
         }
         let stage = c.backoff_stage;
-        let at = self.medium.access_time(client, now, stage, &mut self.rng);
+        let at = self
+            .medium
+            .access_time(client, now, stage, &mut self.clients[ci].rng);
         self.clients[ci].tx_scheduled = true;
         self.queue.schedule(at, Ev::ClientTxStart { client });
     }
@@ -142,7 +144,9 @@ impl World {
             self.kick_client(client, now);
             return;
         }
-        let target = self.serving_of(client).unwrap_or(NodeId(0));
+        let target = self
+            .serving_of(client)
+            .unwrap_or(NodeId(self.cfg.ap_id_offset));
         let c = &mut self.clients[ci];
         let policy = wgtt_mac::aggregation::AggregationPolicy::default();
         let mcs = c.up_rate.select();
@@ -233,9 +237,15 @@ impl World {
             return;
         }
         let n_aps = self.cfg.ap_x.len() as u32;
+        let off = self.cfg.ap_id_offset;
         for ai in 0..n_aps {
-            let ap = NodeId(ai);
-            if !self.medium.same_channel(client, ap) || !self.rx_survives(tx, client, ap, now)
+            let ap = NodeId(off + ai);
+            // Horizon gate first: an AP past the decode horizon must be
+            // skipped *without consuming a random draw*, or a shard (which
+            // never iterates it) would fall out of step with this world.
+            if !self.within_decode_horizon(ap, client, now)
+                || !self.medium.same_channel(client, ap)
+                || !self.rx_survives(tx, client, ap, now)
             {
                 continue;
             }
@@ -317,7 +327,8 @@ impl World {
                 .entry(key)
                 .or_default()
                 .block_ack();
-            let jitter = SimDuration::from_micros(SIFS_US + self.rng.below(16));
+            let jitter =
+                SimDuration::from_micros(SIFS_US + self.clients[ci].rng.below(16));
             self.queue.schedule(
                 now + jitter,
                 Ev::BaResponse {
@@ -332,7 +343,8 @@ impl World {
         let ev = self
             .queue
             .schedule(now + BA_WAIT, Ev::BaTimeout { ap, client });
-        self.ap_ba_timeout_ev[ap.0 as usize] = Some(ev);
+        let aui = self.ap_index(ap);
+        self.ap_ba_timeout_ev[aui] = Some(ev);
     }
 
     /// An uplink A-MPDU finished: every AP rolls reception independently;
@@ -356,10 +368,14 @@ impl World {
             SystemState::Baseline { ds, .. } => ds.binding(client),
             _ => None,
         };
+        let off = self.cfg.ap_id_offset;
         for ai in 0..n_aps {
-            let ap = NodeId(ai);
+            let ap = NodeId(off + ai);
             let aui = ai as usize;
-            if !self.medium.same_channel(client, ap) || !self.rx_survives(tx, client, ap, now)
+            // Horizon gate first — see `end_keepalive`.
+            if !self.within_decode_horizon(ap, client, now)
+                || !self.medium.same_channel(client, ap)
+                || !self.rx_survives(tx, client, ap, now)
             {
                 continue;
             }
@@ -428,9 +444,9 @@ impl World {
             if wgtt || assoc_ap == Some(ap) {
                 let (start_seq, bitmap) = self.ap_up_rx[&(ap, client)].block_ack();
                 let jitter_us = if is_addressee {
-                    SIFS_US + self.rng.below(3)
+                    SIFS_US + self.ap_rng[aui].below(3)
                 } else {
-                    SIFS_US + 12 + self.rng.below(60)
+                    SIFS_US + 12 + self.ap_rng[aui].below(60)
                 };
                 self.queue.schedule(
                     now + SimDuration::from_micros(jitter_us),
@@ -465,10 +481,14 @@ impl World {
         self.report.dbg_ba.1 += 1;
         let n_aps = self.cfg.ap_x.len() as u32;
         let wgtt = matches!(self.system, SystemState::Wgtt { .. });
+        let off = self.cfg.ap_id_offset;
         for ai in 0..n_aps {
-            let ap = NodeId(ai);
+            let ap = NodeId(off + ai);
             let aui = ai as usize;
-            if !self.medium.same_channel(client, ap) || !self.rx_survives(tx, client, ap, now)
+            // Horizon gate first — see `end_keepalive`.
+            if !self.within_decode_horizon(ap, client, now)
+                || !self.medium.same_channel(client, ap)
+                || !self.rx_survives(tx, client, ap, now)
             {
                 continue;
             }
@@ -595,8 +615,11 @@ impl World {
         }
         if self.medium.is_busy_for(ap, now) {
             if !retry {
+                let ai = self.ap_index(ap);
                 let at = self.medium.busy_until_for(ap, now)
-                    + SimDuration::from_micros(wgtt_mac::airtime::DIFS_US + self.rng.below(64));
+                    + SimDuration::from_micros(
+                        wgtt_mac::airtime::DIFS_US + self.ap_rng[ai].below(64),
+                    );
                 self.queue.schedule(at, Ev::Beacon { ap, retry: true });
             }
             return;
@@ -615,7 +638,10 @@ impl World {
     fn end_beacon(&mut self, tx: TxId, ap: NodeId, now: SimTime) {
         let client_ids: Vec<NodeId> = self.clients.iter().map(|c| c.id).collect();
         for client in client_ids {
-            if !self.medium.same_channel(ap, client) || !self.rx_survives(tx, ap, client, now)
+            // Horizon gate first — see `end_keepalive`.
+            if !self.within_decode_horizon(ap, client, now)
+                || !self.medium.same_channel(ap, client)
+                || !self.rx_survives(tx, ap, client, now)
             {
                 continue;
             }
@@ -642,7 +668,9 @@ impl World {
             RoamerAction::SendMgmt { ap, step } => {
                 // Contend for the channel like any other frame — under a
                 // saturated medium the reassociation must still win slots.
-                let at = self.medium.access_time(client, now, 0, &mut self.rng);
+                let at = self
+                    .medium
+                    .access_time(client, now, 0, &mut self.clients[ci].rng);
                 self.queue.schedule(
                     at,
                     Ev::MgmtTx {
@@ -663,7 +691,10 @@ impl World {
     fn on_mgmt_tx(&mut self, from: NodeId, to: NodeId, step: MgmtStep, attempt: u8, now: SimTime) {
         if self.medium.is_busy_for(from, now) || self.medium.own_tx_until(from, now) > now {
             if attempt < 8 {
-                let at = self.medium.access_time(from, now, attempt + 1, &mut self.rng);
+                let ci = self.client_index(from);
+                let at = self
+                    .medium
+                    .access_time(from, now, attempt + 1, &mut self.clients[ci].rng);
                 self.queue.schedule(
                     at,
                     Ev::MgmtTx {
@@ -720,12 +751,13 @@ impl World {
                     .as_mut()
                     .is_some_and(|r| r.on_assoc_response(from, now));
                 if switched {
+                    let off = self.cfg.ap_id_offset;
                     if let SystemState::Baseline { ds, aps } = &mut self.system {
                         let old = ds.binding(to);
                         ds.on_reassoc(to, from);
                         if let Some(old_ap) = old {
                             if old_ap != from {
-                                aps[old_ap.0 as usize].flush_client(to);
+                                aps[(old_ap.0 - off) as usize].flush_client(to);
                             }
                         }
                     }

@@ -3,14 +3,21 @@
 //!
 //! ```sh
 //! cargo run --release --example fleet_corridor -- \
-//!     --vehicles 200 --aps 32 --seed 1 --duration 30
+//!     --vehicles 200 --aps 32 --seed 1 --duration 30 --shards 4
 //! ```
+//!
+//! `--shards N` splits the corridor into N spatially disjoint districts
+//! and runs them on a scoped thread pool (`scenario::shard`); the
+//! report is byte-identical to the sequential run of the same
+//! districted config — sharding is a pure speed knob. `--shard-workers`
+//! caps the pool below the district count.
 
 use std::time::Instant;
 
 use wgtt::WgttConfig;
 use wgtt_apps::mix::AppKind;
 use wgtt_scenario::fleet::FleetConfig;
+use wgtt_scenario::shard::run_sharded;
 use wgtt_scenario::world::SystemKind;
 use wgtt_sim::time::SimDuration;
 
@@ -22,6 +29,8 @@ struct Args {
     seed: u64,
     duration_s: f64,
     per_vehicle: bool,
+    shards: usize,
+    shard_workers: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +42,8 @@ fn parse_args() -> Args {
         seed: 1,
         duration_s: 30.0,
         per_vehicle: false,
+        shards: 1,
+        shard_workers: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -49,11 +60,14 @@ fn parse_args() -> Args {
             "--cell-radius" => args.cell_radius_m = Some(take("--cell-radius")),
             "--seed" => args.seed = take("--seed") as u64,
             "--duration" => args.duration_s = take("--duration"),
+            "--shards" => args.shards = take("--shards") as usize,
+            "--shard-workers" => args.shard_workers = Some(take("--shard-workers") as usize),
             "--per-vehicle" => args.per_vehicle = true,
             "--help" | "-h" => {
                 println!(
                     "usage: fleet_corridor [--vehicles N] [--aps N] [--spacing M] \
-                     [--cell-radius M] [--seed S] [--duration SECS]"
+                     [--cell-radius M] [--seed S] [--duration SECS] \
+                     [--shards N] [--shard-workers M]"
                 );
                 std::process::exit(0);
             }
@@ -73,6 +87,7 @@ fn main() {
         cfg.cell_radius_m = r;
     }
     cfg.duration = SimDuration::from_secs_f64(a.duration_s);
+    cfg.districts = a.shards.max(1);
 
     println!(
         "fleet corridor: {} vehicles, {} APs x {:.0} m ({:.0} m road), \
@@ -86,8 +101,21 @@ fn main() {
         a.duration_s,
     );
 
+    let system = SystemKind::Wgtt(WgttConfig::default());
     let wall = Instant::now();
-    let report = cfg.run(SystemKind::Wgtt(WgttConfig::default()), a.seed);
+    // `--shard-workers 0` forces the districted config through the
+    // sequential monolithic engine — the oracle side of the
+    // differential-determinism check in CI.
+    let report = if cfg.districts > 1 && a.shard_workers != Some(0) {
+        let workers = a.shard_workers.unwrap_or(cfg.districts);
+        println!(
+            "sharding: {} districts on {} workers",
+            cfg.districts, workers
+        );
+        run_sharded(&cfg, system, a.seed, workers, None)
+    } else {
+        cfg.run(system, a.seed)
+    };
     let wall_s = wall.elapsed().as_secs_f64();
 
     let count = |k: AppKind| report.per_vehicle.iter().filter(|v| v.kind == k).count();

@@ -1,0 +1,127 @@
+//! Differential harness for the sharded parallel world engine.
+//!
+//! The sequential [`World`] (driven through `FleetConfig::run`) is the
+//! oracle; `scenario::shard::run_sharded` must reproduce its
+//! [`FleetReport`] bit for bit on the same seed, for every district
+//! count, worker count, and synchronization window. Three invariances
+//! are pinned:
+//!
+//! 1. **Oracle equivalence** — for each districted config (1/2/4/8
+//!    shards), the parallel engine's merged report equals the sequential
+//!    monolithic world's report on every aggregate except the raw event
+//!    count (each shard runs its own mobility/sample/poll chains, so
+//!    event *counts* legitimately differ; every physical observable
+//!    must not).
+//! 2. **Worker-count invariance** — 1/2/4/8 workers produce the full
+//!    byte-identical report, `events_handled` included.
+//! 3. **Schedule invariance (stress mode)** — sweeping the conservative
+//!    sync window and re-running under fresh thread interleavings
+//!    changes nothing.
+
+use wgtt::WgttConfig;
+use wgtt_scenario::fleet::{FleetConfig, FleetReport};
+use wgtt_scenario::shard::run_sharded;
+use wgtt_scenario::world::SystemKind;
+use wgtt_sim::time::SimDuration;
+
+fn corridor(districts: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::corridor(8, 16);
+    cfg.duration = SimDuration::from_secs(2);
+    cfg.districts = districts;
+    cfg
+}
+
+fn wgtt() -> SystemKind {
+    SystemKind::Wgtt(WgttConfig::default())
+}
+
+/// Full byte-stable fingerprint, `events_handled` included (worker-count
+/// comparisons use this; oracle comparisons use `equivalence_digest`).
+fn full_fingerprint(r: &FleetReport) -> String {
+    format!("events={} {}", r.events_handled, r.equivalence_digest())
+}
+
+#[test]
+fn sharded_engine_matches_sequential_oracle_at_1_2_4_8_shards() {
+    for districts in [1, 2, 4, 8] {
+        let cfg = corridor(districts);
+        let oracle = cfg.run(wgtt(), 7);
+        let sharded = run_sharded(&cfg, wgtt(), 7, districts, None);
+        assert_eq!(
+            oracle.equivalence_digest(),
+            sharded.equivalence_digest(),
+            "oracle divergence at {districts} shards"
+        );
+        // The merged shape matches too.
+        assert_eq!(oracle.vehicles, sharded.vehicles);
+        assert_eq!(oracle.per_vehicle.len(), sharded.per_vehicle.len());
+        assert_eq!(sharded.backhaul_misaddressed, 0);
+        assert_eq!(sharded.missing_packet_refs, 0);
+    }
+}
+
+#[test]
+fn worker_count_is_invisible_including_event_counts() {
+    let cfg = corridor(4);
+    let baseline = full_fingerprint(&run_sharded(&cfg, wgtt(), 11, 1, None));
+    for workers in [2, 4, 8] {
+        let r = run_sharded(&cfg, wgtt(), 11, workers, None);
+        assert_eq!(
+            baseline,
+            full_fingerprint(&r),
+            "worker count {workers} leaked into the report"
+        );
+    }
+}
+
+#[test]
+fn sync_window_is_invisible() {
+    let cfg = corridor(4);
+    let baseline = full_fingerprint(&run_sharded(&cfg, wgtt(), 13, 4, None));
+    for window_us in [150, 1_700, 100_000] {
+        let r = run_sharded(
+            &cfg,
+            wgtt(),
+            13,
+            4,
+            Some(SimDuration::from_micros(window_us)),
+        );
+        assert_eq!(
+            baseline,
+            full_fingerprint(&r),
+            "sync window {window_us} µs leaked into the report"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable_under_thread_interleaving() {
+    // Same config, same seed, fresh thread pool each time: OS scheduling
+    // must not be observable.
+    let cfg = corridor(4);
+    let first = full_fingerprint(&run_sharded(&cfg, wgtt(), 17, 4, None));
+    for _ in 0..2 {
+        assert_eq!(
+            first,
+            full_fingerprint(&run_sharded(&cfg, wgtt(), 17, 4, None))
+        );
+    }
+}
+
+#[test]
+fn single_district_sharded_equals_classic_sequential_run_exactly() {
+    // districts == 1 is the historical corridor; the engine must add
+    // nothing, not even to the event count.
+    let cfg = corridor(1);
+    let classic = cfg.run(wgtt(), 19);
+    let sharded = run_sharded(&cfg, wgtt(), 19, 1, None);
+    assert_eq!(full_fingerprint(&classic), full_fingerprint(&sharded));
+}
+
+#[test]
+fn baseline_system_is_worker_count_invariant_too() {
+    let cfg = corridor(2);
+    let one = full_fingerprint(&run_sharded(&cfg, SystemKind::Enhanced80211r, 23, 1, None));
+    let two = full_fingerprint(&run_sharded(&cfg, SystemKind::Enhanced80211r, 23, 2, None));
+    assert_eq!(one, two);
+}
