@@ -5,14 +5,46 @@
 //! windows, the [`switching`](crate::switching) protocol driver, the
 //! downlink packet-index counter, and the uplink
 //! [`dedup`](crate::dedup) filter. It is a pure state machine: feed it
-//! backhaul messages and WAN packets with a timestamp, collect actions
-//! (backhaul sends, WAN deliveries) to schedule.
+//! backhaul messages and WAN packets with a timestamp and a sink, and it
+//! emits actions (backhaul sends, WAN deliveries) to schedule.
+//!
+//! ## The dataplane, rebuilt for line rate
+//!
+//! At fleet scale every packet of every vehicle crosses this component,
+//! so the per-packet path is allocation-free:
+//!
+//! * **Action sink, not `Vec` returns.** Every entry point writes its
+//!   actions into a caller-provided [`ActionSink`]. The event loop keeps
+//!   a small pool of [`ActionBuf`]s, so steady-state dispatch performs
+//!   zero heap allocation. (`Vec<ControllerAction>` implements
+//!   [`ActionSink`] too, which keeps tests and one-shot callers simple.)
+//! * **Client slab.** Per-client state lives in a dense `Vec` slab
+//!   indexed by a stable `u32` slot; the id→slot map is consulted once
+//!   per event, and everything downstream (timer wheel payloads, poll
+//!   scratch) speaks slots.
+//! * **Timer wheel.** `next_timeout()` — asked after *every* dispatched
+//!   action by the event loop — and `poll()` used to iterate every
+//!   client. Both now ride an amortized hierarchical
+//!   [`TimerWheel`](crate::timerwheel::TimerWheel) keyed by switch-ack
+//!   deadline: `next_timeout` is a bitmap scan of occupied slots, `poll`
+//!   touches only the clients actually due.
+//! * **Streaming fan-out.** A downlink packet resolves its in-range AP
+//!   set by walking the selector's link map directly into the sink
+//!   ([`ApSelector::for_each_heard`]) — no intermediate `Vec`.
+//!
+//! The seed implementation is retained verbatim as
+//! [`reference::Controller`]; `crates/core/tests/prop_controller.rs`
+//! proves the two action-sequence-, stats-, and timeout-identical under
+//! randomized event interleavings.
+
+pub mod reference;
 
 use crate::config::WgttConfig;
 use crate::dedup::DedupFilter;
 use crate::messages::BackhaulMsg;
 use crate::selection::{ApSelector, Verdict};
 use crate::switching::{SwitchEvent, SwitchProtocol};
+use crate::timerwheel::TimerWheel;
 use std::collections::HashMap;
 use wgtt_mac::frame::NodeId;
 use wgtt_mac::seq::SEQ_SPACE;
@@ -37,8 +69,81 @@ pub enum ControllerAction {
     },
 }
 
-/// Aggregate controller statistics.
+/// Receives the controller's actions as they are produced. The event
+/// loop hands in a reusable buffer; tests can pass a plain `Vec`.
+pub trait ActionSink {
+    /// Deliver `msg` to `ap` over the backhaul.
+    fn send(&mut self, ap: NodeId, msg: BackhaulMsg);
+    /// Forward a de-duplicated uplink packet to the Internet.
+    fn to_wan(&mut self, packet: Packet);
+}
+
+impl ActionSink for Vec<ControllerAction> {
+    fn send(&mut self, ap: NodeId, msg: BackhaulMsg) {
+        self.push(ControllerAction::Send { ap, msg });
+    }
+    fn to_wan(&mut self, packet: Packet) {
+        self.push(ControllerAction::ToWan { packet });
+    }
+}
+
+/// A reusable action buffer: the allocation-free way to drive the
+/// controller. Pool these in the event loop — `clear()` keeps the
+/// backing storage, so steady-state dispatch never allocates.
 #[derive(Debug, Default)]
+pub struct ActionBuf {
+    actions: Vec<ControllerAction>,
+}
+
+impl ActionBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The actions accumulated so far, in emission order.
+    pub fn actions(&self) -> &[ControllerAction] {
+        &self.actions
+    }
+
+    /// Number of accumulated actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether no actions have accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Remove and yield the accumulated actions in order, keeping the
+    /// backing storage for reuse.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, ControllerAction> {
+        self.actions.drain(..)
+    }
+
+    /// Drop accumulated actions, keeping the backing storage.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
+    /// Take the accumulated actions as an owned `Vec` (tests).
+    pub fn take(&mut self) -> Vec<ControllerAction> {
+        std::mem::take(&mut self.actions)
+    }
+}
+
+impl ActionSink for ActionBuf {
+    fn send(&mut self, ap: NodeId, msg: BackhaulMsg) {
+        self.actions.push(ControllerAction::Send { ap, msg });
+    }
+    fn to_wan(&mut self, packet: Packet) {
+        self.actions.push(ControllerAction::ToWan { packet });
+    }
+}
+
+/// Aggregate controller statistics.
+#[derive(Debug)]
 pub struct ControllerStats {
     /// Switches initiated.
     pub switches_started: u64,
@@ -46,7 +151,12 @@ pub struct ControllerStats {
     pub switches_completed: u64,
     /// Stop retransmissions due to ack timeout.
     pub stop_retransmits: u64,
-    /// Protocol execution times (stop sent → ack), seconds.
+    /// Protocol execution times (stop sent → ack), seconds. Bounded
+    /// memory: one sample per completed switch over a multi-hour fleet
+    /// run is an unbounded recorder, so this uses the extended-P²
+    /// sketch backend ([`Distribution::sketch`]) — mean/std-dev/len stay
+    /// exact (Welford), quantiles carry the documented ≤ 0.05 rank
+    /// error.
     pub switch_durations: Distribution,
     /// Downlink packets with no in-range AP (dropped).
     pub downlink_no_ap: u64,
@@ -56,8 +166,24 @@ pub struct ControllerStats {
     pub uplink_forwarded: u64,
 }
 
+impl Default for ControllerStats {
+    fn default() -> Self {
+        ControllerStats {
+            switches_started: 0,
+            switches_completed: 0,
+            stop_retransmits: 0,
+            switch_durations: Distribution::sketch(),
+            downlink_no_ap: 0,
+            uplink_duplicates: 0,
+            uplink_forwarded: 0,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct ClientState {
+    /// The client's id (slots are the dense index; this maps back).
+    id: NodeId,
     selector: ApSelector,
     switcher: SwitchProtocol,
     next_index: u16,
@@ -67,7 +193,12 @@ struct ClientState {
 /// The WGTT controller.
 pub struct Controller {
     cfg: WgttConfig,
-    clients: HashMap<NodeId, ClientState>,
+    /// Dense per-client state slab; stable slots, never freed (a client
+    /// that leaves coverage keeps its slot for the run, exactly like the
+    /// seed's map entries).
+    clients: Vec<ClientState>,
+    /// Client id → slab slot.
+    slots: HashMap<NodeId, u32>,
     all_aps: Vec<NodeId>,
     /// Uplink de-duplication, one filter per source address. The dedup
     /// key already namespaces by source (src ⧺ IP ident, §3.2.2), so
@@ -76,6 +207,12 @@ pub struct Controller {
     /// per-client, which is what lets a spatially sharded run keep a
     /// controller per shard without cross-shard coupling.
     dedup: HashMap<u32, DedupFilter>,
+    /// Switch-ack deadlines, payload = client slot. Entries are never
+    /// cancelled; liveness is re-checked against the slot's protocol
+    /// driver on every query.
+    wheel: TimerWheel,
+    /// Due-slot scratch for `poll` (reused, sorted by client id).
+    poll_scratch: Vec<u32>,
     /// Run statistics.
     pub stats: ControllerStats,
 }
@@ -86,120 +223,159 @@ impl Controller {
         Controller {
             dedup: HashMap::new(),
             cfg,
-            clients: HashMap::new(),
+            clients: Vec::new(),
+            slots: HashMap::new(),
             all_aps: aps,
+            wheel: TimerWheel::new(),
+            poll_scratch: Vec::new(),
             stats: ControllerStats::default(),
         }
     }
 
-    fn client_mut(&mut self, client: NodeId) -> &mut ClientState {
+    /// Preallocate the client slab for `n` clients (the fleet generator
+    /// knows the vehicle count up front).
+    pub fn reserve_clients(&mut self, n: usize) {
+        self.clients.reserve(n);
+        self.slots.reserve(n);
+    }
+
+    /// Slab slot for `client`, creating fresh state on first contact.
+    fn slot_of(&mut self, client: NodeId) -> usize {
+        if let Some(&s) = self.slots.get(&client) {
+            return s as usize;
+        }
         let cfg = self.cfg;
-        self.clients.entry(client).or_insert_with(|| ClientState {
+        let s = self.clients.len() as u32;
+        self.clients.push(ClientState {
+            id: client,
             selector: {
-                let mut s = ApSelector::new(
+                let mut sel = ApSelector::new(
                     cfg.selection_window,
                     cfg.switch_hysteresis,
                     cfg.switch_margin_db,
                 );
-                s.set_policy(cfg.selection_policy);
-                s
+                sel.set_policy(cfg.selection_policy);
+                sel
             },
             switcher: SwitchProtocol::new(cfg.switch_ack_timeout),
             next_index: 0,
             serving: None,
-        })
+        });
+        self.slots.insert(client, s);
+        s as usize
     }
 
     /// The AP currently serving `client`, if known.
     pub fn serving(&self, client: NodeId) -> Option<NodeId> {
-        self.clients.get(&client).and_then(|c| c.serving)
+        self.slots
+            .get(&client)
+            .and_then(|&s| self.clients[s as usize].serving)
     }
 
     /// Direct read access to a client's selector (experiments use this to
     /// compute the oracle-best AP for the Table 2 accuracy metric).
     pub fn selector_mut(&mut self, client: NodeId) -> &mut ApSelector {
-        &mut self.client_mut(client).selector
+        let slot = self.slot_of(client);
+        &mut self.clients[slot].selector
+    }
+
+    /// Number of dedup filters, total remembered keys, and total
+    /// reserved hash capacity across them — the memory-bound contract
+    /// checked by `prop_controller.rs` at 10⁵ sources.
+    pub fn dedup_footprint(&self) -> (usize, usize, usize) {
+        let keys = self.dedup.values().map(DedupFilter::len).sum();
+        let reserved = self.dedup.values().map(DedupFilter::reserved).sum();
+        (self.dedup.len(), keys, reserved)
     }
 
     /// A client completed 802.11 association through `via_ap`: install it
     /// as serving and replicate association state to every AP (§4.3).
-    pub fn on_client_associated(
+    pub fn on_client_associated<S: ActionSink>(
         &mut self,
         client: NodeId,
         via_ap: NodeId,
         now: SimTime,
-    ) -> Vec<ControllerAction> {
-        let st = self.client_mut(client);
+        sink: &mut S,
+    ) {
+        let slot = self.slot_of(client);
+        let st = &mut self.clients[slot];
         st.serving = Some(via_ap);
         st.selector.set_current(via_ap, now);
         let k = st.next_index;
-        let mut actions: Vec<ControllerAction> = self
-            .all_aps
-            .iter()
-            .map(|&ap| ControllerAction::Send {
-                ap,
-                msg: BackhaulMsg::AssocSync { client, via_ap },
-            })
-            .collect();
+        for &ap in &self.all_aps {
+            sink.send(ap, BackhaulMsg::AssocSync { client, via_ap });
+        }
         // Degenerate "switch": tell the first AP to serve from the current
         // index.
-        actions.push(ControllerAction::Send {
-            ap: via_ap,
-            msg: BackhaulMsg::Start {
+        sink.send(
+            via_ap,
+            BackhaulMsg::Start {
                 client,
                 k,
                 switch_id: u64::MAX, // association, not a protocol attempt
             },
-        });
-        actions
+        );
     }
 
     /// A downlink packet for `client` arrived from the WAN: assign the
-    /// next 12-bit index and replicate to every in-range AP (§3.1.2).
-    pub fn on_downlink(
+    /// next 12-bit index and replicate to every in-range AP (§3.1.2),
+    /// streaming the fan-out straight into the sink.
+    pub fn on_downlink<S: ActionSink>(
         &mut self,
         client: NodeId,
         packet: Packet,
         now: SimTime,
-    ) -> Vec<ControllerAction> {
+        sink: &mut S,
+    ) {
         let grace = self.cfg.fanout_grace;
-        let st = self.client_mut(client);
+        let slot = self.slot_of(client);
+        let st = &mut self.clients[slot];
         // Replicate to every AP heard within the grace window — wider
         // than the selection window W, so that an AP with sporadic CSI
         // still holds a gap-free cyclic ring when a switch lands on it.
-        let mut fanout = st.selector.heard_set(now, grace);
+        let heard_any = st.selector.heard_within(now, grace);
         // The serving AP still gets the packet during a short CSI lull
         // (TCP restarting after an idle period), but once no AP has heard
         // the client for the grace period it is out of coverage and
         // queueing more data would only burn airtime on a dark link.
-        if st.selector.heard_within(now, grace) || now < SimTime::ZERO + grace {
-            if let Some(s) = st.serving {
-                if !fanout.contains(&s) {
-                    fanout.push(s);
-                }
-            }
-        }
-        if fanout.is_empty() {
+        let serving_eligible = heard_any || now < SimTime::ZERO + grace;
+        if !(heard_any || (serving_eligible && st.serving.is_some())) {
             self.stats.downlink_no_ap += 1;
-            return Vec::new();
+            return;
         }
         let index = st.next_index;
         st.next_index = (st.next_index + 1) % SEQ_SPACE;
-        fanout
-            .into_iter()
-            .map(|ap| ControllerAction::Send {
+        let serving = st.serving;
+        let mut serving_heard = false;
+        st.selector.for_each_heard(now, grace, |ap| {
+            if Some(ap) == serving {
+                serving_heard = true;
+            }
+            sink.send(
                 ap,
-                msg: BackhaulMsg::DownlinkData {
+                BackhaulMsg::DownlinkData {
                     client,
                     index,
                     packet,
                 },
-            })
-            .collect()
+            );
+        });
+        if serving_eligible && !serving_heard {
+            if let Some(s) = serving {
+                sink.send(
+                    s,
+                    BackhaulMsg::DownlinkData {
+                        client,
+                        index,
+                        packet,
+                    },
+                );
+            }
+        }
     }
 
     /// Handle a message arriving from an AP.
-    pub fn on_msg(&mut self, msg: BackhaulMsg, now: SimTime) -> Vec<ControllerAction> {
+    pub fn on_msg<S: ActionSink>(&mut self, msg: BackhaulMsg, now: SimTime, sink: &mut S) {
         match msg {
             BackhaulMsg::CsiReport {
                 client,
@@ -207,8 +383,9 @@ impl Controller {
                 esnr_db,
                 at,
             } => {
-                self.client_mut(client).selector.record(ap, at, esnr_db);
-                self.evaluate(client, now)
+                let slot = self.slot_of(client);
+                self.clients[slot].selector.record(ap, at, esnr_db);
+                self.evaluate(slot, now, sink);
             }
             BackhaulMsg::UplinkData { packet, .. } => {
                 let src = (packet.dedup_key() >> 16) as u32;
@@ -219,10 +396,9 @@ impl Controller {
                     .or_insert_with(|| DedupFilter::new(cap));
                 if filter.check_and_insert(packet.dedup_key()) {
                     self.stats.uplink_forwarded += 1;
-                    vec![ControllerAction::ToWan { packet }]
+                    sink.to_wan(packet);
                 } else {
                     self.stats.uplink_duplicates += 1;
-                    Vec::new()
                 }
             }
             BackhaulMsg::SwitchAck {
@@ -230,92 +406,106 @@ impl Controller {
                 ap,
                 switch_id,
             } => {
-                let st = self.client_mut(client);
-                match st.switcher.on_ack(switch_id, now) {
-                    SwitchEvent::Completed { new_ap, elapsed } => {
-                        debug_assert_eq!(new_ap, ap);
-                        st.serving = Some(new_ap);
-                        st.selector.set_current(new_ap, now);
-                        self.stats.switches_completed += 1;
-                        self.stats.switch_durations.record(elapsed.as_secs_f64());
-                        // Tell every AP who serves now (monitor-mode
-                        // forwarding needs it, §3.2.1).
-                        self.all_aps
-                            .iter()
-                            .map(|&a| ControllerAction::Send {
-                                ap: a,
-                                msg: BackhaulMsg::AssocSync {
-                                    client,
-                                    via_ap: new_ap,
-                                },
-                            })
-                            .collect()
+                let slot = self.slot_of(client);
+                let st = &mut self.clients[slot];
+                if let SwitchEvent::Completed { new_ap, elapsed } =
+                    st.switcher.on_ack(switch_id, now)
+                {
+                    debug_assert_eq!(new_ap, ap);
+                    st.serving = Some(new_ap);
+                    st.selector.set_current(new_ap, now);
+                    self.stats.switches_completed += 1;
+                    self.stats.switch_durations.record(elapsed.as_secs_f64());
+                    // The wheel entry for this switch goes stale here;
+                    // the next query compacts it.
+                    // Tell every AP who serves now (monitor-mode
+                    // forwarding needs it, §3.2.1).
+                    for &a in &self.all_aps {
+                        sink.send(
+                            a,
+                            BackhaulMsg::AssocSync {
+                                client,
+                                via_ap: new_ap,
+                            },
+                        );
                     }
-                    _ => Vec::new(),
                 }
             }
             // Messages not addressed to the controller are ignored.
-            _ => Vec::new(),
+            _ => {}
         }
     }
 
-    /// Re-run the selection rule for `client` and start a switch if it
-    /// says so and none is outstanding.
-    fn evaluate(&mut self, client: NodeId, now: SimTime) -> Vec<ControllerAction> {
-        let st = self.client_mut(client);
+    /// Re-run the selection rule for the client in `slot` and start a
+    /// switch if it says so and none is outstanding.
+    fn evaluate<S: ActionSink>(&mut self, slot: usize, now: SimTime, sink: &mut S) {
+        let st = &mut self.clients[slot];
         if st.switcher.busy() {
-            return Vec::new();
+            return;
         }
         let Some(current) = st.serving else {
-            return Vec::new(); // not yet associated
+            return; // not yet associated
         };
-        match st.selector.evaluate(now) {
-            Verdict::SwitchTo(target) if target != current => {
-                match st.switcher.begin(current, target, now) {
-                    Some(SwitchEvent::SendStop {
+        if let Verdict::SwitchTo(target) = st.selector.evaluate(now) {
+            if target != current {
+                if let Some(SwitchEvent::SendStop {
+                    old_ap,
+                    new_ap,
+                    switch_id,
+                }) = st.switcher.begin(current, target, now)
+                {
+                    self.stats.switches_started += 1;
+                    let deadline = st.switcher.timeout_at().expect("switch just armed");
+                    self.wheel.schedule(deadline, slot as u32);
+                    sink.send(
                         old_ap,
-                        new_ap,
-                        switch_id,
-                    }) => {
-                        self.stats.switches_started += 1;
-                        vec![ControllerAction::Send {
-                            ap: old_ap,
-                            msg: BackhaulMsg::Stop {
-                                client,
-                                next_ap: new_ap,
-                                switch_id,
-                            },
-                        }]
-                    }
-                    _ => Vec::new(),
+                        BackhaulMsg::Stop {
+                            client: st.id,
+                            next_ap: new_ap,
+                            switch_id,
+                        },
+                    );
                 }
             }
-            _ => Vec::new(),
         }
     }
 
     /// Earliest pending protocol timeout across clients, for the event
-    /// loop to schedule a poll.
-    pub fn next_timeout(&self) -> Option<SimTime> {
-        self.clients
-            .values()
-            .filter_map(|c| c.switcher.timeout_at())
-            .min()
+    /// loop to schedule a poll. `&mut` because the query lazily compacts
+    /// wheel entries whose switch already completed.
+    pub fn next_timeout(&mut self) -> Option<SimTime> {
+        let clients = &self.clients;
+        self.wheel.next_deadline(|slot, ns| {
+            clients[slot as usize].switcher.timeout_at() == Some(SimTime::from_nanos(ns))
+        })
     }
 
-    /// Fire due timeouts: retransmit stops whose ack is overdue.
-    pub fn poll(&mut self, now: SimTime) -> Vec<ControllerAction> {
-        let mut actions = Vec::new();
-        // Sorted snapshot: `HashMap` iteration order is process-random,
-        // and with a fleet of clients two stops due at the same poll
-        // would otherwise be emitted — and their backhaul events
-        // scheduled — in a run-dependent order.
-        let mut clients: Vec<NodeId> = self.clients.keys().copied().collect();
-        clients.sort_unstable();
-        for client in clients {
-            let Some(st) = self.clients.get_mut(&client) else {
-                continue;
-            };
+    /// Fire due timeouts: retransmit stops whose ack is overdue. Only
+    /// the clients whose deadline actually passed are touched; they fire
+    /// in ascending client-id order, matching the seed's sorted scan.
+    pub fn poll<S: ActionSink>(&mut self, now: SimTime, sink: &mut S) {
+        self.wheel.advance(now);
+        let clients = &self.clients;
+        let scratch = &mut self.poll_scratch;
+        scratch.clear();
+        self.wheel.drain_due(|slot, ns| {
+            // A due entry is live iff the protocol driver still reports
+            // exactly this deadline (completed/abandoned/re-armed
+            // switches left a stale entry behind).
+            if clients[slot as usize].switcher.timeout_at() == Some(SimTime::from_nanos(ns)) {
+                scratch.push(slot);
+            }
+        });
+        {
+            let (scratch, clients) = (&mut self.poll_scratch, &self.clients);
+            scratch.sort_unstable_by_key(|&s| clients[s as usize].id);
+            // Same-deadline re-schedules can leave two live entries for
+            // one slot; fire each client once.
+            scratch.dedup();
+        }
+        for i in 0..self.poll_scratch.len() {
+            let slot = self.poll_scratch[i] as usize;
+            let st = &mut self.clients[slot];
             if let SwitchEvent::SendStop {
                 old_ap,
                 new_ap,
@@ -323,17 +513,19 @@ impl Controller {
             } = st.switcher.poll(now)
             {
                 self.stats.stop_retransmits += 1;
-                actions.push(ControllerAction::Send {
-                    ap: old_ap,
-                    msg: BackhaulMsg::Stop {
-                        client,
+                // Re-arm the retransmitted stop's fresh deadline.
+                let deadline = st.switcher.timeout_at().expect("retransmit re-armed");
+                self.wheel.schedule(deadline, slot as u32);
+                sink.send(
+                    old_ap,
+                    BackhaulMsg::Stop {
+                        client: st.id,
                         next_ap: new_ap,
                         switch_id,
                     },
-                });
+                );
             }
         }
-        actions
     }
 }
 
@@ -377,10 +569,39 @@ mod tests {
         )
     }
 
+    fn assoc(c: &mut Controller, client: NodeId, ap: NodeId, at: SimTime) -> Vec<ControllerAction> {
+        let mut out = Vec::new();
+        c.on_client_associated(client, ap, at, &mut out);
+        out
+    }
+
+    fn msg(c: &mut Controller, m: BackhaulMsg, at: SimTime) -> Vec<ControllerAction> {
+        let mut out = Vec::new();
+        c.on_msg(m, at, &mut out);
+        out
+    }
+
+    fn downlink(
+        c: &mut Controller,
+        client: NodeId,
+        p: Packet,
+        at: SimTime,
+    ) -> Vec<ControllerAction> {
+        let mut out = Vec::new();
+        c.on_downlink(client, p, at, &mut out);
+        out
+    }
+
+    fn poll(c: &mut Controller, at: SimTime) -> Vec<ControllerAction> {
+        let mut out = Vec::new();
+        c.poll(at, &mut out);
+        out
+    }
+
     #[test]
     fn association_replicates_and_starts() {
         let mut c = controller();
-        let actions = c.on_client_associated(CLIENT, AP1, ms(0));
+        let actions = assoc(&mut c, CLIENT, AP1, ms(0));
         let syncs = actions
             .iter()
             .filter(|a| {
@@ -404,11 +625,11 @@ mod tests {
     #[test]
     fn downlink_fans_out_to_in_range_aps() {
         let mut c = controller();
-        c.on_client_associated(CLIENT, AP1, ms(0));
-        c.on_msg(csi(AP1, 15.0, ms(100)), ms(100));
-        c.on_msg(csi(AP2, 12.0, ms(101)), ms(101));
+        assoc(&mut c, CLIENT, AP1, ms(0));
+        msg(&mut c, csi(AP1, 15.0, ms(100)), ms(100));
+        msg(&mut c, csi(AP2, 12.0, ms(101)), ms(101));
         let mut f = PacketFactory::new();
-        let actions = c.on_downlink(CLIENT, pkt(&mut f, 0), ms(102));
+        let actions = downlink(&mut c, CLIENT, pkt(&mut f, 0), ms(102));
         let targets: Vec<NodeId> = actions
             .iter()
             .filter_map(|a| match a {
@@ -425,8 +646,8 @@ mod tests {
     #[test]
     fn downlink_indices_increment_and_wrap() {
         let mut c = controller();
-        c.on_client_associated(CLIENT, AP1, ms(0));
-        c.on_msg(csi(AP1, 15.0, ms(0)), ms(0));
+        assoc(&mut c, CLIENT, AP1, ms(0));
+        msg(&mut c, csi(AP1, 15.0, ms(0)), ms(0));
         let mut f = PacketFactory::new();
         let idx_of = |acts: &[ControllerAction]| -> u16 {
             acts.iter()
@@ -439,8 +660,8 @@ mod tests {
                 })
                 .expect("downlink fanned out")
         };
-        let a = c.on_downlink(CLIENT, pkt(&mut f, 0), ms(1));
-        let b = c.on_downlink(CLIENT, pkt(&mut f, 1), ms(2));
+        let a = downlink(&mut c, CLIENT, pkt(&mut f, 0), ms(1));
+        let b = downlink(&mut c, CLIENT, pkt(&mut f, 1), ms(2));
         assert_eq!(idx_of(&a), 0);
         assert_eq!(idx_of(&b), 1);
     }
@@ -449,7 +670,7 @@ mod tests {
     fn downlink_without_aps_is_dropped() {
         let mut c = controller();
         let mut f = PacketFactory::new();
-        let actions = c.on_downlink(CLIENT, pkt(&mut f, 0), ms(0));
+        let actions = downlink(&mut c, CLIENT, pkt(&mut f, 0), ms(0));
         assert!(actions.is_empty());
         assert_eq!(c.stats.downlink_no_ap, 1);
     }
@@ -457,11 +678,11 @@ mod tests {
     #[test]
     fn better_ap_triggers_full_switch_protocol() {
         let mut c = controller();
-        c.on_client_associated(CLIENT, AP1, ms(0));
+        assoc(&mut c, CLIENT, AP1, ms(0));
         // AP2 becomes clearly better after the hysteresis window.
         let t = ms(100);
-        c.on_msg(csi(AP1, 8.0, t), t);
-        let actions = c.on_msg(csi(AP2, 16.0, t), t);
+        msg(&mut c, csi(AP1, 8.0, t), t);
+        let actions = msg(&mut c, csi(AP2, 16.0, t), t);
         let stop = actions.iter().find_map(|a| match a {
             ControllerAction::Send {
                 ap,
@@ -476,7 +697,8 @@ mod tests {
         assert_eq!((old, new), (AP1, AP2));
         assert_eq!(c.stats.switches_started, 1);
         // Ack completes it and re-announces the serving AP.
-        let done = c.on_msg(
+        let done = msg(
+            &mut c,
             BackhaulMsg::SwitchAck {
                 client: CLIENT,
                 ap: AP2,
@@ -489,18 +711,20 @@ mod tests {
         assert_eq!(done.len(), 3, "serving update to all APs");
         let d = c.stats.switch_durations.mean().unwrap();
         assert!((d - 0.017).abs() < 1e-9);
+        // The completed switch's wheel entry is stale: no timeout left.
+        assert_eq!(c.next_timeout(), None);
     }
 
     #[test]
     fn no_second_switch_while_outstanding() {
         let mut c = controller();
-        c.on_client_associated(CLIENT, AP1, ms(0));
+        assoc(&mut c, CLIENT, AP1, ms(0));
         let t = ms(100);
-        c.on_msg(csi(AP1, 8.0, t), t);
-        let first = c.on_msg(csi(AP2, 16.0, t), t);
+        msg(&mut c, csi(AP1, 8.0, t), t);
+        let first = msg(&mut c, csi(AP2, 16.0, t), t);
         assert!(!first.is_empty());
         // Even better AP3 appears, but the AP1→AP2 switch is pending.
-        let second = c.on_msg(csi(AP3, 25.0, t), t);
+        let second = msg(&mut c, csi(AP3, 25.0, t), t);
         assert!(second.is_empty());
         assert_eq!(c.stats.switches_started, 1);
     }
@@ -508,14 +732,14 @@ mod tests {
     #[test]
     fn stop_retransmitted_on_timeout() {
         let mut c = controller();
-        c.on_client_associated(CLIENT, AP1, ms(0));
+        assoc(&mut c, CLIENT, AP1, ms(0));
         let t = ms(100);
-        c.on_msg(csi(AP1, 8.0, t), t);
-        c.on_msg(csi(AP2, 16.0, t), t);
+        msg(&mut c, csi(AP1, 8.0, t), t);
+        msg(&mut c, csi(AP2, 16.0, t), t);
         let deadline = c.next_timeout().expect("switch pending");
         assert_eq!(deadline, t + SimDuration::from_millis(30));
-        assert!(c.poll(ms(120)).is_empty(), "before timeout: nothing");
-        let re = c.poll(deadline);
+        assert!(poll(&mut c, ms(120)).is_empty(), "before timeout: nothing");
+        let re = poll(&mut c, deadline);
         assert_eq!(re.len(), 1);
         assert!(matches!(
             re[0],
@@ -525,6 +749,11 @@ mod tests {
             }
         ));
         assert_eq!(c.stats.stop_retransmits, 1);
+        // The retransmit re-armed a fresh 30 ms deadline on the wheel.
+        assert_eq!(
+            c.next_timeout(),
+            Some(deadline + SimDuration::from_millis(30))
+        );
     }
 
     #[test]
@@ -539,11 +768,15 @@ mod tests {
             1500,
             ms(0),
         );
-        let first = c.on_msg(BackhaulMsg::UplinkData { ap: AP1, packet: p }, ms(1));
+        let first = msg(
+            &mut c,
+            BackhaulMsg::UplinkData { ap: AP1, packet: p },
+            ms(1),
+        );
         assert_eq!(first.len(), 1);
         // Two more APs heard the same packet.
         for ap in [AP2, AP3] {
-            let dup = c.on_msg(BackhaulMsg::UplinkData { ap, packet: p }, ms(1));
+            let dup = msg(&mut c, BackhaulMsg::UplinkData { ap, packet: p }, ms(1));
             assert!(dup.is_empty());
         }
         assert_eq!(c.stats.uplink_forwarded, 1);
@@ -554,12 +787,12 @@ mod tests {
     fn clients_have_independent_switch_state() {
         let mut c = controller();
         let c2 = NodeId(101);
-        c.on_client_associated(CLIENT, AP1, ms(0));
-        c.on_client_associated(c2, AP2, ms(0));
+        assoc(&mut c, CLIENT, AP1, ms(0));
+        assoc(&mut c, c2, AP2, ms(0));
         let t = ms(100);
         // Client 1 starts a switch; client 2 must still be able to.
-        c.on_msg(csi(AP1, 8.0, t), t);
-        let first = c.on_msg(csi(AP2, 16.0, t), t);
+        msg(&mut c, csi(AP1, 8.0, t), t);
+        let first = msg(&mut c, csi(AP2, 16.0, t), t);
         assert!(!first.is_empty(), "client 1 switch starts");
         let mk = |ap, esnr| BackhaulMsg::CsiReport {
             client: c2,
@@ -567,8 +800,8 @@ mod tests {
             esnr_db: esnr,
             at: t,
         };
-        c.on_msg(mk(AP2, 8.0), t);
-        let second = c.on_msg(mk(AP3, 16.0), t);
+        msg(&mut c, mk(AP2, 8.0), t);
+        let second = msg(&mut c, mk(AP3, 16.0), t);
         assert!(
             second.iter().any(|a| matches!(
                 a,
@@ -584,9 +817,9 @@ mod tests {
     fn per_client_indices_are_independent() {
         let mut c = controller();
         let c2 = NodeId(101);
-        c.on_client_associated(CLIENT, AP1, ms(0));
-        c.on_client_associated(c2, AP1, ms(0));
-        c.on_msg(csi(AP1, 15.0, ms(1)), ms(1));
+        assoc(&mut c, CLIENT, AP1, ms(0));
+        assoc(&mut c, c2, AP1, ms(0));
+        msg(&mut c, csi(AP1, 15.0, ms(1)), ms(1));
         let mut f = PacketFactory::new();
         // Interleave downlink packets; each client's index counts alone.
         let idx_of = |acts: &[ControllerAction]| -> u16 {
@@ -600,9 +833,9 @@ mod tests {
                 })
                 .expect("fanned out")
         };
-        let a0 = c.on_downlink(CLIENT, pkt(&mut f, 0), ms(2));
-        let b0 = c.on_downlink(c2, pkt(&mut f, 1), ms(2));
-        let a1 = c.on_downlink(CLIENT, pkt(&mut f, 2), ms(2));
+        let a0 = downlink(&mut c, CLIENT, pkt(&mut f, 0), ms(2));
+        let b0 = downlink(&mut c, c2, pkt(&mut f, 1), ms(2));
+        let a1 = downlink(&mut c, CLIENT, pkt(&mut f, 2), ms(2));
         assert_eq!(idx_of(&a0), 0);
         assert_eq!(idx_of(&b0), 0, "second client starts at its own 0");
         assert_eq!(idx_of(&a1), 1);
@@ -611,14 +844,28 @@ mod tests {
     #[test]
     fn serving_ap_kept_in_fanout_during_csi_lull() {
         let mut c = controller();
-        c.on_client_associated(CLIENT, AP1, ms(0));
+        assoc(&mut c, CLIENT, AP1, ms(0));
         // No CSI at all: fan-out must still reach the serving AP.
         let mut f = PacketFactory::new();
-        let actions = c.on_downlink(CLIENT, pkt(&mut f, 0), ms(50));
+        let actions = downlink(&mut c, CLIENT, pkt(&mut f, 0), ms(50));
         assert_eq!(actions.len(), 1);
         assert!(matches!(
             actions[0],
             ControllerAction::Send { ap, .. } if ap == AP1
         ));
+    }
+
+    #[test]
+    fn action_buf_reuses_storage() {
+        let mut c = controller();
+        let mut buf = ActionBuf::new();
+        c.on_client_associated(CLIENT, AP1, ms(0), &mut buf);
+        assert_eq!(buf.len(), 4);
+        let cap = buf.actions.capacity();
+        buf.clear();
+        assert!(buf.is_empty());
+        c.on_client_associated(NodeId(101), AP2, ms(1), &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.actions.capacity(), cap, "no reallocation on reuse");
     }
 }

@@ -47,7 +47,13 @@ impl DedupFilter {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "dedup capacity must be positive");
         DedupFilter {
-            seen: HashMap::with_capacity(capacity),
+            // Grow lazily: the controller keeps one filter per source
+            // address, and a fleet has ~one source per vehicle plus the
+            // servers. Reserving `capacity` (default 2¹⁶) buckets up
+            // front cost ~1 MiB per source — ~100 GiB at the 10⁵-source
+            // scale the controller tests pin — for sources that mostly
+            // hold a handful of in-flight keys.
+            seen: HashMap::new(),
             order: BTreeMap::new(),
             tick: 0,
             capacity,
@@ -81,6 +87,14 @@ impl DedupFilter {
     /// Keys currently remembered.
     pub fn len(&self) -> usize {
         self.seen.len()
+    }
+
+    /// Hash-table slots currently reserved — the filter's memory
+    /// footprint proxy. Stays proportional to the keys actually seen
+    /// (never eagerly `capacity`-sized), which is what keeps 10⁵
+    /// per-source filters affordable.
+    pub fn reserved(&self) -> usize {
+        self.seen.capacity()
     }
 
     /// Whether no keys are remembered.
@@ -150,6 +164,25 @@ mod tests {
         // Counters stayed consistent throughout: 5 first copies, 2 dups.
         assert_eq!(d.accepted, 5);
         assert_eq!(d.duplicates, 2);
+    }
+
+    #[test]
+    fn fresh_filter_reserves_nothing() {
+        // Regression: `new` used to call `HashMap::with_capacity(2¹⁶)`,
+        // eagerly burning ~1 MiB per filter — fatal once the controller
+        // splits dedup state per source address (10⁵ sources at fleet
+        // scale). Memory must follow the keys actually inserted.
+        let d = DedupFilter::new(1 << 16);
+        assert_eq!(d.reserved(), 0);
+        let mut d = DedupFilter::new(1 << 16);
+        for k in 0..8u64 {
+            d.check_and_insert(k);
+        }
+        assert!(
+            d.reserved() < 64,
+            "8 keys must not reserve {} slots",
+            d.reserved()
+        );
     }
 
     #[test]

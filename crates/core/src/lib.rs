@@ -34,9 +34,10 @@ pub mod dedup;
 pub mod messages;
 pub mod selection;
 pub mod switching;
+pub mod timerwheel;
 pub mod window;
 
 pub use config::WgttConfig;
-pub use controller::{Controller, ControllerAction};
+pub use controller::{ActionBuf, ActionSink, Controller, ControllerAction};
 pub use messages::{BackhaulDest, BackhaulMsg};
 pub use selection::SelectionPolicy;

@@ -251,12 +251,23 @@ impl ApSelector {
     /// arrives sporadically must still hold the client's packets in its
     /// cyclic queue, or a switch to it starts with holes in the ring.
     pub fn heard_set(&self, now: SimTime, grace: SimDuration) -> Vec<NodeId> {
-        // BTreeMap iteration is already in ascending AP-id order.
-        self.links
-            .iter()
-            .filter(|(_, l)| l.last_reading + grace >= now)
-            .map(|(&ap, _)| ap)
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_heard(now, grace, |ap| out.push(ap));
+        out
+    }
+
+    /// Visit the downlink replication set without materializing it:
+    /// calls `f` for every AP heard within `grace` of `now`, in
+    /// ascending AP-id order (`BTreeMap` iteration order) — exactly the
+    /// APs and order [`heard_set`](Self::heard_set) returns. The
+    /// controller's fan-out streams packets through this straight into
+    /// its action sink, so the per-packet hot path allocates nothing.
+    pub fn for_each_heard(&self, now: SimTime, grace: SimDuration, mut f: impl FnMut(NodeId)) {
+        for (&ap, l) in self.links.iter() {
+            if l.last_reading + grace >= now {
+                f(ap);
+            }
+        }
     }
 
     /// The AP currently serving this client, if any.

@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 
 use wgtt::ap::ApAgent;
-use wgtt::controller::{Controller, ControllerAction};
+use wgtt::controller::{ActionBuf, Controller, ControllerAction};
 use wgtt::messages::{BackhaulDest, BackhaulMsg};
 use wgtt::WgttConfig;
 use wgtt_apps::conference::{ConferenceSink, ConferenceSource};
@@ -192,8 +192,9 @@ pub struct RunReport {
     /// One sample per delivered A-MPDU makes this the report's unbounded
     /// recorder on long runs, so it uses the bounded-memory sketch
     /// backend ([`Distribution::sketch`], rank error ≤ the documented
-    /// epsilon); the small exact-shape recorders (e.g.
-    /// `switch_durations`, Table 1) stay on the exact backend.
+    /// epsilon). `switch_durations` (one sample per completed switch)
+    /// moved to the same sketch backend with the controller-dataplane
+    /// rewrite; Table 1 reads only its exact count/mean/std-dev.
     pub bitrate_series: HashMap<NodeId, Distribution>,
     /// ESNR traces per (client, AP) — Fig. 2 style.
     pub esnr_traces: HashMap<(NodeId, NodeId), TimeSeries>,
@@ -398,6 +399,12 @@ pub struct World {
     /// dozens of APs that loop is O(clients × APs) every 10 ms and the
     /// fleet report never reads the traces it would fill.
     pub sample_lean: bool,
+    /// Pool of reusable controller action buffers. Dispatching a
+    /// controller action can recursively produce more controller work
+    /// (a forwarded uplink TCP ack emits fresh downlink segments), so
+    /// each dispatch depth pops its own buffer and returns it cleared —
+    /// depth-first order preserved, zero steady-state allocation.
+    ctl_bufs: Vec<ActionBuf>,
     end_at: SimTime,
 }
 
@@ -614,9 +621,13 @@ impl World {
             capture_ident: 0,
             trace_from: SimTime::ZERO,
             sample_lean: false,
+            ctl_bufs: Vec::new(),
             end_at: SimTime::ZERO,
             cfg,
         };
+        if let SystemState::Wgtt { controller, .. } = &mut world.system {
+            controller.reserve_clients(world.clients.len());
+        }
         for (ci, spec) in flow_specs {
             world.attach_flow(ci, spec);
         }
@@ -922,9 +933,10 @@ impl World {
                 })
                 .expect("at least one AP");
             match &mut self.system {
-                SystemState::Wgtt { controller, .. } => {
-                    let actions = controller.on_client_associated(client, best_ap, SimTime::ZERO);
-                    self.dispatch_controller_actions(actions, SimTime::ZERO);
+                SystemState::Wgtt { .. } => {
+                    self.with_controller(SimTime::ZERO, |c, buf| {
+                        c.on_client_associated(client, best_ap, SimTime::ZERO, buf);
+                    });
                 }
                 SystemState::Baseline { ds, .. } => {
                     ds.attach(client, best_ap);

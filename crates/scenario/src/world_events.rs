@@ -102,8 +102,32 @@ impl World {
         self.queue.schedule(now + delay, Ev::Backhaul { to, msg });
     }
 
-    fn dispatch_controller_actions(&mut self, actions: Vec<ControllerAction>, now: SimTime) {
-        for a in actions {
+    /// Run `f` against the WGTT controller with a pooled action buffer,
+    /// then dispatch everything it emitted. No-op on baseline worlds.
+    ///
+    /// Dispatching can recurse into more controller work (a forwarded
+    /// uplink TCP ack emits fresh downlink segments, which fan out
+    /// here again), so each depth takes its own buffer from the pool —
+    /// depth-first dispatch order is preserved exactly, and in steady
+    /// state no dispatch allocates.
+    fn with_controller(&mut self, now: SimTime, f: impl FnOnce(&mut Controller, &mut ActionBuf)) {
+        let mut buf = self.ctl_bufs.pop().unwrap_or_default();
+        debug_assert!(buf.is_empty());
+        let ran = if let SystemState::Wgtt { controller, .. } = &mut self.system {
+            f(controller, &mut buf);
+            true
+        } else {
+            false
+        };
+        if ran {
+            self.dispatch_ctl_buf(&mut buf, now);
+        }
+        buf.clear();
+        self.ctl_bufs.push(buf);
+    }
+
+    fn dispatch_ctl_buf(&mut self, buf: &mut ActionBuf, now: SimTime) {
+        for a in buf.drain() {
             match a {
                 ControllerAction::Send { ap, msg } => {
                     self.backhaul_send(BackhaulDest::Ap(ap), msg, now);
@@ -112,7 +136,7 @@ impl World {
             }
         }
         // A switch may have been started: make sure its timeout is polled.
-        if let SystemState::Wgtt { controller, .. } = &self.system {
+        if let SystemState::Wgtt { controller, .. } = &mut self.system {
             if let Some(t) = controller.next_timeout() {
                 self.queue.schedule(t.max(now), Ev::CtlPoll);
             }
@@ -122,11 +146,7 @@ impl World {
     fn on_backhaul(&mut self, to: BackhaulDest, msg: BackhaulMsg, now: SimTime) {
         match to {
             BackhaulDest::Controller => {
-                let SystemState::Wgtt { controller, .. } = &mut self.system else {
-                    return;
-                };
-                let actions = controller.on_msg(msg, now);
-                self.dispatch_controller_actions(actions, now);
+                self.with_controller(now, |c, buf| c.on_msg(msg, now, buf));
             }
             BackhaulDest::Ap(ap_id) => {
                 if !self.is_ap(ap_id) {
@@ -193,11 +213,7 @@ impl World {
     }
 
     fn on_ctl_poll(&mut self, now: SimTime) {
-        let SystemState::Wgtt { controller, .. } = &mut self.system else {
-            return;
-        };
-        let actions = controller.poll(now);
-        self.dispatch_controller_actions(actions, now);
+        self.with_controller(now, |c, buf| c.poll(now, buf));
     }
 
     // --------------------------------------------------------- transport
@@ -208,9 +224,8 @@ impl World {
         self.store_packet(packet);
         let off = self.cfg.ap_id_offset;
         match &mut self.system {
-            SystemState::Wgtt { controller, .. } => {
-                let actions = controller.on_downlink(client, packet, now);
-                self.dispatch_controller_actions(actions, now);
+            SystemState::Wgtt { .. } => {
+                self.with_controller(now, |c, buf| c.on_downlink(client, packet, now, buf));
             }
             SystemState::Baseline { ds, aps } => {
                 if let Some(ap) = ds.route(client) {
