@@ -1,36 +1,35 @@
-//! Before/after benchmarks for the zero-redundancy PHY frame path —
-//! the per-frame cost every overhearing AP pays on every uplink frame
-//! now that selection is O(1): CSI synthesis (`FadingProcess::csi_at`),
-//! the ESNR map, and the full per-frame verdict at 8 APs.
+//! Before/after benchmarks for the vectorized PHY frame path — the
+//! per-frame cost every overhearing AP pays on every uplink frame:
+//! CSI/power synthesis, the ESNR map, the batched multi-AP map, and the
+//! full per-frame verdict at 8 APs.
 //!
-//! "reference" is the seed implementation, kept verbatim as
-//! `wgtt_radio::fading::reference` (the bit-identity oracle of
-//! `crates/radio/tests/prop_fading.rs`) and
-//! `wgtt_radio::esnr::reference` (the 200-step bisection oracle of
-//! `crates/radio/tests/prop_esnr.rs`); "twiddle"/"memo"/"table+newton"
-//! is the shipping path (precomputed subcarrier×tap twiddle table,
-//! flattened sinusoid banks, zero-alloc synthesis, single-entry link
-//! memo, monotone-Hermite BER→SNR inverse).
+//! Three implementations are compared. "reference" is the seed
+//! implementation, kept verbatim as `wgtt_radio::fading::reference` /
+//! `wgtt_radio::esnr::reference` (the bit-identity oracles of
+//! `tests/prop_fading.rs` / `tests/prop_esnr.rs`). "scalar" is the
+//! previous shipping path (precomputed twiddle table, flattened
+//! sinusoid banks, libm transcendentals), retained verbatim as
+//! `fading::scalar` / `esnr::scalar` — the epsilon oracle of
+//! `tests/prop_simd.rs`. The unlabeled shipping path is the SIMD one:
+//! SoA planes, f64×8 lanes, branchless vector sin/cos/exp, fused
+//! powers synthesis, batched multi-AP entry points.
 //!
 //! Unlike the other benches this one also needs the numbers back, so it
 //! times with a local median-of-samples helper (same calibration scheme
-//! as the vendored criterion shim, same `time: [lo mid hi]` output
-//! shape) and finishes with an end-to-end macro-bench: one-shot
-//! fig13-style drives reporting events/s and frames/s. Everything is
-//! written to `BENCH_frame_path.json` at the workspace root as a
-//! *trajectory*: earlier PRs' measured points are embedded as literals
-//! and this run's point is appended, so the file accumulates the
-//! before/after history ROADMAP asks every perf PR to extend. The
-//! current point, `sharded-world`, adds the sharded-engine scaling
-//! macro: one districted corridor through the sequential monolithic
-//! engine vs `shard::run_sharded`.
+//! as the vendored criterion shim, and the shim's cycle-counter clock)
+//! and finishes with an end-to-end macro-bench: one-shot fig13-style
+//! drives reporting events/s and frames/s. Everything is written to
+//! `BENCH_frame_path.json` at the workspace root as a *trajectory*:
+//! earlier PRs' measured points are embedded as literals and this run's
+//! point, `simd-phy`, is appended.
 
-use criterion::black_box;
+use criterion::{black_box, clock};
 use std::time::Instant;
 use wgtt_mac::Mcs;
 use wgtt_radio::esnr::reference as esnr_reference;
-use wgtt_radio::fading::reference;
-use wgtt_radio::{effective_snr_db, FadingProcess, Link, Modulation, Position};
+use wgtt_radio::esnr::scalar as esnr_scalar;
+use wgtt_radio::fading::{reference, scalar};
+use wgtt_radio::{batch, effective_snr_db, FadingProcess, Link, Modulation, Position};
 use wgtt_scenario::experiments::common::drive;
 use wgtt_scenario::experiments::motivation::radio_links;
 use wgtt_scenario::fleet::FleetConfig;
@@ -45,21 +44,22 @@ const TARGET_SAMPLE_NANOS: u128 = 5_000_000;
 const SAMPLES: usize = 15;
 
 /// Time `routine` like the criterion shim does (calibration probe, then
-/// `SAMPLES` samples of calibrated batches), print the familiar
-/// `time: [lo mid hi]` line, and return the median ns/iteration.
+/// `SAMPLES` samples of calibrated batches, on the shim's cycle-counter
+/// clock), print the familiar `time: [lo mid hi]` line, and return the
+/// median ns/iteration.
 fn measure<O>(id: &str, mut routine: impl FnMut() -> O) -> f64 {
-    let probe = Instant::now();
+    let probe = clock::start();
     black_box(routine());
-    let probe_ns = probe.elapsed().as_nanos().max(1);
+    let probe_ns = (probe.elapsed_ns() as u128).max(1);
     let iters = (TARGET_SAMPLE_NANOS / probe_ns).clamp(1, 50_000_000) as usize;
 
     let mut samples: Vec<f64> = (0..SAMPLES)
         .map(|_| {
-            let start = Instant::now();
+            let start = clock::start();
             for _ in 0..iters {
                 black_box(routine());
             }
-            start.elapsed().as_nanos() as f64 / iters as f64
+            start.elapsed_ns() / iters as f64
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
@@ -124,7 +124,7 @@ fn verdict_fast(links: &[Link], t: SimTime, pos: Position) -> f64 {
 /// The same frame's work the way the seed did it: every sample
 /// re-synthesizes the CSI and re-runs the ESNR map through the 200-step
 /// bisection inverse (`esnr::reference`), so this side stays the true
-/// seed baseline even as the shipping inverse gets faster.
+/// seed baseline even as the shipping path gets faster.
 fn verdict_reference(links: &[Link], t: SimTime, pos: Position) -> f64 {
     let mut acc = 0.0;
     for link in links {
@@ -176,13 +176,8 @@ fn macro_fleet(label: &str) -> (f64, u64, u64) {
 /// The sharded-engine scaling point: one districted corridor
 /// (96 vehicles x 64 APs in 4 districts, 4 simulated seconds) run
 /// through both engines on the *same* scenario — byte-identical
-/// reports either way (`tests/integration_shard.rs` is the proof), so
-/// the wall-clock ratio is a pure engine comparison. The sequential
-/// monolithic `World` walks the whole fleet in every per-frame decode
-/// loop and pays the full shared event queue; each district world
-/// only ever touches its own sixteenth of the client x AP cross
-/// product, so the sharded engine wins even on one core, before
-/// thread parallelism. The headline number normalizes to the oracle's
+/// reports either way, so the wall-clock ratio is a pure engine
+/// comparison. The headline number normalizes to the oracle's
 /// workload: (oracle events / sharded wall) vs (oracle events /
 /// oracle wall), i.e. events/s on the identical simulated scenario.
 fn macro_sharded() -> ((f64, u64), (f64, u64)) {
@@ -219,11 +214,12 @@ fn macro_sharded() -> ((f64, u64), (f64, u64)) {
 }
 
 fn main() {
-    // Identical realizations for both sides: the shipping process is
-    // constructed *through* the reference, so the comparison is pure
-    // implementation, not channel luck.
+    // Identical realizations for all three sides: both shipping
+    // processes are constructed *through* the reference, so the
+    // comparison is pure implementation, not channel luck.
     let stream = RngStream::root(42).derive("bench-link");
     let fast = FadingProcess::new(stream, 6.7, 9.0);
+    let scalar_fp = scalar::FadingProcess::new(stream, 6.7, 9.0);
     let refp = reference::FadingProcess::new(stream, 6.7, 9.0);
 
     println!("== frame_path micro ==");
@@ -233,9 +229,19 @@ fn main() {
         black_box(refp.csi_at(t))
     });
     let mut c = Clock { ns: 0 };
-    let csi_fast = measure("csi_at/twiddle", || {
+    let csi_scalar = measure("csi_at/scalar (retained twiddle)", || {
+        let t = c.tick();
+        black_box(scalar_fp.csi_at(t))
+    });
+    let mut c = Clock { ns: 0 };
+    let csi_fast = measure("csi_at/simd (SoA lanes)", || {
         let t = c.tick();
         black_box(fast.csi_at(t))
+    });
+    let mut c = Clock { ns: 0 };
+    let powers_fast = measure("powers_at/simd (fused, no Csi)", || {
+        let t = c.tick();
+        black_box(fast.powers_at(t))
     });
 
     let mut c = Clock { ns: 0 };
@@ -244,15 +250,15 @@ fn main() {
         black_box(refp.wideband_gain_at(t))
     });
     let mut c = Clock { ns: 0 };
-    let wb_fast = measure("wideband_gain_at/zero-materialization", || {
+    let wb_fast = measure("wideband_gain_at/simd fused", || {
         let t = c.tick();
         black_box(fast.wideband_gain_at(t))
     });
 
-    // The BER→SNR inversion alone — this PR's tentpole. A spread of
-    // targets log-spaced across the achievable range, cycling all four
-    // modulations, so the measurement walks the whole table instead of
-    // sitting on one cache-hot knot.
+    // The BER→SNR inversion alone. A spread of targets log-spaced
+    // across the achievable range, cycling all four modulations, so the
+    // measurement walks the whole table instead of sitting on one
+    // cache-hot knot.
     let mods = [
         Modulation::Bpsk,
         Modulation::Qpsk,
@@ -281,7 +287,8 @@ fn main() {
     });
 
     // The full ESNR map (56 subcarrier BERs + one inversion) on a fixed
-    // snapshot, seed inverse vs shipping inverse.
+    // snapshot: seed bisection, retained scalar sweep, shipping lane
+    // sweep.
     let csi = fast.csi_at(SimTime::from_micros(321));
     let map_ref = measure("esnr/map reference (56 BERs + bisection)", || {
         black_box(esnr_reference::effective_snr_db(
@@ -290,13 +297,53 @@ fn main() {
             Modulation::Qam16,
         ))
     });
-    let map_fast = measure("esnr/map fast (56 BERs + table+newton)", || {
+    let map_scalar = measure("esnr/map scalar (56 libm BERs)", || {
+        black_box(esnr_scalar::effective_snr_db(&csi, 25.0, Modulation::Qam16))
+    });
+    let map_fast = measure("esnr/map simd (f64x8 lane sweep)", || {
         black_box(effective_snr_db(&csi, 25.0, Modulation::Qam16))
     });
 
-    // Full per-frame verdict at 8 APs, 8-MPDU A-MPDU + measurement.
+    // The batched multi-AP ESNR map — the overhearing fan-out the world
+    // pays per uplink frame — vs the same map as a per-AP scalar loop:
+    // scalar CSI synthesis + geometry + retained scalar sweep per AP,
+    // the way the pre-SIMD world computed it. The scalar fading
+    // processes are rebuilt from the same RNG streams as the links, so
+    // both sides evaluate the identical physical channel.
     let (links, plan) = radio_links(NUM_APS, 15.0, 42);
     let pos = plan.position_at(SimTime::from_millis(2_500));
+    let scalar_fps: Vec<scalar::FadingProcess> = (0..NUM_APS)
+        .map(|ai| {
+            scalar::FadingProcess::new(
+                RngStream::root(42)
+                    .derive("link")
+                    .derive_indexed("ap", ai as u64)
+                    .derive_indexed("client", 0),
+                wgtt_scenario::experiments::common::mps(15.0),
+                9.0,
+            )
+        })
+        .collect();
+    let mut c = Clock { ns: 0 };
+    let batch_scalar = measure("esnr_batch/per-AP scalar loop (8 APs)", || {
+        let t = c.tick();
+        let mut acc = 0.0;
+        for (link, fp) in links.iter().zip(scalar_fps.iter()) {
+            let csi = fp.csi_at(t);
+            let mean = link.mean_snr_db(pos);
+            acc += esnr_scalar::effective_snr_db(&csi, mean, Modulation::Qam16);
+        }
+        acc
+    });
+    let mut c = Clock { ns: 0 };
+    let mut batch_out: Vec<f64> = Vec::new();
+    let batch_fast = measure("esnr_batch/batched simd map (8 APs)", || {
+        let t = c.tick();
+        batch::esnr_map(links.iter(), t, pos, Modulation::Qam16, &mut batch_out);
+        batch_out.iter().sum::<f64>()
+    });
+
+    // Full per-frame verdict at 8 APs, 8-MPDU A-MPDU + measurement.
     let mut c = Clock { ns: 0 };
     let verdict_ref = measure("frame_verdict/reference (8 APs)", || {
         let t = c.tick();
@@ -321,7 +368,13 @@ fn main() {
 
     println!();
     println!(
-        "speedups: csi_at {:.2}x  wideband {:.2}x  snr_for_ber {:.2}x  esnr_map {:.2}x  frame_verdict {:.2}x",
+        "speedups vs scalar: csi_at {:.2}x  esnr_map {:.2}x  esnr_batch {:.2}x",
+        csi_scalar / csi_fast,
+        map_scalar / map_fast,
+        batch_scalar / batch_fast,
+    );
+    println!(
+        "speedups vs seed reference: csi_at {:.2}x  wideband {:.2}x  snr_for_ber {:.2}x  esnr_map {:.2}x  frame_verdict {:.2}x",
         csi_ref / csi_fast,
         wb_ref / wb_fast,
         inv_ref / inv_fast,
@@ -330,7 +383,7 @@ fn main() {
     );
 
     // Trajectory: earlier PRs' points (measured when they landed) are
-    // embedded verbatim, and this run appends the fleet-corridor point.
+    // embedded verbatim, and this run appends the simd-phy point.
     let json = format!(
         concat!(
             "{{\n",
@@ -415,18 +468,58 @@ fn main() {
             "    {{\n",
             "      \"point\": \"sharded-world\",\n",
             "      \"micro\": {{\n",
+            "        \"csi_at_reference\": 4930.4,\n",
+            "        \"csi_at_twiddle\": 1102.2,\n",
+            "        \"csi_at_speedup\": 4.47,\n",
+            "        \"wideband_reference\": 4920.7,\n",
+            "        \"wideband_zero_materialization\": 1123.4,\n",
+            "        \"wideband_speedup\": 4.38,\n",
+            "        \"snr_for_ber_reference\": 13679.5,\n",
+            "        \"snr_for_ber_fast\": 658.0,\n",
+            "        \"snr_for_ber_speedup\": 20.79,\n",
+            "        \"esnr_map_reference\": 15817.1,\n",
+            "        \"esnr_map_fast\": 1891.6,\n",
+            "        \"esnr_map_speedup\": 8.36,\n",
+            "        \"frame_verdict_reference_8ap\": 1259989.7,\n",
+            "        \"frame_verdict_memoized_8ap\": 27732.9,\n",
+            "        \"frame_verdict_speedup\": 45.43\n",
+            "      }},\n",
+            "      \"macro\": {{\n",
+            "        \"udp_30mbps_15mph\": {{ \"wall_s\": 0.235, \"events\": 271952, ",
+            "\"events_per_s\": 1158288, \"frames\": 5047, \"frames_per_s\": 21496 }},\n",
+            "        \"tcp_bulk_15mph\": {{ \"wall_s\": 0.426, \"events\": 407855, ",
+            "\"events_per_s\": 957757, \"frames\": 10259, \"frames_per_s\": 24091 }},\n",
+            "        \"fleet_10veh_8ap_10s\": {{ \"wall_s\": 0.382, \"events\": 165201, ",
+            "\"events_per_s\": 433001, \"frames\": 12002, \"frames_per_s\": 31458 }},\n",
+            "        \"sharded_96veh_64ap_4d_4s\": {{\n",
+            "          \"sequential_1shard\": {{ \"wall_s\": 5.721, \"events\": 1945043, \"events_per_s\": 339960 }},\n",
+            "          \"sharded_4d_4w\": {{ \"wall_s\": 1.883, \"events\": 620824, \"events_per_s\": 329783, ",
+            "\"oracle_workload_events_per_s\": 1033211 }},\n",
+            "          \"same_scenario_events_per_s_speedup\": 3.04\n",
+            "        }}\n",
+            "      }}\n",
+            "    }},\n",
+            "    {{\n",
+            "      \"point\": \"simd-phy\",\n",
+            "      \"micro\": {{\n",
             "        \"csi_at_reference\": {:.1},\n",
-            "        \"csi_at_twiddle\": {:.1},\n",
-            "        \"csi_at_speedup\": {:.2},\n",
+            "        \"csi_at_scalar\": {:.1},\n",
+            "        \"csi_at_simd\": {:.1},\n",
+            "        \"csi_at_simd_speedup_vs_scalar\": {:.2},\n",
+            "        \"powers_at_simd_fused\": {:.1},\n",
             "        \"wideband_reference\": {:.1},\n",
-            "        \"wideband_zero_materialization\": {:.1},\n",
+            "        \"wideband_simd_fused\": {:.1},\n",
             "        \"wideband_speedup\": {:.2},\n",
             "        \"snr_for_ber_reference\": {:.1},\n",
             "        \"snr_for_ber_fast\": {:.1},\n",
             "        \"snr_for_ber_speedup\": {:.2},\n",
             "        \"esnr_map_reference\": {:.1},\n",
-            "        \"esnr_map_fast\": {:.1},\n",
-            "        \"esnr_map_speedup\": {:.2},\n",
+            "        \"esnr_map_scalar\": {:.1},\n",
+            "        \"esnr_map_simd\": {:.1},\n",
+            "        \"esnr_map_simd_speedup_vs_scalar\": {:.2},\n",
+            "        \"esnr_batch_8ap_scalar_loop\": {:.1},\n",
+            "        \"esnr_batch_8ap_batched\": {:.1},\n",
+            "        \"esnr_batch_speedup\": {:.2},\n",
             "        \"frame_verdict_reference_8ap\": {:.1},\n",
             "        \"frame_verdict_memoized_8ap\": {:.1},\n",
             "        \"frame_verdict_speedup\": {:.2}\n",
@@ -450,8 +543,10 @@ fn main() {
             "}}\n"
         ),
         csi_ref,
+        csi_scalar,
         csi_fast,
-        csi_ref / csi_fast,
+        csi_scalar / csi_fast,
+        powers_fast,
         wb_ref,
         wb_fast,
         wb_ref / wb_fast,
@@ -459,8 +554,12 @@ fn main() {
         inv_fast,
         inv_ref / inv_fast,
         map_ref,
+        map_scalar,
         map_fast,
-        map_ref / map_fast,
+        map_scalar / map_fast,
+        batch_scalar,
+        batch_fast,
+        batch_scalar / batch_fast,
         verdict_ref,
         verdict_memo,
         verdict_ref / verdict_memo,

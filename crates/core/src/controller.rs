@@ -384,8 +384,20 @@ impl Controller {
                 at,
             } => {
                 let slot = self.slot_of(client);
-                self.clients[slot].selector.record(ap, at, esnr_db);
-                self.evaluate(slot, now, sink);
+                let st = &mut self.clients[slot];
+                if st.switcher.busy() || st.serving.is_none() {
+                    // Nothing can act on a verdict right now (switch in
+                    // flight, or not yet associated): fold the reading
+                    // into the window and stop — the same work the old
+                    // record-then-bail path did.
+                    st.selector.record(ap, at, esnr_db);
+                } else {
+                    // The hot path: one fused call records the reading
+                    // and re-runs the selection rule against the
+                    // just-bumped argmax cache.
+                    let verdict = st.selector.record_and_evaluate(ap, at, esnr_db, now);
+                    self.act_on_verdict(slot, verdict, now, sink);
+                }
             }
             BackhaulMsg::UplinkData { packet, .. } => {
                 let src = (packet.dedup_key() >> 16) as u32;
@@ -436,17 +448,21 @@ impl Controller {
         }
     }
 
-    /// Re-run the selection rule for the client in `slot` and start a
-    /// switch if it says so and none is outstanding.
-    fn evaluate<S: ActionSink>(&mut self, slot: usize, now: SimTime, sink: &mut S) {
+    /// Start the switch a [`Verdict::SwitchTo`] asks for, if any and
+    /// none is outstanding (the acting half of the fused
+    /// record-and-evaluate hot path).
+    fn act_on_verdict<S: ActionSink>(
+        &mut self,
+        slot: usize,
+        verdict: Verdict,
+        now: SimTime,
+        sink: &mut S,
+    ) {
         let st = &mut self.clients[slot];
-        if st.switcher.busy() {
-            return;
-        }
         let Some(current) = st.serving else {
             return; // not yet associated
         };
-        if let Verdict::SwitchTo(target) = st.selector.evaluate(now) {
+        if let Verdict::SwitchTo(target) = verdict {
             if target != current {
                 if let Some(SwitchEvent::SendStop {
                     old_ap,

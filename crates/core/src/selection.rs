@@ -339,6 +339,25 @@ impl ApSelector {
         best
     }
 
+    /// Record a reading and immediately evaluate the selection rule —
+    /// the controller's per-CsiReport hot path fused into one call.
+    /// The record's incremental argmax bump feeds straight into the
+    /// evaluate's `best()` query, so on the (overwhelmingly common)
+    /// frame where the reading does not dethrone the cached winner the
+    /// argmax is a pure memo hit and no window is re-reduced. Exactly
+    /// equivalent to `record(ap, at, esnr_db); evaluate(now)` — the
+    /// lockstep suite in `tests/prop_selection.rs` holds it to that.
+    pub fn record_and_evaluate(
+        &mut self,
+        ap: NodeId,
+        at: SimTime,
+        esnr_db: f64,
+        now: SimTime,
+    ) -> Verdict {
+        self.record(ap, at, esnr_db);
+        self.evaluate(now)
+    }
+
     /// Evaluate the selection rule at `now`. Returns
     /// [`Verdict::SwitchTo`] only when the best AP differs from the
     /// current, beats it by the margin, and the hysteresis has elapsed.
@@ -485,6 +504,19 @@ impl FullScanSelector {
             }
         }
         best
+    }
+
+    /// Record-then-evaluate in one call (mirror of
+    /// [`ApSelector::record_and_evaluate`], full-scan semantics).
+    pub fn record_and_evaluate(
+        &mut self,
+        ap: NodeId,
+        at: SimTime,
+        esnr_db: f64,
+        now: SimTime,
+    ) -> Verdict {
+        self.record(ap, at, esnr_db);
+        self.evaluate(now)
     }
 
     /// Evaluate the selection rule at `now` (same dampers as

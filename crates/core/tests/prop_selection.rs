@@ -329,6 +329,65 @@ proptest! {
         }
     }
 
+    /// The fused `record_and_evaluate` hot path (the controller's
+    /// per-CsiReport entry) is exactly `record` followed by `evaluate`,
+    /// on both the fast selector and the full-scan oracle — including
+    /// under exact saturation-ceiling ties. The SIMD ESNR sweep
+    /// preserves the per-modulation BER-clamp ceiling bit-for-bit, so
+    /// several strong APs routinely report the *identical* float; the
+    /// fused entry must keep breaking those ties to the lowest AP id
+    /// (and never flap) just like the split calls do.
+    #[test]
+    fn fused_record_and_evaluate_identical_to_split_calls(
+        ops in proptest::collection::vec(
+            (0u32..6, 0u64..2_000, 0u32..600, any::<bool>()), 1..200
+        )
+    ) {
+        // Exact per-modulation ESNR ceilings (the 1e-12 BER clamp).
+        let ceilings: Vec<f64> = [
+            wgtt_radio::Modulation::Bpsk,
+            wgtt_radio::Modulation::Qpsk,
+            wgtt_radio::Modulation::Qam16,
+            wgtt_radio::Modulation::Qam64,
+        ]
+        .iter()
+        .map(|m| wgtt_radio::linear_to_db(m.snr_for_ber(0.0)))
+        .collect();
+        let knobs = (WINDOW, SimDuration::from_millis(40), 1.0);
+        let mut fast_fused = ApSelector::new(knobs.0, knobs.1, knobs.2);
+        let mut fast_split = ApSelector::new(knobs.0, knobs.1, knobs.2);
+        let mut oracle_split = FullScanSelector::new(knobs.0, knobs.1, knobs.2);
+        let mut t_us = 0u64;
+        for (ap_raw, dt_us, raw, saturate) in ops {
+            t_us += dt_us;
+            let now = SimTime::from_micros(t_us);
+            let ap = NodeId(ap_raw % 4);
+            // ~Half the readings sit exactly on a ceiling, so ties
+            // across APs are the norm, not the exception.
+            let v = if saturate {
+                ceilings[(raw % 4) as usize]
+            } else {
+                esnr(raw)
+            };
+            let fused = fast_fused.record_and_evaluate(ap, now, v, now);
+            fast_split.record(ap, now, v);
+            let split = fast_split.evaluate(now);
+            oracle_split.record(ap, now, v);
+            let oracle = oracle_split.evaluate(now);
+            prop_assert_eq!(fused, split, "fused != split at t={}µs", t_us);
+            prop_assert_eq!(fused, oracle, "fused != oracle at t={}µs", t_us);
+            if let Verdict::SwitchTo(target) = fused {
+                fast_fused.set_current(target, now);
+                fast_split.set_current(target, now);
+                oracle_split.set_current(target, now);
+            }
+            prop_assert_eq!(fast_fused.current(), fast_split.current());
+            let fused_best = fast_fused.best(now).map(|(a, m)| (a, m.to_bits()));
+            let split_best = fast_split.best(now).map(|(a, m)| (a, m.to_bits()));
+            prop_assert_eq!(fused_best, split_best, "best diverged at t={}µs", t_us);
+        }
+    }
+
     /// The Mean-policy contract for the O(1) compensated running sum
     /// (this is the proptest the running-sum change lands with):
     /// window reductions stay within [`MEAN_EPS`] of the retained

@@ -15,12 +15,125 @@
 //! minimum / median / maximum of the per-iteration sample means, in
 //! criterion's familiar `time: [lo mid hi]` shape.
 
-use std::time::Instant;
-
 /// Wall time each measurement sample aims to occupy, in nanoseconds.
 const TARGET_SAMPLE_NANOS: u128 = 5_000_000;
 
 pub use std::hint::black_box;
+
+/// Low-overhead timestamp source for the measurement loops.
+///
+/// `Instant::now()` costs a vDSO call (~20–30 ns) per read — acceptable
+/// around a calibrated batch, but the dominant cost when probing or
+/// per-iteration-timing routines that themselves run in nanoseconds
+/// (the SIMD PHY kernels this workspace benches). This module reads the
+/// hardware cycle/tick counter instead — `rdtsc` on x86_64,
+/// `cntvct_el0` on aarch64 — calibrated once against `Instant` so every
+/// reported figure stays in nanoseconds. Architectures without a usable
+/// counter (and counters that calibrate degenerately) fall back to
+/// `Instant` transparently.
+pub mod clock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    #[cfg(target_arch = "x86_64")]
+    #[inline(always)]
+    fn counter() -> u64 {
+        // Unserialized on purpose: measurement brackets span entire
+        // batches, so fence cost would dwarf any reordering skew.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    #[inline(always)]
+    fn counter() -> u64 {
+        let v: u64;
+        // The generic timer's virtual count: constant-rate, user-readable.
+        unsafe {
+            core::arch::asm!("mrs {v}, cntvct_el0", v = out(reg) v, options(nomem, nostack, preserves_flags));
+        }
+        v
+    }
+
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fn counter() -> u64 {
+        0 // never read: `ns_per_tick` is 0 and start() takes the Instant arm
+    }
+
+    /// Nanoseconds per counter tick, calibrated once against `Instant`
+    /// over a ~2 ms spin. `0.0` means "counter unusable — use Instant".
+    fn ns_per_tick() -> f64 {
+        static NS: OnceLock<f64> = OnceLock::new();
+        *NS.get_or_init(|| {
+            if cfg!(not(any(target_arch = "x86_64", target_arch = "aarch64"))) {
+                return 0.0;
+            }
+            let t0 = Instant::now();
+            let c0 = counter();
+            while t0.elapsed().as_micros() < 2_000 {
+                std::hint::spin_loop();
+            }
+            let dc = counter().wrapping_sub(c0);
+            let dt = t0.elapsed().as_nanos() as f64;
+            if dc == 0 {
+                0.0 // counter pinned or privileged-off: fall back
+            } else {
+                dt / dc as f64
+            }
+        })
+    }
+
+    /// A started timer: cycle-counter ticks when the hardware counter
+    /// calibrated, wall clock otherwise.
+    pub enum Stopwatch {
+        Ticks(u64),
+        Wall(Instant),
+    }
+
+    /// Start a timer with the cheapest usable source.
+    #[inline(always)]
+    pub fn start() -> Stopwatch {
+        if ns_per_tick() > 0.0 {
+            Stopwatch::Ticks(counter())
+        } else {
+            Stopwatch::Wall(Instant::now())
+        }
+    }
+
+    impl Stopwatch {
+        /// Elapsed nanoseconds since [`start`].
+        #[inline(always)]
+        pub fn elapsed_ns(&self) -> f64 {
+            match self {
+                Stopwatch::Ticks(c0) => counter().wrapping_sub(*c0) as f64 * ns_per_tick(),
+                Stopwatch::Wall(t0) => t0.elapsed().as_nanos() as f64,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn stopwatch_is_monotone_and_tracks_wall_time() {
+            let sw = start();
+            let wall = Instant::now();
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let got = sw.elapsed_ns();
+            let want = wall.elapsed().as_nanos() as f64;
+            assert!(got > 0.0);
+            // Same 50 ms sleep on both clocks: within 20 % of each other
+            // (calibration error is well under 1 %; the slack is for CI
+            // scheduling jitter between the two reads).
+            assert!(
+                (got - want).abs() / want < 0.20,
+                "stopwatch {got} ns vs wall {want} ns"
+            );
+            // And strictly increasing on an immediate re-read.
+            assert!(sw.elapsed_ns() >= got);
+        }
+    }
+}
 
 /// How [`Bencher::iter_batched`] groups setup outputs.
 /// `SmallInput`/`LargeInput` prepare a batch of inputs up front and
@@ -97,18 +210,18 @@ impl Bencher {
         R: FnMut() -> O,
     {
         // Calibration probe: one iteration, also serving as warm-up.
-        let probe = Instant::now();
+        let probe = clock::start();
         black_box(routine());
-        let probe_ns = probe.elapsed().as_nanos().max(1);
+        let probe_ns = (probe.elapsed_ns() as u128).max(1);
         let iters = (TARGET_SAMPLE_NANOS / probe_ns).clamp(1, 50_000_000) as usize;
 
         self.samples_ns.clear();
         for _ in 0..self.sample_size {
-            let start = Instant::now();
+            let start = clock::start();
             for _ in 0..iters {
                 black_box(routine());
             }
-            let elapsed = start.elapsed().as_nanos() as f64;
+            let elapsed = start.elapsed_ns();
             self.samples_ns.push(elapsed / iters as f64);
         }
     }
@@ -121,9 +234,9 @@ impl Bencher {
         R: FnMut(I) -> O,
     {
         let input = setup();
-        let probe = Instant::now();
+        let probe = clock::start();
         black_box(routine(input));
-        let probe_ns = probe.elapsed().as_nanos().max(1);
+        let probe_ns = (probe.elapsed_ns() as u128).max(1);
         let iters = (TARGET_SAMPLE_NANOS / probe_ns).clamp(1, 1_000_000) as usize;
 
         self.samples_ns.clear();
@@ -131,13 +244,15 @@ impl Bencher {
             let elapsed_ns = match size {
                 BatchSize::PerIteration => {
                     // Setup interleaves with the routine; each routine
-                    // call is timed alone (setup excluded).
-                    let mut total = 0u128;
+                    // call is timed alone (setup excluded) — the case
+                    // where the cycle counter's low read cost matters
+                    // most.
+                    let mut total = 0f64;
                     for _ in 0..iters {
                         let input = setup();
-                        let start = Instant::now();
+                        let start = clock::start();
                         black_box(routine(input));
-                        total += start.elapsed().as_nanos();
+                        total += start.elapsed_ns();
                     }
                     total
                 }
@@ -146,14 +261,14 @@ impl Bencher {
                     // the whole batch, so per-call timer overhead never
                     // pollutes nanosecond-scale routines.
                     let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
-                    let start = Instant::now();
+                    let start = clock::start();
                     for input in inputs {
                         black_box(routine(input));
                     }
-                    start.elapsed().as_nanos()
+                    start.elapsed_ns()
                 }
             };
-            self.samples_ns.push(elapsed_ns as f64 / iters as f64);
+            self.samples_ns.push(elapsed_ns / iters as f64);
         }
     }
 

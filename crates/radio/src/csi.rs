@@ -15,13 +15,25 @@ pub const NUM_SUBCARRIERS: usize = 56;
 /// OFDM subcarrier spacing, Hz.
 pub const SUBCARRIER_SPACING_HZ: f64 = 312_500.0;
 
+/// Baseband frequency offsets of the occupied subcarriers relative to the
+/// channel centre, Hz, precomputed once at compile time so hot synthesis
+/// loops index a table instead of re-deriving the DC-skip mapping.
+pub const SUBCARRIER_OFFSETS_HZ: [f64; NUM_SUBCARRIERS] = {
+    let mut table = [0.0; NUM_SUBCARRIERS];
+    let mut i = 0;
+    while i < NUM_SUBCARRIERS {
+        // Map 0..28 → −28..−1 and 28..56 → +1..+28.
+        let k: i32 = if i < 28 { i as i32 - 28 } else { i as i32 - 27 };
+        table[i] = k as f64 * SUBCARRIER_SPACING_HZ;
+        i += 1;
+    }
+    table
+};
+
 /// Baseband frequency offset of occupied subcarrier `i` (0-based index into
 /// a [`Csi`]) relative to the channel centre, Hz. Skips DC.
 pub fn subcarrier_offset_hz(i: usize) -> f64 {
-    debug_assert!(i < NUM_SUBCARRIERS);
-    // Map 0..28 → −28..−1 and 28..56 → +1..+28.
-    let k: i32 = if i < 28 { i as i32 - 28 } else { i as i32 - 27 };
-    k as f64 * SUBCARRIER_SPACING_HZ
+    SUBCARRIER_OFFSETS_HZ[i]
 }
 
 /// One frame's channel state: a complex coefficient per occupied

@@ -16,9 +16,10 @@
 //! the seed's 200-step bisection is retained verbatim in [`reference`]
 //! as the equivalence oracle (see `crates/radio/tests/prop_esnr.rs`).
 
-use crate::csi::Csi;
+use crate::csi::{Csi, NUM_SUBCARRIERS};
 use crate::{db_to_linear, linear_to_db};
 use std::sync::OnceLock;
+use wgtt_simd::{multiversion, Backend, F64s};
 
 /// Modulation schemes of 802.11n MCS 0–7 (single spatial stream).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,16 +44,21 @@ fn q(x: f64) -> f64 {
 fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
-    let tau = t
-        * (-z * z - 1.26551223
-            + t * (1.00002368
-                + t * (0.37409196
-                    + t * (0.09678418
-                        + t * (-0.18628806
-                            + t * (0.27886807
-                                + t * (-1.13520398
-                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
-            .exp();
+    // Horner evaluation written as a statement chain: operation-for-
+    // operation the same nested polynomial as A&S print it (so results
+    // are bit-identical to the nested-expression form), without the
+    // deep expression tree that sends rustfmt into exponential layout
+    // search.
+    let mut p = 0.17087277;
+    p = -0.82215223 + t * p;
+    p = 1.48851587 + t * p;
+    p = -1.13520398 + t * p;
+    p = 0.27886807 + t * p;
+    p = -0.18628806 + t * p;
+    p = 0.09678418 + t * p;
+    p = 0.37409196 + t * p;
+    p = 1.00002368 + t * p;
+    let tau = t * (-z * z - 1.26551223 + t * p).exp();
     if x >= 0.0 {
         tau
     } else {
@@ -129,6 +135,20 @@ impl Modulation {
         }
     }
 
+    /// Curve parameters for the lane sweep: `(coeff, scale,
+    /// scale_divides)` with the Q argument written `√(s·scale)` or
+    /// `√(s/scale)` exactly as [`Modulation::ber`] spells it (multiply for
+    /// BPSK/QPSK, *divide* for the QAMs, so each lane op rounds
+    /// identically to the scalar's).
+    fn lane_params(self) -> (f64, f64, bool) {
+        match self {
+            Modulation::Bpsk => (1.0, 2.0, false),
+            Modulation::Qpsk => (1.0, 1.0, false),
+            Modulation::Qam16 => (0.75, 5.0, true),
+            Modulation::Qam64 => (7.0 / 12.0, 21.0, true),
+        }
+    }
+
     /// The lazily built inverse table for this modulation.
     fn inv_table(self) -> &'static InvBerTable {
         static TABLES: [OnceLock<InvBerTable>; 4] = [
@@ -164,6 +184,15 @@ const INV_KNOTS: usize = 256;
 /// reference bisection (see [`Modulation::snr_for_ber`]).
 const INV_FLOOR_DB: f64 = -120.0;
 
+/// Bucket count of the segment index that accelerates knot lookup in
+/// [`InvBerTable::eval`]: uniform buckets over `[u_first, u_last]`, each
+/// holding the knot index at its left edge, narrow the binary search to
+/// the handful of knots inside one bucket (typically 0–2 probe steps
+/// instead of log₂ 256 = 8 over the full array). The bucket only changes
+/// *where the search starts* — the resulting knot index, and therefore
+/// every output bit, is identical to the full-array search.
+const INV_SEG: usize = 1024;
+
 /// Monotone piecewise-cubic-Hermite inverse of one modulation's BER
 /// curve: knots over `u = ln(BER)` (ascending) mapping to SNR in dB
 /// (descending), with Fritsch–Carlson slopes so the interpolant is
@@ -178,6 +207,11 @@ struct InvBerTable {
     /// `u[0]` / `u[INV_KNOTS-1]`, hoisted for the range checks.
     u_first: f64,
     u_last: f64,
+    /// Segment index: knot index at the left edge of each uniform
+    /// `u`-bucket (see [`INV_SEG`]).
+    seg: [u16; INV_SEG],
+    /// `INV_SEG / (u_last − u_first)` — maps `u` to its bucket.
+    seg_scale: f64,
     /// `ber(0)` — the clamp ceiling, computed once.
     max_ber: f64,
     /// ln(c) of the `c·Q(√(g·s))` decomposition.
@@ -246,9 +280,27 @@ impl InvBerTable {
             }
         }
 
+        // Segment index: for each uniform bucket over [u_first, u_last],
+        // the knot index `eval`'s full-array search would produce at the
+        // bucket's left edge (same clamp formula). Knots at the dense end
+        // of the curve cluster many-per-bucket; the in-bucket binary
+        // search in `eval` absorbs that.
+        let width = (u[INV_KNOTS - 1] - u[0]) / INV_SEG as f64;
+        let mut seg = [0u16; INV_SEG];
+        for (b, slot) in seg.iter_mut().enumerate() {
+            let left = u[0] + b as f64 * width;
+            let k = u
+                .partition_point(|&knot| knot <= left)
+                .clamp(1, INV_KNOTS - 1)
+                - 1;
+            *slot = k as u16;
+        }
+
         InvBerTable {
             u_first: u[0],
             u_last: u[INV_KNOTS - 1],
+            seg,
+            seg_scale: INV_SEG as f64 / (u[INV_KNOTS - 1] - u[0]),
             u,
             y,
             d,
@@ -262,11 +314,23 @@ impl InvBerTable {
     /// Evaluate the Hermite interpolant at `u` (must be within the knot
     /// range).
     fn eval(&self, u: f64) -> f64 {
-        let k = self
-            .u
-            .partition_point(|&knot| knot <= u)
-            .clamp(1, INV_KNOTS - 1)
-            - 1;
+        // Bucket hint → in-bucket binary search → exact-boundary guards.
+        // The guards repair any off-by-one from the floating bucket map,
+        // so `k` is *exactly* the index the full-array
+        // `partition_point(|knot| knot <= u).clamp(1, 255) − 1` search
+        // yields (the last knot ≤ u, capped at INV_KNOTS − 2) — same
+        // index, same Hermite arithmetic, same bits, fewer probes.
+        let b = (((u - self.u_first) * self.seg_scale) as usize).min(INV_SEG - 1);
+        let lo = self.seg[b] as usize;
+        let hi = (self.seg[(b + 1).min(INV_SEG - 1)] as usize + 2).min(INV_KNOTS);
+        let mut k = lo + self.u[lo..hi].partition_point(|&knot| knot <= u);
+        k = k.clamp(1, INV_KNOTS - 1) - 1;
+        while k > 0 && self.u[k] > u {
+            k -= 1;
+        }
+        while k < INV_KNOTS - 2 && self.u[k + 1] <= u {
+            k += 1;
+        }
         let h = self.u[k + 1] - self.u[k];
         let t = (u - self.u[k]) / h;
         let t2 = t * t;
@@ -320,6 +384,122 @@ pub mod reference {
     }
 }
 
+/// The pre-vectorization shipping ESNR sweep, retained verbatim as the
+/// **scalar oracle** of the SIMD path (the pattern of
+/// [`crate::fading::scalar`]): one [`Modulation::ber`] libm evaluation per
+/// subcarrier. `crates/radio/tests/prop_simd.rs` proves the lane sweep
+/// within 1e-6 dB of it (in practice ~1e-9 dB — the only deviation is the
+/// faithful vector `exp` inside the lane erfc).
+pub mod scalar {
+    use super::Modulation;
+    use crate::csi::{Csi, NUM_SUBCARRIERS};
+    use crate::{db_to_linear, linear_to_db};
+
+    /// ESNR in dB from a CSI snapshot — the pre-vectorization shipping
+    /// implementation, verbatim.
+    pub fn effective_snr_db(csi: &Csi, mean_snr_db: f64, modulation: Modulation) -> f64 {
+        let mean_snr = db_to_linear(mean_snr_db);
+        let mut ber_acc = 0.0;
+        for h in &csi.h {
+            ber_acc += modulation.ber(mean_snr * h.norm_sq());
+        }
+        let mean_ber = ber_acc / csi.h.len() as f64;
+        linear_to_db(modulation.snr_for_ber(mean_ber))
+    }
+
+    /// The same sweep from a fused per-subcarrier power array (the order
+    /// [`Csi::powers`] yields) — the oracle of the batch path.
+    pub fn effective_snr_from_powers(
+        powers: &[f64; NUM_SUBCARRIERS],
+        mean_snr_db: f64,
+        modulation: Modulation,
+    ) -> f64 {
+        let mean_snr = db_to_linear(mean_snr_db);
+        let mut ber_acc = 0.0;
+        for &p in powers {
+            ber_acc += modulation.ber(mean_snr * p);
+        }
+        let mean_ber = ber_acc / powers.len() as f64;
+        linear_to_db(modulation.snr_for_ber(mean_ber))
+    }
+}
+
+/// Lane width of the BER sweep. All 56 subcarriers form **one** pack:
+/// each lane operation compiles to seven independent 512-bit (or
+/// fourteen 256-bit) instructions, so the deep erfc/exp Horner chains —
+/// which Rust never FMA-contracts, keeping them bit-exact — overlap in
+/// the out-of-order core instead of serializing per 8-lane chunk.
+/// Lane width is correctness-neutral (no operation crosses lanes);
+/// `prop_simd` pins bit-identity across widths.
+const LANES: usize = 8;
+
+multiversion! {
+    /// Subcarrier-mean BER: `mean_k ber(mean_snr · powers[k])` as one SoA
+    /// sweep. Mirrors the scalar [`Modulation::ber`]/`q`/`erfc` operation
+    /// sequence lane-wise (same A&S 7.1.26 Horner, same divisions); the
+    /// only deviation is the faithful vector `exp`. The 56-term reduction
+    /// is sequential in subcarrier order, so results are bit-identical on
+    /// every backend and lane width.
+    fn ber_mean, ber_mean_with(
+        powers: &[f64; NUM_SUBCARRIERS],
+        mean_snr: f64,
+        coeff: f64,
+        scale: f64,
+        scale_divides: bool,
+    ) -> f64 {
+        // Constant lanes hoisted out of the chunk loop (same values,
+        // same per-lane operations — hoisting only cuts in-loop
+        // broadcast traffic so more independent chunks fit the
+        // out-of-order window).
+        let vsnr = F64s::<LANES>::splat(mean_snr);
+        let vscale = F64s::splat(scale);
+        let vsqrt2 = F64s::splat(std::f64::consts::SQRT_2);
+        let one = F64s::splat(1.0);
+        let half = F64s::splat(0.5);
+        let vcoeff = F64s::splat(coeff);
+        let a0 = F64s::splat(0.17087277);
+        let a1 = F64s::splat(-0.82215223);
+        let a2 = F64s::splat(1.48851587);
+        let a3 = F64s::splat(-1.13520398);
+        let a4 = F64s::splat(0.27886807);
+        let a5 = F64s::splat(-0.18628806);
+        let a6 = F64s::splat(0.09678418);
+        let a7 = F64s::splat(0.37409196);
+        let a8 = F64s::splat(1.00002368);
+        let a9 = F64s::splat(1.26551223);
+        let mut acc = 0.0;
+        for c in 0..NUM_SUBCARRIERS / LANES {
+            let p = F64s::<LANES>::from_slice(&powers[c * LANES..]);
+            // s = (mean_snr · |H_k|²).max(0)  — as Modulation::ber clamps.
+            let s = (p * vsnr).max(F64s::ZERO);
+            let y = if scale_divides { s / vscale } else { s * vscale };
+            let x = y.sqrt();
+            // q(x) = 0.5·erfc(x/√2); x ≥ 0 here so erfc's |x| mirror and
+            // 2−τ branch never engage.
+            let z = x / vsqrt2;
+            let t = one / (one + half * z);
+            let arg = -z * z - a9
+                + t * (a8
+                    + t * (a7
+                        + t * (a6
+                            + t * (a5 + t * (a4 + t * (a3 + t * (a2 + t * (a1 + t * a0))))))));
+            let tau = t * arg.exp();
+            let q = half * tau;
+            let ber = vcoeff * q;
+            // Accumulate this chunk's lanes immediately, in subcarrier
+            // order — the identical sequence of scalar adds the old
+            // store-then-scan epilogue performed (so the same bits), but
+            // the serial add chain now overlaps the next chunk's
+            // independent lane work instead of running exposed at the
+            // end.
+            for i in 0..LANES {
+                acc += ber.0[i];
+            }
+        }
+        acc / NUM_SUBCARRIERS as f64
+    }
+}
+
 /// Effective SNR in dB for a CSI snapshot, a mean (large-scale) SNR in dB,
 /// and a reference modulation.
 ///
@@ -334,12 +514,68 @@ pub mod reference {
 /// the link budget (tx power + antenna gains − path loss − noise). The
 /// per-subcarrier SNR is their product.
 pub fn effective_snr_db(csi: &Csi, mean_snr_db: f64, modulation: Modulation) -> f64 {
-    let mean_snr = db_to_linear(mean_snr_db);
-    let mut ber_acc = 0.0;
-    for h in &csi.h {
-        ber_acc += modulation.ber(mean_snr * h.norm_sq());
-    }
-    let mean_ber = ber_acc / csi.h.len() as f64;
+    effective_snr_from_powers(&csi.powers(), mean_snr_db, modulation)
+}
+
+/// [`effective_snr_db`] from a fused per-subcarrier power array (what
+/// [`crate::fading::FadingProcess::powers_at`] produces without
+/// materializing a [`Csi`]) — the entry point of the batch/memoized ESNR
+/// paths. Bit-identical to `effective_snr_db(&csi, …)` when `powers ==
+/// csi.powers()`.
+pub fn effective_snr_from_powers(
+    powers: &[f64; NUM_SUBCARRIERS],
+    mean_snr_db: f64,
+    modulation: Modulation,
+) -> f64 {
+    esnr_from_mean_ber(
+        mean_ber_from_powers(powers, mean_snr_db, modulation),
+        modulation,
+    )
+}
+
+/// First half of [`effective_snr_from_powers`]: the lane BER sweep,
+/// stopping at the subcarrier-mean BER. [`crate::batch`] runs this stage
+/// for every overhearing AP before any inversion, so the independent
+/// divider-bound sweeps overlap in the out-of-order core; composing the
+/// halves is operation-for-operation the fused function.
+pub(crate) fn mean_ber_from_powers(
+    powers: &[f64; NUM_SUBCARRIERS],
+    mean_snr_db: f64,
+    modulation: Modulation,
+) -> f64 {
+    let (coeff, scale, scale_divides) = modulation.lane_params();
+    ber_mean(
+        powers,
+        db_to_linear(mean_snr_db),
+        coeff,
+        scale,
+        scale_divides,
+    )
+}
+
+/// Second half of [`effective_snr_from_powers`]: the BER→SNR inversion
+/// back to dB.
+pub(crate) fn esnr_from_mean_ber(mean_ber: f64, modulation: Modulation) -> f64 {
+    linear_to_db(modulation.snr_for_ber(mean_ber))
+}
+
+/// [`effective_snr_from_powers`] on an explicit backend (differential
+/// tests; results are bit-identical across backends).
+pub fn effective_snr_from_powers_with(
+    backend: Backend,
+    powers: &[f64; NUM_SUBCARRIERS],
+    mean_snr_db: f64,
+    modulation: Modulation,
+) -> f64 {
+    let (coeff, scale, scale_divides) = modulation.lane_params();
+    let mean_ber = ber_mean_with(
+        backend,
+        powers,
+        db_to_linear(mean_snr_db),
+        coeff,
+        scale,
+        scale_divides,
+    );
     linear_to_db(modulation.snr_for_ber(mean_ber))
 }
 
@@ -478,6 +714,65 @@ mod tests {
             e < rssi_like - 5.0,
             "ESNR {e} vs RSSI-equivalent {rssi_like}"
         );
+    }
+
+    /// A deterministic frequency-selective CSI for differential checks.
+    fn selective_csi(phase_step: f64) -> Csi {
+        let mut h = [Complex::ZERO; NUM_SUBCARRIERS];
+        for (k, hk) in h.iter_mut().enumerate() {
+            let a = 0.2 + 1.3 * ((k as f64 * phase_step).sin() * 0.5 + 0.5);
+            *hk = Complex::from_polar(a, k as f64 * 0.37);
+        }
+        Csi { h }
+    }
+
+    #[test]
+    fn lane_sweep_tracks_scalar_oracle() {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
+            for snr_db in [-5.0, 4.0, 12.0, 21.0, 33.0] {
+                for step in [0.21, 0.73, 1.9] {
+                    let csi = selective_csi(step);
+                    let fast = effective_snr_db(&csi, snr_db, m);
+                    let oracle = scalar::effective_snr_db(&csi, snr_db, m);
+                    assert!(
+                        (fast - oracle).abs() <= 1e-6,
+                        "{m:?} at {snr_db} dB: lane {fast} vs scalar {oracle}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_sweep_bit_identical_across_backends() {
+        let csi = selective_csi(0.43);
+        let powers = csi.powers();
+        for m in [Modulation::Qpsk, Modulation::Qam64] {
+            let base = effective_snr_from_powers_with(Backend::Scalar, &powers, 17.0, m);
+            for b in [Backend::Avx2, Backend::Avx512] {
+                let v = effective_snr_from_powers_with(b, &powers, 17.0, m);
+                assert_eq!(base.to_bits(), v.to_bits(), "{m:?} on {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_links_hit_identical_ceiling_on_both_paths() {
+        // At very high SNR every subcarrier BER underflows the 1e-12
+        // clamp floor, so both sweeps must return the *same exact* ceiling
+        // — the property that keeps AP-selection saturation ties true ties
+        // under the SIMD path.
+        let csi = Csi::flat();
+        for m in [Modulation::Bpsk, Modulation::Qam64] {
+            let fast = effective_snr_db(&csi, 60.0, m);
+            let oracle = scalar::effective_snr_db(&csi, 60.0, m);
+            assert_eq!(fast.to_bits(), oracle.to_bits(), "{m:?} ceiling");
+        }
     }
 
     #[test]

@@ -15,32 +15,38 @@
 //! experiment seed, so the channel can be sampled at arbitrary instants by
 //! any subsystem and is identical across compared systems.
 //!
-//! ## The zero-redundancy fast path
+//! ## Three implementations, two contracts
 //!
 //! CSI synthesis runs once per overhearing AP per uplink frame — the
-//! simulator's hottest loop now that AP selection is O(1) per frame. The
-//! shipping [`FadingProcess`] therefore precomputes everything that does
-//! not depend on the sample instant at construction:
+//! simulator's hottest loop now that AP selection is O(1) per frame. This
+//! module therefore ships a structure-of-arrays implementation whose lane
+//! loops vectorize (see `crates/simd`), and retains both prior
+//! implementations as in-tree oracles:
 //!
-//! * the **twiddle table** `e^{−j2π f_k τ_l}` for all 56 subcarriers ×
-//!   [`NUM_TAPS`] taps (the seed called `Complex::from_polar` 56 × taps
-//!   times per sample for values that never change);
-//! * per-tap **scatter/LoS/power scales** (`√(1/n)`, the Rician K
-//!   normalization, `√power`), removing a dozen square roots per sample;
-//! * the sinusoid banks as **fixed arrays** so synthesis allocates
-//!   nothing ([`csi_at`](FadingProcess::csi_at) fills a stack array
-//!   instead of collecting a `Vec`).
+//! * [`reference::FadingProcess`] — the seed implementation, verbatim.
+//! * [`scalar::FadingProcess`] — the twiddle-table fast path that shipped
+//!   before vectorization, **bit-identical** to the reference (same
+//!   accumulation order, libm transcendentals; enforced per subcarrier
+//!   with `f64::to_bits` by `crates/radio/tests/prop_fading.rs`).
+//! * [`FadingProcess`] (shipping) — the SoA path: `re`/`im` planes instead
+//!   of arrays of `Complex`, the 48 sinusoids of all six taps evaluated by
+//!   one branchless vector sin/cos pass, and the 56-subcarrier twiddle MAC
+//!   as `f64 × 8` lane arithmetic.
 //!
-//! Every accumulation runs in the seed's exact order, so the fast path is
-//! **bit-identical** to the retained seed implementation
-//! ([`reference::FadingProcess`]) — enforced per subcarrier with
-//! `f64::to_bits` by `crates/radio/tests/prop_fading.rs`, which keeps
-//! every experiment artifact byte-identical per seed.
+//! The SIMD path's only deviation from the scalar oracle is its faithful
+//! (≤ 2 ulp) vector transcendentals and the factorized phase rotation
+//! `cos(ωt+φ) = cos ωt · cos φ − sin ωt · sin φ`; every other lane
+//! operation is exact IEEE arithmetic in a fixed order. Its contract is
+//! therefore **within-1e-6-dB of the scalar oracle** (in practice
+//! ~1e-9 dB) plus **bit-identity across backends and lane widths** — both
+//! enforced by `crates/radio/tests/prop_simd.rs` over random links, times
+//! and backend choices.
 
 use crate::complex::Complex;
 use crate::csi::{subcarrier_offset_hz, Csi, NUM_SUBCARRIERS};
 use wgtt_sim::rng::RngStream;
 use wgtt_sim::time::SimTime;
+use wgtt_simd::{multiversion, Backend, F64s};
 
 /// Number of multipath taps in the delay line.
 pub const NUM_TAPS: usize = 6;
@@ -52,12 +58,24 @@ pub const TAP_SPACING_NS: f64 = 50.0;
 /// for a close-to-Rayleigh envelope while staying cheap to evaluate.
 const SINUSOIDS_PER_TAP: usize = 8;
 
+/// Total sinusoid lanes across all taps — one vector sin/cos pass covers
+/// the whole delay line.
+const SIN_LANES: usize = NUM_TAPS * SINUSOIDS_PER_TAP;
+
+/// Lane width of the subcarrier sweeps (56 = 7 × 8, no tail).
+const LANES: usize = 8;
+
+/// Chunks per 56-subcarrier sweep.
+const SC_CHUNKS: usize = NUM_SUBCARRIERS / LANES;
+
 /// The seed implementation, retained verbatim as the bit-identity oracle.
 ///
-/// [`FadingProcess`](crate::fading::FadingProcess) (the shipping,
-/// twiddle-table implementation) is constructed *through* this type, so
-/// the two can never disagree on the channel realization; the property
-/// suite (`tests/prop_fading.rs`) and the `frame_path` bench drive both.
+/// [`scalar::FadingProcess`] (the retained twiddle-table implementation)
+/// and [`FadingProcess`](crate::fading::FadingProcess) (the shipping SoA
+/// path) are both constructed *through* this type, so the three can never
+/// disagree on the channel realization; the property suites
+/// (`tests/prop_fading.rs`, `tests/prop_simd.rs`) and the `frame_path`
+/// bench drive all of them.
 pub mod reference {
     use super::{
         subcarrier_offset_hz, Complex, Csi, RngStream, SimTime, NUM_SUBCARRIERS, NUM_TAPS,
@@ -207,59 +225,325 @@ pub mod reference {
     }
 }
 
-/// One tap's time-invariant synthesis tables: the sinusoid bank flattened
-/// into fixed arrays plus every construction-time-computable scale. All
-/// values are the *same bits* the reference computes per call, so
-/// [`Tap::gain_at`] reproduces the seed accumulation exactly while doing
-/// one multiply per sinusoid (the hoisted `ω·t`) and zero square roots.
-#[derive(Debug, Clone)]
-struct Tap {
-    /// Angular Doppler frequency per sinusoid, rad/s.
-    omega: [f64; SINUSOIDS_PER_TAP],
-    /// In-phase phase offsets.
-    phase_i: [f64; SINUSOIDS_PER_TAP],
-    /// Quadrature phase offsets.
-    phase_q: [f64; SINUSOIDS_PER_TAP],
-    /// `√(1/n)` — unit-power scaling of the scattered sum.
-    scatter_scale: f64,
-    /// Rician LoS component: `(amp·k_scale, k_scale, omega, phase)`.
-    los: Option<(f64, f64, f64, f64)>,
-    /// `√power` of this tap.
-    power_sqrt: f64,
-}
+/// The pre-vectorization shipping implementation, retained verbatim as the
+/// **scalar oracle** of the SIMD path: twiddle tables and hoisted scales,
+/// but array-of-`Complex` layout and libm transcendentals. Bit-identical
+/// to [`reference`] (same accumulation order — `tests/prop_fading.rs`),
+/// and the within-1e-6-dB baseline the shipping SoA path is differenced
+/// against (`tests/prop_simd.rs`).
+pub mod scalar {
+    use super::{
+        reference, subcarrier_offset_hz, Complex, Csi, RngStream, SimTime, NUM_SUBCARRIERS,
+        NUM_TAPS, SINUSOIDS_PER_TAP,
+    };
 
-impl Tap {
-    /// Complex gain at time `t` (seconds). Bit-identical to
-    /// [`reference`]'s `Tap::gain_at`: same accumulation order, with the
-    /// per-sinusoid `ω·t` product computed once instead of twice and the
-    /// scales looked up instead of re-derived.
-    #[inline]
-    fn gain_at(&self, t: f64) -> Complex {
-        let mut re = 0.0;
-        let mut im = 0.0;
-        for k in 0..SINUSOIDS_PER_TAP {
-            let wt = self.omega[k] * t;
-            re += (wt + self.phase_i[k]).cos();
-            im += (wt + self.phase_q[k]).sin();
+    /// One tap's time-invariant synthesis tables: the sinusoid bank
+    /// flattened into fixed arrays plus every construction-time-computable
+    /// scale. All values are the *same bits* the reference computes per
+    /// call, so [`Tap::gain_at`] reproduces the seed accumulation exactly
+    /// while doing one multiply per sinusoid (the hoisted `ω·t`) and zero
+    /// square roots.
+    #[derive(Debug, Clone)]
+    struct Tap {
+        /// Angular Doppler frequency per sinusoid, rad/s.
+        omega: [f64; SINUSOIDS_PER_TAP],
+        /// In-phase phase offsets.
+        phase_i: [f64; SINUSOIDS_PER_TAP],
+        /// Quadrature phase offsets.
+        phase_q: [f64; SINUSOIDS_PER_TAP],
+        /// `√(1/n)` — unit-power scaling of the scattered sum.
+        scatter_scale: f64,
+        /// Rician LoS component: `(amp·k_scale, k_scale, omega, phase)`.
+        los: Option<(f64, f64, f64, f64)>,
+        /// `√power` of this tap.
+        power_sqrt: f64,
+    }
+
+    impl Tap {
+        /// Complex gain at time `t` (seconds). Bit-identical to
+        /// [`reference`]'s `Tap::gain_at`: same accumulation order, with
+        /// the per-sinusoid `ω·t` product computed once instead of twice
+        /// and the scales looked up instead of re-derived.
+        #[inline]
+        fn gain_at(&self, t: f64) -> Complex {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for k in 0..SINUSOIDS_PER_TAP {
+                let wt = self.omega[k] * t;
+                re += (wt + self.phase_i[k]).cos();
+                im += (wt + self.phase_q[k]).sin();
+            }
+            let mut g = Complex::new(re * self.scatter_scale, im * self.scatter_scale);
+            if let Some((amp_scaled, k_scale, omega, phase)) = self.los {
+                g = g.scale(k_scale) + Complex::from_polar(amp_scaled, omega * t + phase);
+            }
+            g.scale(self.power_sqrt)
         }
-        let mut g = Complex::new(re * self.scatter_scale, im * self.scatter_scale);
-        if let Some((amp_scaled, k_scale, omega, phase)) = self.los {
-            g = g.scale(k_scale) + Complex::from_polar(amp_scaled, omega * t + phase);
+    }
+
+    /// The time-varying small-scale channel of one link (twiddle-table
+    /// scalar path; see the module docs for the equivalence contract).
+    #[derive(Debug, Clone)]
+    pub struct FadingProcess {
+        taps: [Tap; NUM_TAPS],
+        /// `e^{−j2π f_k τ_l}` per (subcarrier, tap) — time-invariant, so
+        /// the per-sample synthesis is pure multiply-accumulate.
+        twiddle: [[Complex; NUM_TAPS]; NUM_SUBCARRIERS],
+        /// Maximum Doppler shift, Hz.
+        doppler_hz: f64,
+    }
+
+    impl FadingProcess {
+        /// Build a fading process (see
+        /// [`FadingProcess::new`](super::FadingProcess::new) for the
+        /// parameter contract).
+        pub fn new(stream: RngStream, speed_mps: f64, rician_k_db: f64) -> Self {
+            Self::from_reference(&reference::FadingProcess::new(
+                stream,
+                speed_mps,
+                rician_k_db,
+            ))
         }
-        g.scale(self.power_sqrt)
+
+        /// Precompute the scalar-path tables from a seed-constructed
+        /// process.
+        pub fn from_reference(r: &reference::FadingProcess) -> Self {
+            assert_eq!(r.taps.len(), NUM_TAPS, "reference tap count fixed");
+            let taps: [Tap; NUM_TAPS] = std::array::from_fn(|l| {
+                let rt = &r.taps[l];
+                let mut omega = [0.0; SINUSOIDS_PER_TAP];
+                let mut phase_i = [0.0; SINUSOIDS_PER_TAP];
+                let mut phase_q = [0.0; SINUSOIDS_PER_TAP];
+                for (k, s) in rt.sinusoids.iter().enumerate() {
+                    omega[k] = s.omega;
+                    phase_i[k] = s.phase_i;
+                    phase_q[k] = s.phase_q;
+                }
+                // The exact expressions the reference evaluates per call.
+                let n = rt.sinusoids.len() as f64;
+                let scatter_scale = (1.0 / n).sqrt();
+                let los = rt.los.map(|(amp, om, ph)| {
+                    let k_scale = (1.0 / (1.0 + amp * amp)).sqrt();
+                    (amp * k_scale, k_scale, om, ph)
+                });
+                Tap {
+                    omega,
+                    phase_i,
+                    phase_q,
+                    scatter_scale,
+                    los,
+                    power_sqrt: rt.power.sqrt(),
+                }
+            });
+            let twiddle: [[Complex; NUM_TAPS]; NUM_SUBCARRIERS] = std::array::from_fn(|i| {
+                let f = subcarrier_offset_hz(i);
+                std::array::from_fn(|l| {
+                    let phase = -std::f64::consts::TAU * f * r.taps[l].delay_s;
+                    Complex::from_polar(1.0, phase)
+                })
+            });
+            FadingProcess {
+                taps,
+                twiddle,
+                doppler_hz: r.doppler_hz,
+            }
+        }
+
+        /// Maximum Doppler shift, Hz.
+        pub fn doppler_hz(&self) -> f64 {
+            self.doppler_hz
+        }
+
+        /// The six tap gains at `ts` seconds, into a stack array (no
+        /// allocation — the seed collected a `Vec` here every sample).
+        #[inline]
+        fn gains_at(&self, ts: f64) -> [Complex; NUM_TAPS] {
+            std::array::from_fn(|l| self.taps[l].gain_at(ts))
+        }
+
+        /// Per-subcarrier frequency response at instant `t`, normalized to
+        /// unit mean power: `H_k(t) = Σ_l g_l(t)·e^{−j2π f_k τ_l}`.
+        pub fn csi_at(&self, t: SimTime) -> Csi {
+            let ts = t.as_secs_f64();
+            let gains = self.gains_at(ts);
+            let mut h = [Complex::ZERO; NUM_SUBCARRIERS];
+            for (hk, tw) in h.iter_mut().zip(self.twiddle.iter()) {
+                let mut acc = Complex::ZERO;
+                for (&g, &w) in gains.iter().zip(tw.iter()) {
+                    acc += g * w;
+                }
+                *hk = acc;
+            }
+            Csi { h }
+        }
+
+        /// Wideband (subcarrier-averaged) instantaneous power gain at `t`,
+        /// relative to the large-scale mean.
+        ///
+        /// Accumulates `|H_k|²` directly in subcarrier order — the same
+        /// summation [`Csi::mean_power`] performs — without materializing
+        /// the 56-coefficient snapshot it would immediately reduce away.
+        pub fn wideband_gain_at(&self, t: SimTime) -> f64 {
+            let ts = t.as_secs_f64();
+            let gains = self.gains_at(ts);
+            let mut total = 0.0;
+            for tw in self.twiddle.iter() {
+                let mut acc = Complex::ZERO;
+                for (&g, &w) in gains.iter().zip(tw.iter()) {
+                    acc += g * w;
+                }
+                total += acc.norm_sq();
+            }
+            total / NUM_SUBCARRIERS as f64
+        }
     }
 }
 
-/// The time-varying small-scale channel of one link (twiddle-table fast
-/// path; see the module docs for the equivalence contract).
+/// The shipping time-varying small-scale channel of one link:
+/// structure-of-arrays layout vectorized with `f64 × 8` lanes (see the
+/// module docs for the three-implementation equivalence contract).
+///
+/// Everything time-invariant is baked at construction — the twiddle table
+/// split into `re`/`im` *planes* (tap-major, so the subcarrier sweep is
+/// unit-stride), the sinusoid bank flattened to 48 contiguous lanes with
+/// the phase offsets pre-rotated into `cos φ`/`sin φ` pairs (so synthesis
+/// needs `sin/cos(ωt)` only — one branchless vector pass for the whole
+/// delay line instead of 96 libm calls).
 #[derive(Debug, Clone)]
 pub struct FadingProcess {
-    taps: [Tap; NUM_TAPS],
-    /// `e^{−j2π f_k τ_l}` per (subcarrier, tap) — time-invariant, so the
-    /// per-sample synthesis is pure multiply-accumulate.
-    twiddle: [[Complex; NUM_TAPS]; NUM_SUBCARRIERS],
+    /// Angular Doppler frequency per sinusoid lane (tap-major: sinusoid
+    /// `k` of tap `l` lives at `l·8 + k`), rad/s.
+    omega: [f64; SIN_LANES],
+    /// `cos`/`sin` of the in-phase phase offsets, per lane.
+    cos_phi_i: [f64; SIN_LANES],
+    sin_phi_i: [f64; SIN_LANES],
+    /// `cos`/`sin` of the quadrature phase offsets, per lane.
+    cos_phi_q: [f64; SIN_LANES],
+    sin_phi_q: [f64; SIN_LANES],
+    /// `√(1/n)` per tap — unit-power scaling of the scattered sum.
+    scatter_scale: [f64; NUM_TAPS],
+    /// `√power` per tap.
+    power_sqrt: [f64; NUM_TAPS],
+    /// Rician LoS component of tap 0: `(amp·k_scale, k_scale, omega,
+    /// phase)`.
+    los: Option<(f64, f64, f64, f64)>,
+    /// Real/imaginary planes of `e^{−j2π f_k τ_l}`, tap-major.
+    twiddle_re: [[f64; NUM_SUBCARRIERS]; NUM_TAPS],
+    twiddle_im: [[f64; NUM_SUBCARRIERS]; NUM_TAPS],
     /// Maximum Doppler shift, Hz.
     doppler_hz: f64,
+}
+
+/// Tap gains + subcarrier planes at `ts`, shared by both kernels below.
+/// `inline(always)` so each `target_feature` clone absorbs the body and
+/// vectorizes it under its own instruction set.
+#[inline(always)]
+fn synth_planes_impl(
+    fp: &FadingProcess,
+    ts: f64,
+    re: &mut [f64; NUM_SUBCARRIERS],
+    im: &mut [f64; NUM_SUBCARRIERS],
+) {
+    // One vector sin/cos pass over all 48 sinusoid arguments ω·t.
+    let mut args = [0.0; SIN_LANES];
+    for (a, w) in args.iter_mut().zip(fp.omega.iter()) {
+        *a = w * ts;
+    }
+    let mut sin_wt = [0.0; SIN_LANES];
+    let mut cos_wt = [0.0; SIN_LANES];
+    wgtt_simd::math::sincos_lanes::<LANES>(&args, &mut sin_wt, &mut cos_wt);
+
+    // Factorized phase rotation: cos(ωt+φᵢ) = cos ωt·cos φᵢ − sin ωt·sin φᵢ
+    // and sin(ωt+φ_q) = sin ωt·cos φ_q + cos ωt·sin φ_q.
+    let mut re_terms = [0.0; SIN_LANES];
+    let mut im_terms = [0.0; SIN_LANES];
+    for i in 0..SIN_LANES {
+        re_terms[i] = cos_wt[i] * fp.cos_phi_i[i] - sin_wt[i] * fp.sin_phi_i[i];
+        im_terms[i] = sin_wt[i] * fp.cos_phi_q[i] + cos_wt[i] * fp.sin_phi_q[i];
+    }
+
+    // Per-tap reduction, sequential in lane order (width-independent, so
+    // results are bit-identical on every backend), then the same scale/LoS
+    // sequence the scalar oracle applies.
+    let mut g_re = [0.0; NUM_TAPS];
+    let mut g_im = [0.0; NUM_TAPS];
+    for l in 0..NUM_TAPS {
+        let mut sre = 0.0;
+        let mut sim = 0.0;
+        for k in 0..SINUSOIDS_PER_TAP {
+            sre += re_terms[l * SINUSOIDS_PER_TAP + k];
+            sim += im_terms[l * SINUSOIDS_PER_TAP + k];
+        }
+        g_re[l] = sre * fp.scatter_scale[l];
+        g_im[l] = sim * fp.scatter_scale[l];
+    }
+    if let Some((amp_scaled, k_scale, omega, phase)) = fp.los {
+        let (s, c) = wgtt_simd::math::sincos_e(omega * ts + phase);
+        g_re[0] = g_re[0] * k_scale + amp_scaled * c;
+        g_im[0] = g_im[0] * k_scale + amp_scaled * s;
+    }
+    for l in 0..NUM_TAPS {
+        g_re[l] *= fp.power_sqrt[l];
+        g_im[l] *= fp.power_sqrt[l];
+    }
+
+    // Twiddle MAC across subcarriers: H_k = Σ_l g_l · w_{l,k}, with the
+    // complex product expanded onto the planes. Lane arithmetic only — the
+    // per-subcarrier accumulation order matches the scalar oracle's.
+    for c in 0..SC_CHUNKS {
+        let mut acc_re = F64s::<LANES>::ZERO;
+        let mut acc_im = F64s::<LANES>::ZERO;
+        for l in 0..NUM_TAPS {
+            let wre = F64s::<LANES>::from_slice(&fp.twiddle_re[l][c * LANES..]);
+            let wim = F64s::<LANES>::from_slice(&fp.twiddle_im[l][c * LANES..]);
+            let gre = F64s::<LANES>::splat(g_re[l]);
+            let gim = F64s::<LANES>::splat(g_im[l]);
+            acc_re = acc_re + (gre * wre - gim * wim);
+            acc_im = acc_im + (gre * wim + gim * wre);
+        }
+        acc_re.write_to_slice(&mut re[c * LANES..]);
+        acc_im.write_to_slice(&mut im[c * LANES..]);
+    }
+}
+
+multiversion! {
+    /// Per-subcarrier `re`/`im` planes of the frequency response at `ts`.
+    fn synth_planes, synth_planes_with(
+        fp: &FadingProcess,
+        ts: f64,
+        re: &mut [f64; NUM_SUBCARRIERS],
+        im: &mut [f64; NUM_SUBCARRIERS],
+    ) {
+        synth_planes_impl(fp, ts, re, im);
+    }
+}
+
+multiversion! {
+    /// Per-subcarrier powers `|H_k|²` at `ts`, fused so ESNR/RSSI paths
+    /// never materialize the complex planes outside the kernel.
+    fn synth_powers, synth_powers_with(
+        fp: &FadingProcess,
+        ts: f64,
+        powers: &mut [f64; NUM_SUBCARRIERS],
+    ) {
+        let mut re = [0.0; NUM_SUBCARRIERS];
+        let mut im = [0.0; NUM_SUBCARRIERS];
+        synth_planes_impl(fp, ts, &mut re, &mut im);
+        for i in 0..NUM_SUBCARRIERS {
+            // Same expression as `Complex::norm_sq` on the same planes.
+            powers[i] = re[i] * re[i] + im[i] * im[i];
+        }
+    }
+}
+
+/// Interleave kernel output planes into a [`Csi`].
+#[inline]
+fn planes_to_csi(re: &[f64; NUM_SUBCARRIERS], im: &[f64; NUM_SUBCARRIERS]) -> Csi {
+    let mut h = [Complex::ZERO; NUM_SUBCARRIERS];
+    for i in 0..NUM_SUBCARRIERS {
+        h[i] = Complex::new(re[i], im[i]);
+    }
+    Csi { h }
 }
 
 impl FadingProcess {
@@ -274,9 +558,9 @@ impl FadingProcess {
     /// * `rician_k_db` — K-factor of the first tap, dB. Use ≈ 6 dB for the
     ///   open-road mainlobe geometry; `f64::NEG_INFINITY` for pure Rayleigh.
     pub fn new(stream: RngStream, speed_mps: f64, rician_k_db: f64) -> Self {
-        // Draw the realization through the seed constructor so the two
+        // Draw the realization through the seed constructor so the
         // implementations can never diverge on parameters, then bake the
-        // time-invariant tables.
+        // time-invariant SoA tables.
         Self::from_reference(&reference::FadingProcess::new(
             stream,
             speed_mps,
@@ -284,45 +568,53 @@ impl FadingProcess {
         ))
     }
 
-    /// Precompute the fast-path tables from a seed-constructed process.
+    /// Precompute the SoA tables from a seed-constructed process.
     pub fn from_reference(r: &reference::FadingProcess) -> Self {
         assert_eq!(r.taps.len(), NUM_TAPS, "reference tap count fixed");
-        let taps: [Tap; NUM_TAPS] = std::array::from_fn(|l| {
-            let rt = &r.taps[l];
-            let mut omega = [0.0; SINUSOIDS_PER_TAP];
-            let mut phase_i = [0.0; SINUSOIDS_PER_TAP];
-            let mut phase_q = [0.0; SINUSOIDS_PER_TAP];
+        let mut omega = [0.0; SIN_LANES];
+        let mut cos_phi_i = [0.0; SIN_LANES];
+        let mut sin_phi_i = [0.0; SIN_LANES];
+        let mut cos_phi_q = [0.0; SIN_LANES];
+        let mut sin_phi_q = [0.0; SIN_LANES];
+        let mut scatter_scale = [0.0; NUM_TAPS];
+        let mut power_sqrt = [0.0; NUM_TAPS];
+        for (l, rt) in r.taps.iter().enumerate() {
+            assert_eq!(rt.sinusoids.len(), SINUSOIDS_PER_TAP);
             for (k, s) in rt.sinusoids.iter().enumerate() {
-                omega[k] = s.omega;
-                phase_i[k] = s.phase_i;
-                phase_q[k] = s.phase_q;
+                let lane = l * SINUSOIDS_PER_TAP + k;
+                omega[lane] = s.omega;
+                cos_phi_i[lane] = s.phase_i.cos();
+                sin_phi_i[lane] = s.phase_i.sin();
+                cos_phi_q[lane] = s.phase_q.cos();
+                sin_phi_q[lane] = s.phase_q.sin();
             }
-            // The exact expressions the reference evaluates per call.
-            let n = rt.sinusoids.len() as f64;
-            let scatter_scale = (1.0 / n).sqrt();
-            let los = rt.los.map(|(amp, om, ph)| {
-                let k_scale = (1.0 / (1.0 + amp * amp)).sqrt();
-                (amp * k_scale, k_scale, om, ph)
-            });
-            Tap {
-                omega,
-                phase_i,
-                phase_q,
-                scatter_scale,
-                los,
-                power_sqrt: rt.power.sqrt(),
+            scatter_scale[l] = (1.0 / rt.sinusoids.len() as f64).sqrt();
+            power_sqrt[l] = rt.power.sqrt();
+        }
+        let los = r.taps[0].los.map(|(amp, om, ph)| {
+            let k_scale = (1.0 / (1.0 + amp * amp)).sqrt();
+            (amp * k_scale, k_scale, om, ph)
+        });
+        let mut twiddle_re = [[0.0; NUM_SUBCARRIERS]; NUM_TAPS];
+        let mut twiddle_im = [[0.0; NUM_SUBCARRIERS]; NUM_TAPS];
+        for l in 0..NUM_TAPS {
+            for i in 0..NUM_SUBCARRIERS {
+                let phase = -std::f64::consts::TAU * subcarrier_offset_hz(i) * r.taps[l].delay_s;
+                twiddle_re[l][i] = phase.cos();
+                twiddle_im[l][i] = phase.sin();
             }
-        });
-        let twiddle: [[Complex; NUM_TAPS]; NUM_SUBCARRIERS] = std::array::from_fn(|i| {
-            let f = subcarrier_offset_hz(i);
-            std::array::from_fn(|l| {
-                let phase = -std::f64::consts::TAU * f * r.taps[l].delay_s;
-                Complex::from_polar(1.0, phase)
-            })
-        });
+        }
         FadingProcess {
-            taps,
-            twiddle,
+            omega,
+            cos_phi_i,
+            sin_phi_i,
+            cos_phi_q,
+            sin_phi_q,
+            scatter_scale,
+            power_sqrt,
+            los,
+            twiddle_re,
+            twiddle_im,
             doppler_hz: r.doppler_hz,
         }
     }
@@ -337,46 +629,51 @@ impl FadingProcess {
         9.0 / (16.0 * std::f64::consts::PI * self.doppler_hz)
     }
 
-    /// The six tap gains at `ts` seconds, into a stack array (no
-    /// allocation — the seed collected a `Vec` here every sample).
-    #[inline]
-    fn gains_at(&self, ts: f64) -> [Complex; NUM_TAPS] {
-        std::array::from_fn(|l| self.taps[l].gain_at(ts))
-    }
-
     /// Per-subcarrier frequency response at instant `t`, normalized to
     /// unit mean power: `H_k(t) = Σ_l g_l(t)·e^{−j2π f_k τ_l}`.
     pub fn csi_at(&self, t: SimTime) -> Csi {
-        let ts = t.as_secs_f64();
-        let gains = self.gains_at(ts);
-        let mut h = [Complex::ZERO; NUM_SUBCARRIERS];
-        for (hk, tw) in h.iter_mut().zip(self.twiddle.iter()) {
-            let mut acc = Complex::ZERO;
-            for (&g, &w) in gains.iter().zip(tw.iter()) {
-                acc += g * w;
-            }
-            *hk = acc;
-        }
-        Csi { h }
+        let mut re = [0.0; NUM_SUBCARRIERS];
+        let mut im = [0.0; NUM_SUBCARRIERS];
+        synth_planes(self, t.as_secs_f64(), &mut re, &mut im);
+        planes_to_csi(&re, &im)
+    }
+
+    /// [`FadingProcess::csi_at`] on an explicit backend (differential
+    /// tests; results are bit-identical across backends).
+    pub fn csi_at_with(&self, backend: Backend, t: SimTime) -> Csi {
+        let mut re = [0.0; NUM_SUBCARRIERS];
+        let mut im = [0.0; NUM_SUBCARRIERS];
+        synth_planes_with(backend, self, t.as_secs_f64(), &mut re, &mut im);
+        planes_to_csi(&re, &im)
+    }
+
+    /// Per-subcarrier powers `|H_k(t)|²` without materializing a [`Csi`]
+    /// — the fused input of the ESNR sweep and the RSSI reduction.
+    /// Bit-identical to `self.csi_at(t).powers()`.
+    pub fn powers_at(&self, t: SimTime) -> [f64; NUM_SUBCARRIERS] {
+        let mut powers = [0.0; NUM_SUBCARRIERS];
+        synth_powers(self, t.as_secs_f64(), &mut powers);
+        powers
+    }
+
+    /// [`FadingProcess::powers_at`] on an explicit backend.
+    pub fn powers_at_with(&self, backend: Backend, t: SimTime) -> [f64; NUM_SUBCARRIERS] {
+        let mut powers = [0.0; NUM_SUBCARRIERS];
+        synth_powers_with(backend, self, t.as_secs_f64(), &mut powers);
+        powers
     }
 
     /// Wideband (subcarrier-averaged) instantaneous power gain at `t`,
     /// relative to the large-scale mean. This is what an RSSI measurement
     /// fluctuates with.
     ///
-    /// Accumulates `|H_k|²` directly in subcarrier order — the same
-    /// summation [`Csi::mean_power`] performs — without materializing the
-    /// 56-coefficient snapshot it would immediately reduce away.
+    /// Reduces the fused power sweep in subcarrier order — the same
+    /// summation [`Csi::mean_power`] performs.
     pub fn wideband_gain_at(&self, t: SimTime) -> f64 {
-        let ts = t.as_secs_f64();
-        let gains = self.gains_at(ts);
+        let powers = self.powers_at(t);
         let mut total = 0.0;
-        for tw in self.twiddle.iter() {
-            let mut acc = Complex::ZERO;
-            for (&g, &w) in gains.iter().zip(tw.iter()) {
-                acc += g * w;
-            }
-            total += acc.norm_sq();
+        for p in powers {
+            total += p;
         }
         total / NUM_SUBCARRIERS as f64
     }
@@ -536,12 +833,12 @@ mod tests {
     }
 
     #[test]
-    fn fast_path_bit_identical_to_reference() {
+    fn scalar_path_bit_identical_to_reference() {
         // Spot check here; the exhaustive random-replay suite lives in
         // tests/prop_fading.rs.
         for (seed, k_db) in [(1u64, 9.0), (2, f64::NEG_INFINITY), (3, 6.0)] {
             let stream = RngStream::root(seed).derive("test-link");
-            let fast = FadingProcess::new(stream, 6.7, k_db);
+            let fast = scalar::FadingProcess::new(stream, 6.7, k_db);
             let refp = reference::FadingProcess::new(stream, 6.7, k_db);
             for us in [0u64, 137, 5_000, 1_234_567] {
                 let t = SimTime::from_micros(us);
@@ -554,6 +851,61 @@ mod tests {
                     fast.wideband_gain_at(t).to_bits(),
                     refp.wideband_gain_at(t).to_bits()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_path_tracks_scalar_oracle() {
+        // Spot check of the epsilon contract; the exhaustive random suite
+        // lives in tests/prop_simd.rs.
+        for (seed, k_db) in [(1u64, 9.0), (2, f64::NEG_INFINITY), (3, 6.0)] {
+            let stream = RngStream::root(seed).derive("test-link");
+            let simd = FadingProcess::new(stream, 6.7, k_db);
+            let oracle = scalar::FadingProcess::new(stream, 6.7, k_db);
+            for us in [0u64, 137, 5_000, 1_234_567] {
+                let t = SimTime::from_micros(us);
+                let (a, b) = (simd.csi_at(t), oracle.csi_at(t));
+                for k in 0..NUM_SUBCARRIERS {
+                    assert!((a.h[k].re - b.h[k].re).abs() < 1e-11);
+                    assert!((a.h[k].im - b.h[k].im).abs() < 1e-11);
+                }
+                let (wa, wb) = (simd.wideband_gain_at(t), oracle.wideband_gain_at(t));
+                assert!((wa - wb).abs() < 1e-11, "wideband {wa} vs {wb}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_path_bit_identical_across_backends() {
+        let p = process(6.7, 6.0, 12);
+        for us in [0u64, 991, 77_777] {
+            let t = SimTime::from_micros(us);
+            let base = p.csi_at_with(Backend::Scalar, t);
+            let pw_base = p.powers_at_with(Backend::Scalar, t);
+            for b in [Backend::Avx2, Backend::Avx512] {
+                let c = p.csi_at_with(b, t);
+                for k in 0..NUM_SUBCARRIERS {
+                    assert_eq!(base.h[k].re.to_bits(), c.h[k].re.to_bits());
+                    assert_eq!(base.h[k].im.to_bits(), c.h[k].im.to_bits());
+                }
+                let pw = p.powers_at_with(b, t);
+                for k in 0..NUM_SUBCARRIERS {
+                    assert_eq!(pw_base[k].to_bits(), pw[k].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn powers_at_matches_csi_powers() {
+        let p = process(6.7, 6.0, 13);
+        for us in [3u64, 1_000, 250_000] {
+            let t = SimTime::from_micros(us);
+            let direct = p.powers_at(t);
+            let via_csi = p.csi_at(t).powers();
+            for k in 0..NUM_SUBCARRIERS {
+                assert_eq!(direct[k].to_bits(), via_csi[k].to_bits());
             }
         }
     }

@@ -24,6 +24,7 @@
 //! can experience *bit-identical* channel realizations.
 
 pub mod antenna;
+pub mod batch;
 pub mod complex;
 pub mod csi;
 pub mod esnr;
@@ -36,7 +37,7 @@ pub mod shadowing;
 pub use antenna::{Antenna, IsotropicAntenna, ParabolicAntenna};
 pub use complex::Complex;
 pub use csi::{Csi, NUM_SUBCARRIERS, SUBCARRIER_SPACING_HZ};
-pub use esnr::{effective_snr_db, Modulation};
+pub use esnr::{effective_snr_db, effective_snr_from_powers, Modulation};
 pub use fading::FadingProcess;
 pub use geometry::Position;
 pub use link::{Link, LinkBudget, LinkSnapshot, SnapshotMemo};

@@ -12,8 +12,8 @@
 //! when it predicts downlink delivery from uplink CSI (§3.1.1).
 
 use crate::antenna::{Antenna, ParabolicAntenna};
-use crate::csi::Csi;
-use crate::esnr::{effective_snr_db, Modulation};
+use crate::csi::{Csi, NUM_SUBCARRIERS};
+use crate::esnr::{effective_snr_db, effective_snr_from_powers, Modulation};
 use crate::fading::FadingProcess;
 use crate::geometry::{angle_between, Position};
 use crate::linear_to_db;
@@ -75,8 +75,11 @@ pub struct Link {
 /// delivery roll, and once more for the noise-perturbed CSI measurement
 /// the controller sees. The channel is a pure function of
 /// `(t, client_pos)`, so those samples are bit-identical — this memo
-/// synthesizes the 56-subcarrier snapshot (and the ESNR inversion) once
-/// and replays the same bits for repeats.
+/// fills lazily per product (fused per-subcarrier powers, wideband SNR,
+/// full snapshot, ESNR inversion) and replays the same bits for repeats.
+/// ESNR/RSSI queries only ever synthesize the power sweep; the
+/// 56-coefficient complex snapshot is materialized only for callers that
+/// actually ask for CSI.
 ///
 /// Interior mutability (`RefCell`) keeps [`Link::snapshot`] callable
 /// through `&Link` while `World` holds other mutable state; `World`s are
@@ -91,10 +94,19 @@ pub struct SnapshotMemo(RefCell<Option<MemoEntry>>);
 struct MemoEntry {
     t: SimTime,
     client_pos: Position,
-    snap: LinkSnapshot,
-    /// Last ESNR derived from `snap`, keyed by modulation (the MAC asks
-    /// for at most one data modulation plus QPSK control per instant, and
-    /// repeats each many times — a single slot captures the runs).
+    /// Large-scale mean SNR at the memo key — cheap pure geometry,
+    /// computed eagerly on every refresh because every product needs it.
+    mean_snr_db: f64,
+    /// Fused per-subcarrier powers `|H_k|²` (lazily synthesized; the same
+    /// bits `snap.csi.powers()` would yield).
+    powers: Option<[f64; NUM_SUBCARRIERS]>,
+    /// Wideband SNR in dB (lazily reduced from `powers`).
+    snr_db: Option<f64>,
+    /// Full snapshot (lazily; only CSI consumers pay for it).
+    snap: Option<LinkSnapshot>,
+    /// Last ESNR derived from the powers, keyed by modulation (the MAC
+    /// asks for at most one data modulation plus QPSK control per instant,
+    /// and repeats each many times — a single slot captures the runs).
     esnr: Option<(Modulation, f64)>,
 }
 
@@ -135,24 +147,67 @@ impl Link {
             - self.budget.noise_floor_dbm
     }
 
+    /// Refresh the memo to key `(t, client_pos)`, invalidating every
+    /// lazily filled slot on a miss.
+    fn memo_refresh<'a>(
+        &self,
+        memo: &'a mut Option<MemoEntry>,
+        t: SimTime,
+        client_pos: Position,
+    ) -> &'a mut MemoEntry {
+        let stale = match memo {
+            Some(e) => e.t != t || e.client_pos != client_pos,
+            None => true,
+        };
+        if stale {
+            *memo = Some(MemoEntry {
+                t,
+                client_pos,
+                mean_snr_db: self.mean_snr_db(client_pos),
+                powers: None,
+                snr_db: None,
+                snap: None,
+                esnr: None,
+            });
+        }
+        memo.as_mut().expect("memo_refresh always fills the entry")
+    }
+
+    /// The entry's fused power sweep, synthesizing it on first use.
+    fn ensure_powers<'a>(&self, entry: &'a mut MemoEntry) -> &'a [f64; NUM_SUBCARRIERS] {
+        if entry.powers.is_none() {
+            entry.powers = Some(self.fading.powers_at(entry.t));
+        }
+        entry.powers.as_ref().expect("powers just filled")
+    }
+
     /// Sample the full link state at instant `t` with the client at
     /// `client_pos`, replaying the memoized snapshot when `(t,
     /// client_pos)` matches the previous sample (same bits either way —
     /// the channel is a pure function of its arguments).
     pub fn snapshot(&self, t: SimTime, client_pos: Position) -> LinkSnapshot {
         let mut memo = self.memo.0.borrow_mut();
-        if let Some(entry) = memo.as_ref() {
-            if entry.t == t && entry.client_pos == client_pos {
-                return entry.snap.clone();
-            }
+        let entry = self.memo_refresh(&mut memo, t, client_pos);
+        if let Some(snap) = &entry.snap {
+            return snap.clone();
         }
-        let snap = self.snapshot_uncached(t, client_pos);
-        *memo = Some(MemoEntry {
-            t,
-            client_pos,
-            snap: snap.clone(),
-            esnr: None,
-        });
+        // The exact `snapshot_uncached` computation, reusing the entry's
+        // mean SNR (same bits — pure geometry).
+        let csi = self.fading.csi_at(t);
+        let fade_db = linear_to_db(csi.mean_power());
+        let snr_db = entry.mean_snr_db + fade_db;
+        let rssi_dbm = snr_db + self.budget.noise_floor_dbm;
+        let snap = LinkSnapshot {
+            mean_snr_db: entry.mean_snr_db,
+            csi,
+            rssi_dbm,
+            snr_db,
+        };
+        if entry.powers.is_none() {
+            entry.powers = Some(snap.csi.powers());
+        }
+        entry.snr_db = Some(snap.snr_db);
+        entry.snap = Some(snap.clone());
         snap
     }
 
@@ -173,30 +228,117 @@ impl Link {
         }
     }
 
+    /// Instantaneous wideband SNR in dB at `(t, client_pos)` through the
+    /// fused power sweep — no 56-coefficient complex snapshot is
+    /// materialized. Equal to `self.snapshot(t, client_pos).snr_db` bit
+    /// for bit (the powers reduce in the same order
+    /// [`Csi::mean_power`] uses).
+    pub fn snr_db_at(&self, t: SimTime, client_pos: Position) -> f64 {
+        let mut memo = self.memo.0.borrow_mut();
+        let entry = self.memo_refresh(&mut memo, t, client_pos);
+        if let Some(snr) = entry.snr_db {
+            return snr;
+        }
+        let powers = self.ensure_powers(entry);
+        let mut total = 0.0;
+        for &p in powers {
+            total += p;
+        }
+        let fade_db = linear_to_db(total / NUM_SUBCARRIERS as f64);
+        let snr = entry.mean_snr_db + fade_db;
+        entry.snr_db = Some(snr);
+        snr
+    }
+
+    /// Instantaneous RSSI in dBm at `(t, client_pos)` through the fused
+    /// power sweep. Equal to `self.snapshot(t, client_pos).rssi_dbm` bit
+    /// for bit.
+    pub fn rssi_dbm_at(&self, t: SimTime, client_pos: Position) -> f64 {
+        self.snr_db_at(t, client_pos) + self.budget.noise_floor_dbm
+    }
+
     /// Effective SNR (dB) at `(t, client_pos)` under `modulation`,
-    /// memoizing both the snapshot and the ESNR inversion (the 56-entry
-    /// BER map plus the fast table-and-Newton BER→SNR inverse of
-    /// [`crate::esnr`] — still the priciest per-frame step). Equal to
+    /// memoizing the fused power sweep and the ESNR inversion (the lane
+    /// BER sweep plus the fast table-and-Newton BER→SNR inverse of
+    /// [`crate::esnr`]). No complex snapshot is materialized. Equal to
     /// `self.snapshot(t, client_pos).esnr_db(modulation)` bit for bit.
     pub fn esnr_db_at(&self, t: SimTime, client_pos: Position, modulation: Modulation) -> f64 {
-        {
-            let memo = self.memo.0.borrow();
-            if let Some(entry) = memo.as_ref() {
-                if entry.t == t && entry.client_pos == client_pos {
-                    if let Some((m, e)) = entry.esnr {
-                        if m == modulation {
-                            return e;
-                        }
-                    }
-                }
+        let mut memo = self.memo.0.borrow_mut();
+        let entry = self.memo_refresh(&mut memo, t, client_pos);
+        if let Some((m, e)) = entry.esnr {
+            if m == modulation {
+                return e;
             }
         }
-        let esnr = self.snapshot(t, client_pos).esnr_db(modulation);
-        if let Some(entry) = self.memo.0.borrow_mut().as_mut() {
-            // `snapshot` above guaranteed the entry matches (t, client_pos).
-            entry.esnr = Some((modulation, esnr));
-        }
+        let mean_snr_db = entry.mean_snr_db;
+        let powers = self.ensure_powers(entry);
+        let esnr = effective_snr_from_powers(powers, mean_snr_db, modulation);
+        entry.esnr = Some((modulation, esnr));
         esnr
+    }
+
+    /// Stage 1+2 of a batched ESNR evaluation (see [`crate::batch`]):
+    /// refresh the memo to `(t, client_pos)`, synthesize the fused power
+    /// sweep, and run the lane BER sweep — `Ok(mean_ber)` awaiting
+    /// inversion, or `Err(esnr)` when the memo already holds the final
+    /// value. Followed by [`Link::esnr_finish_at`], this is
+    /// operation-for-operation [`Link::esnr_db_at`].
+    pub(crate) fn esnr_mean_ber_at(
+        &self,
+        t: SimTime,
+        client_pos: Position,
+        modulation: Modulation,
+    ) -> Result<f64, f64> {
+        let mut memo = self.memo.0.borrow_mut();
+        let entry = self.memo_refresh(&mut memo, t, client_pos);
+        if let Some((m, e)) = entry.esnr {
+            if m == modulation {
+                return Err(e);
+            }
+        }
+        let mean_snr_db = entry.mean_snr_db;
+        let powers = self.ensure_powers(entry);
+        Ok(crate::esnr::mean_ber_from_powers(
+            powers,
+            mean_snr_db,
+            modulation,
+        ))
+    }
+
+    /// Stage 3 of a batched ESNR evaluation: invert a staged mean BER
+    /// (memoizing the result) or pass a memo hit through unchanged.
+    pub(crate) fn esnr_finish_at(
+        &self,
+        t: SimTime,
+        client_pos: Position,
+        modulation: Modulation,
+        staged: Result<f64, f64>,
+    ) -> f64 {
+        match staged {
+            Err(esnr) => esnr,
+            Ok(mean_ber) => {
+                let esnr = crate::esnr::esnr_from_mean_ber(mean_ber, modulation);
+                let mut memo = self.memo.0.borrow_mut();
+                let entry = self.memo_refresh(&mut memo, t, client_pos);
+                entry.esnr = Some((modulation, esnr));
+                esnr
+            }
+        }
+    }
+
+    /// Per-AP ESNR map of every link overhearing one frame — see
+    /// [`crate::batch::esnr_map`] (this is the same call, hung off `Link`
+    /// for discoverability).
+    pub fn esnr_batch<'a, I>(
+        links: I,
+        t: SimTime,
+        client_pos: Position,
+        modulation: Modulation,
+        out: &mut Vec<f64>,
+    ) where
+        I: IntoIterator<Item = &'a Link>,
+    {
+        crate::batch::esnr_map(links, t, client_pos, modulation, out);
     }
 }
 
@@ -318,6 +460,26 @@ mod tests {
             c.snr_db.to_bits(),
             link.snapshot_uncached(t2, pos).snr_db.to_bits()
         );
+    }
+
+    #[test]
+    fn powers_path_snr_and_rssi_match_snapshot_bits() {
+        // The CSI-free accessors (fused powers sweep, no 56-coefficient
+        // materialization) must return the exact bits of the snapshot
+        // fields — in either query order, primed or cold.
+        let link = test_link(11);
+        for (ms, x) in [(3u64, 0.5), (9, -4.0), (15, 7.25)] {
+            let t = SimTime::from_millis(ms);
+            let pos = Position::new(x, 0.0);
+            let want = link.snapshot_uncached(t, pos);
+            // Cold: powers path first, snapshot after.
+            assert_eq!(link.snr_db_at(t, pos).to_bits(), want.snr_db.to_bits());
+            assert_eq!(link.rssi_dbm_at(t, pos).to_bits(), want.rssi_dbm.to_bits());
+            let snap = link.snapshot(t, pos);
+            assert_eq!(snap.snr_db.to_bits(), want.snr_db.to_bits());
+            // Warm: snapshot resident, powers accessors re-read it.
+            assert_eq!(link.rssi_dbm_at(t, pos).to_bits(), want.rssi_dbm.to_bits());
+        }
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Bit-identity oracle suite for the zero-redundancy PHY frame path.
 //!
-//! The shipping `FadingProcess` (precomputed twiddle table, flattened
-//! sinusoid banks, zero-alloc synthesis) and the memoized `Link` sampling
-//! must be *bit-identical* — `f64::to_bits` equal on every subcarrier —
-//! to the retained seed implementation (`fading::reference`) and the
-//! uncached sampling path, for every seed, speed, Rician K and sample
-//! instant. This is the contract that keeps every experiment artifact
-//! byte-identical per seed while the hot path got faster.
+//! The retained scalar `FadingProcess` (`fading::scalar` — precomputed
+//! twiddle table, flattened sinusoid banks, zero-alloc synthesis) must be
+//! *bit-identical* — `f64::to_bits` equal on every subcarrier — to the
+//! seed implementation (`fading::reference`) for every seed, speed,
+//! Rician K and sample instant: that chain is what anchors the SIMD
+//! path's epsilon contract (`tests/prop_simd.rs`) to the seed. The
+//! memoized `Link` sampling must likewise replay the uncached shipping
+//! path bit for bit under arbitrary revisit patterns.
 
 use proptest::prelude::*;
-use wgtt_radio::fading::{reference, FadingProcess, NUM_TAPS};
+use wgtt_radio::fading::{reference, scalar, FadingProcess, NUM_TAPS};
 use wgtt_radio::{
     Link, LinkBudget, Modulation, ParabolicAntenna, PathLossModel, Position, NUM_SUBCARRIERS,
 };
@@ -47,10 +48,11 @@ fn link_pair(seed: u64, speed_mps: f64, k: f64) -> Link {
 
 proptest! {
     /// Twiddle-table `csi_at` and zero-materialization `wideband_gain_at`
-    /// replay the reference bits at every sampled instant, including
-    /// immediate re-samples of the same instant.
+    /// of the retained scalar path replay the reference bits at every
+    /// sampled instant, including immediate re-samples of the same
+    /// instant.
     #[test]
-    fn fast_fading_bit_identical_to_reference(
+    fn scalar_fading_bit_identical_to_reference(
         params in (0u64..1_000_000, 0u64..2_000, 0u32..4),
         times_us in proptest::collection::vec(0u64..20_000_000, 1..40),
     ) {
@@ -58,7 +60,7 @@ proptest! {
         let speed_mps = speed_q as f64 * 0.01; // 0..20 m/s in cm/s steps
         let k = k_db(k_idx);
         let stream = RngStream::root(seed).derive("prop-fading");
-        let fast = FadingProcess::new(stream, speed_mps, k);
+        let fast = scalar::FadingProcess::new(stream, speed_mps, k);
         let oracle = reference::FadingProcess::new(stream, speed_mps, k);
         prop_assert_eq!(fast.doppler_hz().to_bits(), oracle.doppler_hz().to_bits());
         for &us in &times_us {

@@ -399,6 +399,16 @@ pub struct World {
     /// dozens of APs that loop is O(clients × APs) every 10 ms and the
     /// fleet report never reads the traces it would fill.
     pub sample_lean: bool,
+    /// Prefill the per-link fused-power memos of every overhearing AP in
+    /// one batched pass before each per-AP decode loop (the SoA PHY's
+    /// multi-AP entry point). Priming is pure — no random draws, memo
+    /// state only — so this toggle cannot change any simulation outcome;
+    /// `batch_equivalence.rs` pins on/off runs to identical reports. Off
+    /// exists only as the comparison baseline.
+    pub batch_esnr: bool,
+    /// Scratch for the sampling loop's batched per-AP ESNR map (reused
+    /// across clients and ticks; zero steady-state allocation).
+    esnr_scratch: Vec<f64>,
     /// Pool of reusable controller action buffers. Dispatching a
     /// controller action can recursively produce more controller work
     /// (a forwarded uplink TCP ack emits fresh downlink segments), so
@@ -621,6 +631,8 @@ impl World {
             capture_ident: 0,
             trace_from: SimTime::ZERO,
             sample_lean: false,
+            batch_esnr: true,
+            esnr_scratch: Vec::new(),
             ctl_bufs: Vec::new(),
             end_at: SimTime::ZERO,
             cfg,
@@ -758,6 +770,31 @@ impl World {
             .esnr_db_at(now, pos, Modulation::Qam16)
     }
 
+    /// Batched prefill of every overhearing link's fused-power memo
+    /// before a per-AP decode loop: one vectorized synthesis pass per AP
+    /// within the decode horizon on the client's channel, after which
+    /// the loop's `rx_survives`/`roll_mpdu`/`measured_esnr` queries at
+    /// the same `(now, position)` are pure memo hits. The gates here are
+    /// exactly the loop's *pure* gates (geometry and channel — never the
+    /// capture check, which may consult other links), and priming draws
+    /// no randomness, so RNG streams are untouched and the toggle is
+    /// outcome-invariant.
+    fn prime_esnr_maps(&self, client: NodeId, now: SimTime) {
+        if !self.batch_esnr {
+            return;
+        }
+        let pos = self.client_pos(client, now);
+        let n_aps = self.cfg.ap_x.len() as u32;
+        let off = self.cfg.ap_id_offset;
+        let links = (0..n_aps)
+            .map(|ai| NodeId(off + ai))
+            .filter(|&ap| {
+                self.within_decode_horizon(ap, client, now) && self.medium.same_channel(client, ap)
+            })
+            .map(|ap| self.link(ap, client));
+        wgtt_radio::batch::prime(links, now, pos, Modulation::Qam16);
+    }
+
     /// The ESNR an AP *measures* from one frame's CSI: the true value
     /// plus estimation noise. Selection consumes these; delivery rolls
     /// use the true channel.
@@ -792,7 +829,9 @@ impl World {
             return LinkBudget::default().tx_power_dbm - pl;
         };
         let pos = self.client_pos(client, now);
-        self.link(ap, client).snapshot(now, pos).rssi_dbm
+        // Power only — the fused sweep path; no 56-coefficient CSI
+        // materialization for a capture comparison that never reads it.
+        self.link(ap, client).rssi_dbm_at(now, pos)
     }
 
     /// Capture-aware reception check: a temporal overlap only corrupts

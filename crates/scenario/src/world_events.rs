@@ -584,10 +584,22 @@ impl World {
             if self.sample_lean {
                 continue;
             }
+            // One batched multi-AP ESNR map per client (fused SoA sweep
+            // per link, scratch reused across clients and ticks), read
+            // back per AP below.
+            let pos = self.client_pos(client, now);
+            let mut esnrs = std::mem::take(&mut self.esnr_scratch);
+            wgtt_radio::batch::esnr_map(
+                (0..n_aps).map(|ai| self.link(NodeId(off + ai), client)),
+                now,
+                pos,
+                Modulation::Qam16,
+                &mut esnrs,
+            );
             let mut best: Option<(NodeId, f64)> = None;
             for ai in 0..n_aps {
                 let ap = NodeId(off + ai);
-                let e = self.esnr_now(ap, client, now);
+                let e = esnrs[ai as usize];
                 self.report
                     .esnr_traces
                     .entry((client, ap))
@@ -597,6 +609,7 @@ impl World {
                     best = Some((ap, e));
                 }
             }
+            self.esnr_scratch = esnrs;
             if let (Some(s), Some((_oracle, oracle_esnr))) = (serving, best) {
                 // Only count instants where any AP is actually usable; the
                 // serving AP counts as optimal when it is within 1 dB of

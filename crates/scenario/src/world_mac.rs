@@ -236,6 +236,9 @@ impl World {
         if !matches!(self.system, SystemState::Wgtt { .. }) {
             return;
         }
+        // One batched synthesis pass over every overhearing link; the
+        // per-AP queries below are memo hits.
+        self.prime_esnr_maps(client, now);
         let n_aps = self.cfg.ap_x.len() as u32;
         let off = self.cfg.ap_id_offset;
         for ai in 0..n_aps {
@@ -369,6 +372,8 @@ impl World {
             _ => None,
         };
         let off = self.cfg.ap_id_offset;
+        // Batched synthesis for the whole overhearing fan-out up front.
+        self.prime_esnr_maps(client, now);
         for ai in 0..n_aps {
             let ap = NodeId(off + ai);
             let aui = ai as usize;
@@ -482,6 +487,8 @@ impl World {
         let n_aps = self.cfg.ap_x.len() as u32;
         let wgtt = matches!(self.system, SystemState::Wgtt { .. });
         let off = self.cfg.ap_id_offset;
+        // Batched synthesis for the whole overhearing fan-out up front.
+        self.prime_esnr_maps(client, now);
         for ai in 0..n_aps {
             let ap = NodeId(off + ai);
             let aui = ai as usize;
@@ -649,7 +656,8 @@ impl World {
                 continue;
             }
             let pos = self.client_pos(client, now);
-            let rssi = self.link(ap, client).snapshot(now, pos).rssi_dbm;
+            // Power only — no CSI materialization for a beacon RSSI.
+            let rssi = self.link(ap, client).rssi_dbm_at(now, pos);
             let ci = self.client_index(client);
             if let Some(r) = self.clients[ci].roamer.as_mut() {
                 r.on_beacon(ap, rssi, now);
