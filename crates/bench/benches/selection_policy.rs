@@ -1,0 +1,107 @@
+//! Cost of the switch-verdict layer (`wgtt::policy`) per policy.
+//!
+//! The verdict rule runs on every CSI report, so a policy's per-call
+//! cost is a direct tax on the controller's hot path. `reactive-median`
+//! should sit at the seed's cost (one memoized argmax + one reduction);
+//! `predictive` adds two slope fits over the ~W-sized windows;
+//! `load-aware` trades the memoized argmax for a full candidate scan
+//! with a log per AP. This bench quantifies each tax at realistic and
+//! adversarial window populations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::cell::RefCell;
+use std::hint::black_box;
+use wgtt::policy::{ApLoads, PolicyEnv, SwitchPolicyKind};
+use wgtt::selection::ApSelector;
+use wgtt_mac::frame::NodeId;
+use wgtt_sim::time::{SimDuration, SimTime};
+
+const WINDOW: SimDuration = SimDuration::from_millis(10);
+const HYSTERESIS: SimDuration = SimDuration::from_millis(40);
+const MARGIN_DB: f64 = 2.5;
+const APS: u64 = 8;
+/// Readings held per AP window: the paper's ~1 kHz CSI rate (~10), and
+/// an adversarial dense stream.
+const POPULATIONS: [u64; 2] = [10, 128];
+
+/// Deterministic ESNR stream (xorshift64), quantized to 0.1 dB.
+struct Stream {
+    x: u64,
+    t_ns: u64,
+    step_ns: u64,
+}
+
+impl Stream {
+    fn new(population: u64) -> Self {
+        Stream {
+            x: 0x2545_f491_4f6c_dd1d,
+            t_ns: 0,
+            step_ns: WINDOW.as_nanos() / (population * APS),
+        }
+    }
+
+    fn next(&mut self) -> (SimTime, NodeId, f64) {
+        self.x ^= self.x << 13;
+        self.x ^= self.x >> 7;
+        self.x ^= self.x << 17;
+        self.t_ns += self.step_ns;
+        let ap = NodeId(1 + ((self.x >> 60) % APS) as u32);
+        let v = ((self.x >> 16) % 600) as f64 / 10.0 - 20.0;
+        (SimTime::from_nanos(self.t_ns), ap, v)
+    }
+}
+
+fn populated(population: u64) -> (ApSelector, Stream) {
+    let mut sel = ApSelector::new(WINDOW, HYSTERESIS, MARGIN_DB);
+    let mut stream = Stream::new(population);
+    let mut last = SimTime::ZERO;
+    for _ in 0..population * APS {
+        let (t, ap, v) = stream.next();
+        sel.record(ap, t, v);
+        last = t;
+    }
+    sel.set_current(NodeId(1), last);
+    (sel, stream)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    for population in POPULATIONS {
+        for kind in SwitchPolicyKind::all() {
+            // One association per AP plus a hot cell, so the load term
+            // has structure to chew on.
+            let mut loads = ApLoads::new();
+            for ap in 1..=APS as u32 {
+                loads.reassign(None, NodeId(ap));
+            }
+            for _ in 0..10 {
+                loads.reassign(None, NodeId(3));
+            }
+            let state = RefCell::new(populated(population));
+            {
+                let mut s = state.borrow_mut();
+                s.0.set_switch_policy(kind.build());
+            }
+            c.bench_function(
+                &format!("verdict_per_csi/{}/n={population}", kind.label()),
+                |b| {
+                    b.iter_batched(
+                        || (),
+                        |()| {
+                            let mut s = state.borrow_mut();
+                            let (sel, stream) = &mut *s;
+                            let (t, ap, v) = stream.next();
+                            let env = PolicyEnv {
+                                loads: Some(&loads),
+                            };
+                            black_box(sel.record_and_evaluate_with(ap, t, v, t, env));
+                        },
+                        BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

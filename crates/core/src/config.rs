@@ -1,5 +1,6 @@
 //! WGTT tunables, with the paper's published defaults.
 
+use crate::policy::SwitchPolicyKind;
 use crate::selection::SelectionPolicy;
 use wgtt_sim::time::SimDuration;
 
@@ -11,6 +12,10 @@ pub struct WgttConfig {
     pub selection_window: SimDuration,
     /// How the window reduces to one figure per AP (paper: median).
     pub selection_policy: SelectionPolicy,
+    /// How the reduced candidates become a switch verdict (paper: the
+    /// reactive max-median rule; predictive and load-aware alternatives
+    /// live in [`crate::policy`]).
+    pub switch_policy: SwitchPolicyKind,
     /// Time hysteresis between switches (§5.3.3, Fig. 22). Smaller adapts
     /// faster; 40 ms performs best in the paper's sweep.
     pub switch_hysteresis: SimDuration,
@@ -57,6 +62,7 @@ impl Default for WgttConfig {
         WgttConfig {
             selection_window: SimDuration::from_millis(10),
             selection_policy: SelectionPolicy::Median,
+            switch_policy: SwitchPolicyKind::ReactiveMedian,
             switch_hysteresis: SimDuration::from_millis(40),
             switch_margin_db: 2.5,
             switch_ack_timeout: SimDuration::from_millis(30),
@@ -81,6 +87,7 @@ mod tests {
     fn defaults_match_paper() {
         let c = WgttConfig::default();
         assert_eq!(c.selection_window, SimDuration::from_millis(10));
+        assert_eq!(c.switch_policy, SwitchPolicyKind::ReactiveMedian);
         assert_eq!(c.switch_ack_timeout, SimDuration::from_millis(30));
         assert!(c.backhaul_latency < SimDuration::from_millis(1));
         // Table 1: protocol execution ≈ 17–21 ms ≈ stop + start processing

@@ -42,10 +42,12 @@ pub mod reference;
 use crate::config::WgttConfig;
 use crate::dedup::DedupFilter;
 use crate::messages::BackhaulMsg;
+use crate::policy::{ApLoads, PolicyEnv, SwitchPolicy};
 use crate::selection::{ApSelector, Verdict};
 use crate::switching::{SwitchEvent, SwitchProtocol};
 use crate::timerwheel::TimerWheel;
 use std::collections::HashMap;
+use std::sync::Arc;
 use wgtt_mac::frame::NodeId;
 use wgtt_mac::seq::SEQ_SPACE;
 use wgtt_net::Packet;
@@ -164,6 +166,10 @@ pub struct ControllerStats {
     pub uplink_duplicates: u64,
     /// Uplink packets forwarded to the WAN.
     pub uplink_forwarded: u64,
+    /// High-water mark of concurrent clients on one AP — the pile-up
+    /// metric the load-aware policy exists to reduce. Updated at every
+    /// association and switch completion.
+    pub max_ap_load: u64,
 }
 
 impl Default for ControllerStats {
@@ -176,6 +182,7 @@ impl Default for ControllerStats {
             downlink_no_ap: 0,
             uplink_duplicates: 0,
             uplink_forwarded: 0,
+            max_ap_load: 0,
         }
     }
 }
@@ -213,6 +220,13 @@ pub struct Controller {
     wheel: TimerWheel,
     /// Due-slot scratch for `poll` (reused, sorted by client id).
     poll_scratch: Vec<u32>,
+    /// The switch-verdict rule every client's selector runs, built once
+    /// from `cfg.switch_policy` and shared by `Arc`.
+    switch_policy: Arc<dyn SwitchPolicy>,
+    /// Per-AP associated-client counts — the load term the load-aware
+    /// policy reads, maintained for every policy so `max_ap_load` is
+    /// comparable across them.
+    loads: ApLoads,
     /// Run statistics.
     pub stats: ControllerStats,
 }
@@ -222,12 +236,14 @@ impl Controller {
     pub fn new(cfg: WgttConfig, aps: Vec<NodeId>) -> Self {
         Controller {
             dedup: HashMap::new(),
+            switch_policy: cfg.switch_policy.build(),
             cfg,
             clients: Vec::new(),
             slots: HashMap::new(),
             all_aps: aps,
             wheel: TimerWheel::new(),
             poll_scratch: Vec::new(),
+            loads: ApLoads::new(),
             stats: ControllerStats::default(),
         }
     }
@@ -245,6 +261,7 @@ impl Controller {
             return s as usize;
         }
         let cfg = self.cfg;
+        let switch_policy = Arc::clone(&self.switch_policy);
         let s = self.clients.len() as u32;
         self.clients.push(ClientState {
             id: client,
@@ -255,6 +272,7 @@ impl Controller {
                     cfg.switch_margin_db,
                 );
                 sel.set_policy(cfg.selection_policy);
+                sel.set_switch_policy(switch_policy);
                 sel
             },
             switcher: SwitchProtocol::new(cfg.switch_ack_timeout),
@@ -299,9 +317,11 @@ impl Controller {
     ) {
         let slot = self.slot_of(client);
         let st = &mut self.clients[slot];
-        st.serving = Some(via_ap);
+        let prev = st.serving.replace(via_ap);
         st.selector.set_current(via_ap, now);
         let k = st.next_index;
+        let load = self.loads.reassign(prev, via_ap);
+        self.stats.max_ap_load = self.stats.max_ap_load.max(u64::from(load));
         for &ap in &self.all_aps {
             sink.send(ap, BackhaulMsg::AssocSync { client, via_ap });
         }
@@ -393,9 +413,18 @@ impl Controller {
                     st.selector.record(ap, at, esnr_db);
                 } else {
                     // The hot path: one fused call records the reading
-                    // and re-runs the selection rule against the
-                    // just-bumped argmax cache.
-                    let verdict = st.selector.record_and_evaluate(ap, at, esnr_db, now);
+                    // and re-runs the switch policy against the
+                    // just-bumped argmax cache, with the controller's
+                    // per-AP loads in scope for the load-aware rule.
+                    let verdict = st.selector.record_and_evaluate_with(
+                        ap,
+                        at,
+                        esnr_db,
+                        now,
+                        PolicyEnv {
+                            loads: Some(&self.loads),
+                        },
+                    );
                     self.act_on_verdict(slot, verdict, now, sink);
                 }
             }
@@ -424,8 +453,10 @@ impl Controller {
                     st.switcher.on_ack(switch_id, now)
                 {
                     debug_assert_eq!(new_ap, ap);
-                    st.serving = Some(new_ap);
+                    let prev = st.serving.replace(new_ap);
                     st.selector.set_current(new_ap, now);
+                    let load = self.loads.reassign(prev, new_ap);
+                    self.stats.max_ap_load = self.stats.max_ap_load.max(u64::from(load));
                     self.stats.switches_completed += 1;
                     self.stats.switch_durations.record(elapsed.as_secs_f64());
                     // The wheel entry for this switch goes stale here;

@@ -18,9 +18,11 @@ use super::{ControllerAction, ControllerStats};
 use crate::config::WgttConfig;
 use crate::dedup::DedupFilter;
 use crate::messages::BackhaulMsg;
+use crate::policy::{ApLoads, PolicyEnv, SwitchPolicy};
 use crate::selection::{ApSelector, Verdict};
 use crate::switching::{SwitchEvent, SwitchProtocol};
 use std::collections::HashMap;
+use std::sync::Arc;
 use wgtt_mac::frame::NodeId;
 use wgtt_mac::seq::SEQ_SPACE;
 use wgtt_net::Packet;
@@ -46,6 +48,10 @@ pub struct Controller {
     /// per-client, which is what lets a spatially sharded run keep a
     /// controller per shard without cross-shard coupling.
     dedup: HashMap<u32, DedupFilter>,
+    /// The switch-verdict rule, built once from `cfg.switch_policy`.
+    switch_policy: Arc<dyn SwitchPolicy>,
+    /// Per-AP associated-client counts (the load-aware policy's input).
+    loads: ApLoads,
     /// Run statistics.
     pub stats: ControllerStats,
 }
@@ -55,15 +61,18 @@ impl Controller {
     pub fn new(cfg: WgttConfig, aps: Vec<NodeId>) -> Self {
         Controller {
             dedup: HashMap::new(),
+            switch_policy: cfg.switch_policy.build(),
             cfg,
             clients: HashMap::new(),
             all_aps: aps,
+            loads: ApLoads::new(),
             stats: ControllerStats::default(),
         }
     }
 
     fn client_mut(&mut self, client: NodeId) -> &mut ClientState {
         let cfg = self.cfg;
+        let switch_policy = Arc::clone(&self.switch_policy);
         self.clients.entry(client).or_insert_with(|| ClientState {
             selector: {
                 let mut s = ApSelector::new(
@@ -72,6 +81,7 @@ impl Controller {
                     cfg.switch_margin_db,
                 );
                 s.set_policy(cfg.selection_policy);
+                s.set_switch_policy(switch_policy);
                 s
             },
             switcher: SwitchProtocol::new(cfg.switch_ack_timeout),
@@ -99,9 +109,11 @@ impl Controller {
         now: SimTime,
     ) -> Vec<ControllerAction> {
         let st = self.client_mut(client);
-        st.serving = Some(via_ap);
+        let prev = st.serving.replace(via_ap);
         st.selector.set_current(via_ap, now);
         let k = st.next_index;
+        let load = self.loads.reassign(prev, via_ap);
+        self.stats.max_ap_load = self.stats.max_ap_load.max(u64::from(load));
         let mut actions: Vec<ControllerAction> = self
             .all_aps
             .iter()
@@ -203,8 +215,10 @@ impl Controller {
                 match st.switcher.on_ack(switch_id, now) {
                     SwitchEvent::Completed { new_ap, elapsed } => {
                         debug_assert_eq!(new_ap, ap);
-                        st.serving = Some(new_ap);
+                        let prev = st.serving.replace(new_ap);
                         st.selector.set_current(new_ap, now);
+                        let load = self.loads.reassign(prev, new_ap);
+                        self.stats.max_ap_load = self.stats.max_ap_load.max(u64::from(load));
                         self.stats.switches_completed += 1;
                         self.stats.switch_durations.record(elapsed.as_secs_f64());
                         // Tell every AP who serves now (monitor-mode
@@ -231,14 +245,22 @@ impl Controller {
     /// Re-run the selection rule for `client` and start a switch if it
     /// says so and none is outstanding.
     fn evaluate(&mut self, client: NodeId, now: SimTime) -> Vec<ControllerAction> {
-        let st = self.client_mut(client);
+        let loads = &self.loads;
+        let Some(st) = self.clients.get_mut(&client) else {
+            // Unreachable from `on_msg` (the CSI record above created
+            // the entry), kept total for direct callers.
+            return Vec::new();
+        };
         if st.switcher.busy() {
             return Vec::new();
         }
         let Some(current) = st.serving else {
             return Vec::new(); // not yet associated
         };
-        match st.selector.evaluate(now) {
+        match st
+            .selector
+            .evaluate_with(now, PolicyEnv { loads: Some(loads) })
+        {
             Verdict::SwitchTo(target) if target != current => {
                 match st.switcher.begin(current, target, now) {
                     Some(SwitchEvent::SendStop {

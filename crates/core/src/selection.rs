@@ -42,9 +42,26 @@
 //! full expire-and-reduce scan per query — as the in-tree oracle, and
 //! `crates/core/tests/prop_selection.rs` proves the fast path
 //! bit-identical to it under adversarial interleavings.
+//!
+//! ## The verdict layer
+//!
+//! Two distinct layers share the word "policy" here:
+//!
+//! * [`SelectionPolicy`] (from [`crate::window`]) is the **window
+//!   reduction** — how one AP's readings collapse to a scalar (median,
+//!   mean, max, latest).
+//! * [`crate::policy::SwitchPolicy`] is the **verdict rule** — how the
+//!   reduced candidates become a [`Verdict`]. Both selectors implement
+//!   [`crate::policy::PolicyView`], and [`ApSelector::evaluate`] simply
+//!   runs the configured policy against that view. The default
+//!   [`crate::policy::ReactiveMedian`] is the paper's rule, extracted
+//!   verbatim; the property suites pin it bit-identical to the
+//!   pre-trait code.
 
+use crate::policy::{PolicyEnv, PolicyView, SwitchPolicy, SwitchPolicyKind};
 use crate::window::{EsnrWindow, ExpiryHeap};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use wgtt_mac::frame::NodeId;
 use wgtt_sim::time::{SimDuration, SimTime};
 
@@ -52,8 +69,19 @@ pub use crate::window::SelectionPolicy;
 
 /// How long the serving AP may go unheard before it is declared dead and
 /// abandoned regardless of margin. Shorter than this, a CSI lull (a pair
-/// of lost Block ACKs) must not force a panic switch.
+/// of lost Block ACKs) must not force a panic switch. The boundary is
+/// inclusive: an AP silent for exactly the grace period is already dead
+/// (`last_reading + SILENCE_GRACE <= now` abandons it).
 const SILENCE_GRACE: SimDuration = SimDuration::from_millis(100);
+
+/// Span of the per-link *trend* window the predictive policy fits its
+/// slope over. Deliberately 10× the selection window: a least-squares
+/// fit over 10 ms of CSI measures Rayleigh-fading wiggle (spurious
+/// slopes of hundreds of dB/s), while the path-loss decay a hand-off
+/// should anticipate — a vehicle crossing a picocell edge — unfolds
+/// over ~100 ms. Only maintained when the active switch policy's
+/// `wants_trend` asks for it, so other policies pay nothing.
+const TREND_WINDOW: SimDuration = SimDuration::from_millis(100);
 
 /// Per-AP link state: the selection window plus the range-liveness
 /// timestamp, kept in one map entry so each reading costs a single
@@ -61,6 +89,11 @@ const SILENCE_GRACE: SimDuration = SimDuration::from_millis(100);
 #[derive(Debug, Default)]
 struct Link {
     window: EsnrWindow,
+    /// The long trend window ([`TREND_WINDOW`]) the predictive policy's
+    /// slope fit reads. Fed on `record` only while the active policy
+    /// wants it (empty otherwise); expired on push, so its contents are
+    /// a pure function of the reading stream.
+    trend: EsnrWindow,
     /// Most recent reading regardless of window expiry (range liveness
     /// for the fan-out grace rule).
     last_reading: SimTime,
@@ -81,6 +114,13 @@ pub struct ApSelector {
     links: BTreeMap<NodeId, Link>,
     current: Option<NodeId>,
     last_switch: Option<SimTime>,
+    /// The verdict rule [`evaluate`](Self::evaluate) runs (the paper's
+    /// reactive-median rule by default). Stateless and shared — one
+    /// `Arc` serves every client of a controller.
+    switch_policy: Arc<dyn SwitchPolicy>,
+    /// Cached `switch_policy.wants_trend()`: checked on every `record`,
+    /// so it must not cost a virtual call there.
+    track_trend: bool,
     /// Lazy min-heap of per-window front-expiry deadlines; its peek
     /// answers "does any window need expiring at `now`?" in O(1).
     expiry: ExpiryHeap<NodeId>,
@@ -113,6 +153,8 @@ impl ApSelector {
             links: BTreeMap::new(),
             current: None,
             last_switch: None,
+            switch_policy: SwitchPolicyKind::ReactiveMedian.build(),
+            track_trend: false,
             expiry: ExpiryHeap::new(),
             best_cache: Some(None),
         }
@@ -123,6 +165,16 @@ impl ApSelector {
     pub fn set_policy(&mut self, policy: SelectionPolicy) {
         self.policy = policy;
         self.best_cache = None;
+    }
+
+    /// Override the switch-verdict policy (the paper's reactive-median
+    /// rule by default). The verdict layer sits strictly above the
+    /// argmax cache, so no derived state needs invalidating. A mid-run
+    /// switch to a trend-fitting policy starts its trend windows empty
+    /// (slope `None` → reactive behavior) until readings accumulate.
+    pub fn set_switch_policy(&mut self, policy: Arc<dyn SwitchPolicy>) {
+        self.track_trend = policy.wants_trend();
+        self.switch_policy = policy;
     }
 
     /// Incrementally fold "`ap`'s reduced value is now `value`" into the
@@ -202,12 +254,24 @@ impl ApSelector {
     }
 
     /// Record an ESNR reading from `ap` at `at`.
+    ///
+    /// Non-finite readings (a corrupt CSI report) are rejected outright:
+    /// a NaN compares false both ways and would wedge the strict-`>`
+    /// argmax cache on a value no rescan dislodges, and a ±inf would
+    /// pin the argmax forever. A rejected reading does not refresh range
+    /// liveness either — garbage is not evidence the link is alive.
     pub fn record(&mut self, ap: NodeId, at: SimTime, esnr_db: f64) {
+        if !esnr_db.is_finite() {
+            return;
+        }
         let window = self.window;
         let policy = self.policy;
         let link = self.links.entry(ap).or_default();
         link.last_reading = link.last_reading.max(at);
         link.window.push(at, esnr_db, window);
+        if self.track_trend {
+            link.trend.push(at, esnr_db, TREND_WINDOW);
+        }
         let value = link.window.reduce(policy);
         Self::sync_deadline(link, &mut self.expiry, ap, window);
         Self::bump_cache(&mut self.best_cache, ap, value);
@@ -339,6 +403,13 @@ impl ApSelector {
         best
     }
 
+    /// Most recent reading timestamp from `ap` regardless of window
+    /// expiry (`None` if the AP was never heard or was removed) — the
+    /// range-liveness anchor the silence grace tests against.
+    pub fn last_heard(&self, ap: NodeId) -> Option<SimTime> {
+        self.links.get(&ap).map(|l| l.last_reading)
+    }
+
     /// Record a reading and immediately evaluate the selection rule —
     /// the controller's per-CsiReport hot path fused into one call.
     /// The record's incremental argmax bump feeds straight into the
@@ -354,46 +425,107 @@ impl ApSelector {
         esnr_db: f64,
         now: SimTime,
     ) -> Verdict {
-        self.record(ap, at, esnr_db);
-        self.evaluate(now)
+        self.record_and_evaluate_with(ap, at, esnr_db, now, PolicyEnv::default())
     }
 
-    /// Evaluate the selection rule at `now`. Returns
+    /// [`record_and_evaluate`](Self::record_and_evaluate) with
+    /// controller-level policy context (per-AP loads).
+    pub fn record_and_evaluate_with(
+        &mut self,
+        ap: NodeId,
+        at: SimTime,
+        esnr_db: f64,
+        now: SimTime,
+        env: PolicyEnv<'_>,
+    ) -> Verdict {
+        self.record(ap, at, esnr_db);
+        self.evaluate_with(now, env)
+    }
+
+    /// Evaluate the configured switch policy at `now`. Under the
+    /// default [`crate::policy::ReactiveMedian`] this returns
     /// [`Verdict::SwitchTo`] only when the best AP differs from the
     /// current, beats it by the margin, and the hysteresis has elapsed.
     pub fn evaluate(&mut self, now: SimTime) -> Verdict {
-        let Some((best_ap, best_median)) = self.best(now) else {
-            return Verdict::NoCandidate;
+        self.evaluate_with(now, PolicyEnv::default())
+    }
+
+    /// [`evaluate`](Self::evaluate) with controller-level policy
+    /// context (per-AP loads for [`crate::policy::LoadAware`]).
+    pub fn evaluate_with(&mut self, now: SimTime, env: PolicyEnv<'_>) -> Verdict {
+        let policy = Arc::clone(&self.switch_policy);
+        let mut view = FastView {
+            sel: self,
+            now,
+            env,
         };
-        let Some(current) = self.current else {
-            return Verdict::SwitchTo(best_ap);
-        };
-        if best_ap == current {
-            return Verdict::Stay;
-        }
-        if let Some(last) = self.last_switch {
-            if now.saturating_since(last) < self.hysteresis {
-                return Verdict::Stay;
+        policy.decide(&mut view)
+    }
+}
+
+/// [`PolicyView`] over the fast-path selector: queries go through the
+/// cached argmax / lazy expiry machinery, so a policy decided through
+/// this view exercises exactly the state the production path uses.
+struct FastView<'a> {
+    sel: &'a mut ApSelector,
+    now: SimTime,
+    env: PolicyEnv<'a>,
+}
+
+impl PolicyView for FastView<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn current(&self) -> Option<NodeId> {
+        self.sel.current
+    }
+
+    fn last_switch(&self) -> Option<SimTime> {
+        self.sel.last_switch
+    }
+
+    fn hysteresis(&self) -> SimDuration {
+        self.sel.hysteresis
+    }
+
+    fn margin_db(&self) -> f64 {
+        self.sel.margin_db
+    }
+
+    fn best(&mut self) -> Option<(NodeId, f64)> {
+        self.sel.best(self.now)
+    }
+
+    fn reduced(&mut self, ap: NodeId) -> Option<f64> {
+        self.sel.median_esnr(ap, self.now)
+    }
+
+    fn slope_db_per_s(&mut self, ap: NodeId) -> Option<f64> {
+        // Trend windows expire on push only — no expiry pass needed, and
+        // both selectors therefore fit over identical samples.
+        self.sel.links.get(&ap)?.trend.slope_db_per_s()
+    }
+
+    fn silent_past_grace(&self, ap: NodeId) -> bool {
+        self.sel
+            .links
+            .get(&ap)
+            .is_none_or(|l| l.last_reading + SILENCE_GRACE <= self.now)
+    }
+
+    fn load(&self, ap: NodeId) -> u32 {
+        self.env.loads.map_or(0, |l| l.get(ap))
+    }
+
+    fn for_each_candidate(&mut self, f: &mut dyn FnMut(NodeId, f64, u32)) {
+        self.sel.process_expiries(self.now);
+        let policy = self.sel.policy;
+        let loads = self.env.loads;
+        for (&ap, l) in self.sel.links.iter_mut() {
+            if let Some(v) = l.window.reduce(policy) {
+                f(ap, v, loads.map_or(0, |t| t.get(ap)));
             }
-        }
-        let current_median = self.median_esnr(current, now);
-        match current_median {
-            // No reading from the current AP inside the window: only
-            // abandon it once it has been silent for the grace period —
-            // a brief CSI lull is not evidence of a dead link.
-            None => {
-                let silent_long = self
-                    .links
-                    .get(&current)
-                    .is_none_or(|l| l.last_reading + SILENCE_GRACE < now);
-                if silent_long {
-                    Verdict::SwitchTo(best_ap)
-                } else {
-                    Verdict::Stay
-                }
-            }
-            Some(cm) if best_median > cm + self.margin_db => Verdict::SwitchTo(best_ap),
-            Some(_) => Verdict::Stay,
         }
     }
 }
@@ -415,11 +547,15 @@ pub struct FullScanSelector {
     links: BTreeMap<NodeId, OracleLink>,
     current: Option<NodeId>,
     last_switch: Option<SimTime>,
+    switch_policy: Arc<dyn SwitchPolicy>,
+    track_trend: bool,
 }
 
 #[derive(Debug, Default)]
 struct OracleLink {
     window: EsnrWindow,
+    /// Trend window for the slope fit (mirror of [`Link::trend`]).
+    trend: EsnrWindow,
     last_reading: SimTime,
 }
 
@@ -434,6 +570,8 @@ impl FullScanSelector {
             links: BTreeMap::new(),
             current: None,
             last_switch: None,
+            switch_policy: SwitchPolicyKind::ReactiveMedian.build(),
+            track_trend: false,
         }
     }
 
@@ -442,11 +580,25 @@ impl FullScanSelector {
         self.policy = policy;
     }
 
-    /// Record an ESNR reading from `ap` at `at`.
+    /// Override the switch-verdict policy (mirror of
+    /// [`ApSelector::set_switch_policy`]).
+    pub fn set_switch_policy(&mut self, policy: Arc<dyn SwitchPolicy>) {
+        self.track_trend = policy.wants_trend();
+        self.switch_policy = policy;
+    }
+
+    /// Record an ESNR reading from `ap` at `at`. Non-finite readings
+    /// are rejected, same contract as [`ApSelector::record`].
     pub fn record(&mut self, ap: NodeId, at: SimTime, esnr_db: f64) {
+        if !esnr_db.is_finite() {
+            return;
+        }
         let link = self.links.entry(ap).or_default();
         link.last_reading = link.last_reading.max(at);
         link.window.push(at, esnr_db, self.window);
+        if self.track_trend {
+            link.trend.push(at, esnr_db, TREND_WINDOW);
+        }
     }
 
     /// Forget `ap` entirely (mirror of [`ApSelector::remove_ap`]).
@@ -506,6 +658,12 @@ impl FullScanSelector {
         best
     }
 
+    /// Most recent reading timestamp from `ap` (mirror of
+    /// [`ApSelector::last_heard`]).
+    pub fn last_heard(&self, ap: NodeId) -> Option<SimTime> {
+        self.links.get(&ap).map(|l| l.last_reading)
+    }
+
     /// Record-then-evaluate in one call (mirror of
     /// [`ApSelector::record_and_evaluate`], full-scan semantics).
     pub fn record_and_evaluate(
@@ -515,42 +673,105 @@ impl FullScanSelector {
         esnr_db: f64,
         now: SimTime,
     ) -> Verdict {
-        self.record(ap, at, esnr_db);
-        self.evaluate(now)
+        self.record_and_evaluate_with(ap, at, esnr_db, now, PolicyEnv::default())
     }
 
-    /// Evaluate the selection rule at `now` (same dampers as
-    /// [`ApSelector::evaluate`]).
+    /// Record-then-evaluate with controller-level policy context.
+    pub fn record_and_evaluate_with(
+        &mut self,
+        ap: NodeId,
+        at: SimTime,
+        esnr_db: f64,
+        now: SimTime,
+        env: PolicyEnv<'_>,
+    ) -> Verdict {
+        self.record(ap, at, esnr_db);
+        self.evaluate_with(now, env)
+    }
+
+    /// Evaluate the configured switch policy at `now` (same dampers as
+    /// [`ApSelector::evaluate`], full-scan semantics).
     pub fn evaluate(&mut self, now: SimTime) -> Verdict {
-        let Some((best_ap, best_median)) = self.best(now) else {
-            return Verdict::NoCandidate;
+        self.evaluate_with(now, PolicyEnv::default())
+    }
+
+    /// [`evaluate`](Self::evaluate) with controller-level policy
+    /// context.
+    pub fn evaluate_with(&mut self, now: SimTime, env: PolicyEnv<'_>) -> Verdict {
+        let policy = Arc::clone(&self.switch_policy);
+        let mut view = OracleView {
+            sel: self,
+            now,
+            env,
         };
-        let Some(current) = self.current else {
-            return Verdict::SwitchTo(best_ap);
-        };
-        if best_ap == current {
-            return Verdict::Stay;
-        }
-        if let Some(last) = self.last_switch {
-            if now.saturating_since(last) < self.hysteresis {
-                return Verdict::Stay;
+        policy.decide(&mut view)
+    }
+}
+
+/// [`PolicyView`] over the full-scan oracle: every query expires the
+/// touched link(s) on the spot (no caches, nothing to go stale).
+struct OracleView<'a> {
+    sel: &'a mut FullScanSelector,
+    now: SimTime,
+    env: PolicyEnv<'a>,
+}
+
+impl PolicyView for OracleView<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn current(&self) -> Option<NodeId> {
+        self.sel.current
+    }
+
+    fn last_switch(&self) -> Option<SimTime> {
+        self.sel.last_switch
+    }
+
+    fn hysteresis(&self) -> SimDuration {
+        self.sel.hysteresis
+    }
+
+    fn margin_db(&self) -> f64 {
+        self.sel.margin_db
+    }
+
+    fn best(&mut self) -> Option<(NodeId, f64)> {
+        self.sel.best(self.now)
+    }
+
+    fn reduced(&mut self, ap: NodeId) -> Option<f64> {
+        self.sel.median_esnr(ap, self.now)
+    }
+
+    fn slope_db_per_s(&mut self, ap: NodeId) -> Option<f64> {
+        // The trend window expires on push only (its contents are a
+        // pure function of the reading stream), so reads on both
+        // selectors see identical samples without an expire here.
+        self.sel.links.get(&ap)?.trend.slope_db_per_s()
+    }
+
+    fn silent_past_grace(&self, ap: NodeId) -> bool {
+        self.sel
+            .links
+            .get(&ap)
+            .is_none_or(|l| l.last_reading + SILENCE_GRACE <= self.now)
+    }
+
+    fn load(&self, ap: NodeId) -> u32 {
+        self.env.loads.map_or(0, |l| l.get(ap))
+    }
+
+    fn for_each_candidate(&mut self, f: &mut dyn FnMut(NodeId, f64, u32)) {
+        let window = self.sel.window;
+        let policy = self.sel.policy;
+        let loads = self.env.loads;
+        for (&ap, l) in self.sel.links.iter_mut() {
+            l.window.expire(self.now, window);
+            if let Some(v) = l.window.reduce(policy) {
+                f(ap, v, loads.map_or(0, |t| t.get(ap)));
             }
-        }
-        let current_median = self.median_esnr(current, now);
-        match current_median {
-            None => {
-                let silent_long = self
-                    .links
-                    .get(&current)
-                    .is_none_or(|l| l.last_reading + SILENCE_GRACE < now);
-                if silent_long {
-                    Verdict::SwitchTo(best_ap)
-                } else {
-                    Verdict::Stay
-                }
-            }
-            Some(cm) if best_median > cm + self.margin_db => Verdict::SwitchTo(best_ap),
-            Some(_) => Verdict::Stay,
         }
     }
 }
@@ -796,6 +1017,64 @@ mod tests {
         // takes over deterministically.
         s.remove_ap(AP1);
         assert_eq!(s.best(ms(200)).map(|(ap, _)| ap), Some(AP2));
+    }
+
+    #[test]
+    fn non_finite_readings_are_rejected() {
+        // Regression: a NaN reading used to enter the window and wedge
+        // the strict-`>` argmax cache (NaN compares false both ways),
+        // so best() returned the NaN link until its window expired and
+        // no finite challenger could dethrone it meanwhile.
+        let mut s = selector();
+        let mut o = FullScanSelector::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(40),
+            1.0,
+        );
+        for (ap, at, v) in [
+            (AP1, ms(0), f64::NAN),
+            (AP2, ms(0), 10.0),
+            (AP1, ms(1), f64::INFINITY),
+            (AP1, ms(1), f64::NEG_INFINITY),
+        ] {
+            s.record(ap, at, v);
+            o.record(ap, at, v);
+        }
+        assert_eq!(s.best(ms(2)), Some((AP2, 10.0)));
+        assert_eq!(o.best(ms(2)), Some((AP2, 10.0)));
+        // A rejected reading must not refresh range liveness either.
+        assert_eq!(s.last_heard(AP1), None);
+        assert_eq!(o.last_heard(AP1), None);
+    }
+
+    #[test]
+    fn silence_grace_boundary_is_inclusive() {
+        // Regression: the serving AP was abandoned only strictly
+        // *after* the grace (`last_reading + GRACE < now`), while the
+        // doc promises abandonment once it has been "silent for the
+        // grace period". Pin the inclusive boundary on both selectors:
+        // dead at exactly t = last_reading + SILENCE_GRACE, alive one
+        // nanosecond before.
+        let just_before = ms(100) - SimDuration::from_nanos(1);
+        let mut s = selector();
+        s.record(AP1, ms(0), 25.0);
+        s.set_current(AP1, ms(0));
+        s.record(AP2, ms(50), 3.0);
+        s.record(AP2, just_before, 3.0);
+        assert_eq!(s.evaluate(just_before), Verdict::Stay);
+        assert_eq!(s.evaluate(ms(100)), Verdict::SwitchTo(AP2));
+
+        let mut o = FullScanSelector::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(40),
+            1.0,
+        );
+        o.record(AP1, ms(0), 25.0);
+        o.set_current(AP1, ms(0));
+        o.record(AP2, ms(50), 3.0);
+        o.record(AP2, just_before, 3.0);
+        assert_eq!(o.evaluate(just_before), Verdict::Stay);
+        assert_eq!(o.evaluate(ms(100)), Verdict::SwitchTo(AP2));
     }
 
     #[test]

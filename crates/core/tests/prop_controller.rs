@@ -27,6 +27,7 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 use wgtt::controller::{reference, ActionSink, Controller, ControllerAction, ControllerStats};
 use wgtt::messages::BackhaulMsg;
+use wgtt::policy::SwitchPolicyKind;
 use wgtt::WgttConfig;
 use wgtt_mac::frame::NodeId;
 use wgtt_net::packet::{FlowId, Packet, PacketFactory};
@@ -67,7 +68,8 @@ struct Diff {
     seq: u32,
 }
 
-fn stats_sig(s: &ControllerStats) -> (u64, u64, u64, u64, u64, u64, usize, u64, u64, u64) {
+#[allow(clippy::type_complexity)]
+fn stats_sig(s: &ControllerStats) -> (u64, u64, u64, u64, u64, u64, u64, usize, u64, u64, u64) {
     (
         s.switches_started,
         s.switches_completed,
@@ -75,6 +77,7 @@ fn stats_sig(s: &ControllerStats) -> (u64, u64, u64, u64, u64, u64, usize, u64, 
         s.downlink_no_ap,
         s.uplink_duplicates,
         s.uplink_forwarded,
+        s.max_ap_load,
         s.switch_durations.len(),
         s.switch_durations.mean().unwrap_or(0.0).to_bits(),
         s.switch_durations.std_dev().unwrap_or(0.0).to_bits(),
@@ -84,9 +87,13 @@ fn stats_sig(s: &ControllerStats) -> (u64, u64, u64, u64, u64, u64, usize, u64, 
 
 impl Diff {
     fn new() -> Self {
+        Self::with_cfg(WgttConfig::default())
+    }
+
+    fn with_cfg(cfg: WgttConfig) -> Self {
         Diff {
-            ship: Controller::new(WgttConfig::default(), aps()),
-            oracle: reference::Controller::new(WgttConfig::default(), aps()),
+            ship: Controller::new(cfg, aps()),
+            oracle: reference::Controller::new(cfg, aps()),
             now: SimTime::ZERO,
             factory: PacketFactory::new(),
             last_stop: HashMap::new(),
@@ -275,6 +282,30 @@ proptest! {
         for (kind, a, b, v) in script {
             // 0 → csi, 1 → ack, 2 → poll at deadline.
             d.step(match kind { 0 => 1, 1 => 4, _ => 6 }, a, b, v);
+        }
+        d.drain();
+    }
+
+    /// The same contract under the non-default switch policies: both
+    /// controllers build the verdict rule from `cfg.switch_policy` and
+    /// feed it the same load table, so Predictive and LoadAware runs
+    /// must stay observationally identical too — including the new
+    /// `max_ap_load` high-water mark in the stats signature.
+    #[test]
+    fn policy_configs_match_reference_under_random_interleavings(
+        kind_idx in 0usize..3,
+        script in proptest::collection::vec((0u8..8, 0u8..16, 0u8..16, 0u16..5000), 1..80)
+    ) {
+        let cfg = WgttConfig {
+            switch_policy: SwitchPolicyKind::all()[kind_idx],
+            ..Default::default()
+        };
+        let mut d = Diff::with_cfg(cfg);
+        for i in 0..N_CLIENTS as u8 {
+            d.step(0, i, i, 700); // associate everyone first
+        }
+        for (kind, a, b, v) in script {
+            d.step(kind, a, b, v);
         }
         d.drain();
     }

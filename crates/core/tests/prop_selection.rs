@@ -21,6 +21,8 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use wgtt::policy::{ApLoads, PolicyEnv, SwitchPolicyKind};
 use wgtt::selection::{ApSelector, FullScanSelector, SelectionPolicy, Verdict};
 use wgtt::window::{EsnrWindow, NaiveWindow};
 use wgtt_mac::frame::NodeId;
@@ -448,6 +450,152 @@ proptest! {
                 full.best(at).map(|(a, m)| (a, m.to_bits())),
                 "Mean best diverged from full-scan oracle at t={}µs", t_us
             );
+        }
+    }
+
+    /// Mid-run `set_policy` interleaved with readings, expiries,
+    /// removals, and verdicts: the fast path's cache dirtying and the
+    /// per-window memoized reduce must track a reduction-policy change
+    /// exactly like the full-scan oracle. (The selector-vs-selector
+    /// comparison is bit-exact under every policy — both sides run the
+    /// same `EsnrWindow`, including the Mean running sum — so `to_bits`
+    /// applies throughout; the Mean-vs-`NaiveWindow` epsilon contract
+    /// lives in its own suite above.)
+    #[test]
+    fn mid_run_set_policy_matches_full_scan_oracle(
+        ops in proptest::collection::vec(
+            (0u32..12, 0u32..5, 0u64..2_000, 0u32..600), 1..250
+        )
+    ) {
+        let mut fast = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        let mut oracle = FullScanSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        let mut t_us = 0u64;
+        for (kind, ap_raw, dt_us, raw) in ops {
+            t_us += match dt_us {
+                0..=399 => 0,
+                400..=1_899 => dt_us - 400,
+                _ => (dt_us - 1_900) * 20_000,
+            };
+            let now = SimTime::from_micros(t_us);
+            let ap = NodeId(ap_raw % 4);
+            match kind {
+                0..=4 => {
+                    let v = esnr(raw);
+                    fast.record(ap, now, v);
+                    oracle.record(ap, now, v);
+                }
+                // The op under test: change the reduction mid-stream,
+                // with warm caches and queued expiries behind it.
+                5..=6 => {
+                    let p = POLICIES[(raw as usize) % POLICIES.len()];
+                    fast.set_policy(p);
+                    oracle.set_policy(p);
+                }
+                7 => {
+                    fast.remove_ap(ap);
+                    oracle.remove_ap(ap);
+                }
+                8 => {
+                    prop_assert_eq!(
+                        fast.in_range(now), oracle.in_range(now),
+                        "in_range diverged at t={}µs", t_us
+                    );
+                }
+                9 => {
+                    prop_assert_eq!(
+                        fast.median_esnr(ap, now).map(f64::to_bits),
+                        oracle.median_esnr(ap, now).map(f64::to_bits),
+                        "median_esnr({:?}) diverged at t={}µs", ap, t_us
+                    );
+                }
+                _ => {
+                    let fv = fast.evaluate(now);
+                    prop_assert_eq!(fv, oracle.evaluate(now), "verdict diverged at t={}µs", t_us);
+                    if let Verdict::SwitchTo(target) = fv {
+                        fast.set_current(target, now);
+                        oracle.set_current(target, now);
+                    }
+                }
+            }
+            let fast_bits = fast.best(now).map(|(a, v)| (a, v.to_bits()));
+            let oracle_bits = oracle.best(now).map(|(a, v)| (a, v.to_bits()));
+            prop_assert_eq!(fast_bits, oracle_bits, "best diverged at t={}µs", t_us);
+        }
+    }
+
+    /// The verdict layer under every shipped [`SwitchPolicyKind`] —
+    /// reactive, predictive, load-aware — is bit-identical between the
+    /// fast path and the full-scan oracle, including mid-run policy
+    /// swaps, shifting per-AP loads, and applied switches. This is the
+    /// trait-extraction proof extended to the new policies: both
+    /// selectors feed the same `PolicyView` queries from different
+    /// machinery (cached argmax + heap vs full rescan), so any drift in
+    /// what the views expose shows up as a verdict or argmax mismatch.
+    #[test]
+    fn switch_policies_bit_identical_fast_vs_full_scan(
+        kind_idx in 0usize..3,
+        ops in proptest::collection::vec(
+            (0u32..12, 0u32..5, 0u64..2_000, 0u32..600), 1..250
+        )
+    ) {
+        let kinds = SwitchPolicyKind::all();
+        let sp = kinds[kind_idx].build();
+        let mut fast = ApSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        let mut oracle = FullScanSelector::new(WINDOW, SimDuration::from_millis(40), 1.0);
+        fast.set_switch_policy(Arc::clone(&sp));
+        oracle.set_switch_policy(sp);
+        let mut loads = ApLoads::new();
+        let mut t_us = 0u64;
+        for (kind, ap_raw, dt_us, raw) in ops {
+            t_us += match dt_us {
+                0..=399 => 0,
+                400..=1_899 => dt_us - 400,
+                _ => (dt_us - 1_900) * 20_000,
+            };
+            let now = SimTime::from_micros(t_us);
+            let ap = NodeId(ap_raw % 4);
+            match kind {
+                0..=4 => {
+                    let v = esnr(raw);
+                    fast.record(ap, now, v);
+                    oracle.record(ap, now, v);
+                }
+                // Shift the load landscape the load-aware rule reads.
+                5 => {
+                    loads.reassign(None, ap);
+                }
+                6 => {
+                    fast.remove_ap(ap);
+                    oracle.remove_ap(ap);
+                }
+                // Swap the verdict rule mid-run on both sides.
+                7 => {
+                    let k = kinds[(raw as usize) % kinds.len()];
+                    fast.set_switch_policy(k.build());
+                    oracle.set_switch_policy(k.build());
+                }
+                8 => {
+                    prop_assert_eq!(
+                        fast.in_range(now), oracle.in_range(now),
+                        "in_range diverged at t={}µs", t_us
+                    );
+                }
+                _ => {
+                    let env = PolicyEnv { loads: Some(&loads) };
+                    let fv = fast.evaluate_with(now, env);
+                    let ov = oracle.evaluate_with(now, env);
+                    prop_assert_eq!(fv, ov, "verdict diverged at t={}µs", t_us);
+                    prop_assert_eq!(fast.current(), oracle.current());
+                    if let Verdict::SwitchTo(target) = fv {
+                        fast.set_current(target, now);
+                        oracle.set_current(target, now);
+                        loads.reassign(None, target);
+                    }
+                }
+            }
+            let fast_bits = fast.best(now).map(|(a, v)| (a, v.to_bits()));
+            let oracle_bits = oracle.best(now).map(|(a, v)| (a, v.to_bits()));
+            prop_assert_eq!(fast_bits, oracle_bits, "best diverged at t={}µs", t_us);
         }
     }
 

@@ -6,6 +6,7 @@
 use crate::fleet::FleetConfig;
 use crate::results::{f, ExperimentOutput};
 use crate::world::SystemKind;
+use wgtt::policy::SwitchPolicyKind;
 use wgtt::WgttConfig;
 use wgtt_sim::time::SimDuration;
 
@@ -50,5 +51,43 @@ pub fn fleet_smoke(seed: u64, quick: bool) -> ExperimentOutput {
         report.full_outage_vehicles.to_string(),
     ]);
     out.note(report.digest());
+    out
+}
+
+/// `policy_smoke`: the same CI-sized corridor under each switch policy
+/// (reactive-median, predictive, load-aware) from one seed — the
+/// registry-shaped miniature of `examples/policy_compare.rs`.
+pub fn policy_smoke(seed: u64, quick: bool) -> ExperimentOutput {
+    let mut cfg = FleetConfig::corridor(10, 8);
+    cfg.duration = SimDuration::from_secs(if quick { 4 } else { 15 });
+
+    let mut out = ExperimentOutput::new(
+        "policy_smoke",
+        "Switch-policy comparison on the fleet corridor",
+        &[
+            "policy",
+            "switches",
+            "max ap load",
+            "outage p99 (s)",
+            "outage >=200ms (s)",
+            "p50 bitrate (Mbit/s)",
+        ],
+    );
+    let opt = |v: Option<f64>| v.map_or("n/a".to_string(), |v| f(v, 2));
+    for kind in SwitchPolicyKind::all() {
+        let wcfg = WgttConfig {
+            switch_policy: kind,
+            ..Default::default()
+        };
+        let report = cfg.run(SystemKind::Wgtt(wcfg), seed);
+        out.row(vec![
+            kind.label().to_string(),
+            report.switches.to_string(),
+            report.max_ap_load.to_string(),
+            opt(report.outage_quantile(0.99)),
+            f(report.outage_time_over(0.2), 2),
+            opt(report.fleet_bitrate_p50(0.5)),
+        ]);
+    }
     out
 }

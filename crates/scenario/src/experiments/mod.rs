@@ -28,7 +28,9 @@
 //! Extensions beyond the paper's artifacts: `fig10` (coverage heatmap),
 //! `ablation_selector`, `ablation_back_fwd`, `ext_stop_and_go`,
 //! `ext_multichannel` (the §7 discussion, implemented), and
-//! `fleet_smoke` (a CI-sized [`crate::fleet`] corridor).
+//! `fleet_smoke` (a CI-sized [`crate::fleet`] corridor), and
+//! `policy_smoke` (the same corridor under each [`wgtt::policy`]
+//! switch policy).
 
 pub mod apps;
 pub mod common;
@@ -68,6 +70,7 @@ pub fn run(id: &str, seed: u64, quick: bool) -> Option<ExperimentOutput> {
         "ext_stop_and_go" => extensions::ext_stop_and_go(seed),
         "ext_multichannel" => extensions::ext_multichannel(seed),
         "fleet_smoke" => fleetexp::fleet_smoke(seed, quick),
+        "policy_smoke" => fleetexp::policy_smoke(seed, quick),
         _ => return None,
     })
 }
@@ -118,7 +121,7 @@ pub fn render_all(ids: &[String], seed: u64, quick: bool, csv: bool, jobs: usize
 
 /// Every experiment id: the paper's artifacts in paper order, then the
 /// extension/ablation studies.
-pub const ALL: [&str; 24] = [
+pub const ALL: [&str; 25] = [
     "fig2",
     "fig4",
     "table1",
@@ -143,4 +146,5 @@ pub const ALL: [&str; 24] = [
     "ext_stop_and_go",
     "ext_multichannel",
     "fleet_smoke",
+    "policy_smoke",
 ];

@@ -427,6 +427,9 @@ pub struct FleetReport {
     pub switches: u64,
     /// Switches per vehicle-minute — the operator's roaming-churn rate.
     pub switch_rate_per_vehicle_minute: f64,
+    /// High-water mark of concurrent clients on any single AP — the
+    /// congestion figure the load-aware policy exists to reduce.
+    pub max_ap_load: u64,
     /// Downlink outage durations pooled across all downlink vehicles as
     /// `(seconds, cumulative_fraction)` pairs; full-outage vehicles
     /// contribute one full-run sample each.
@@ -517,6 +520,7 @@ impl FleetReport {
             per_vehicle,
             switches: report.switches,
             switch_rate_per_vehicle_minute,
+            max_ap_load: report.max_ap_load,
             outage_cdf,
             full_outage_vehicles,
             events_handled: report.events_handled,
@@ -540,6 +544,7 @@ impl FleetReport {
         let mut per_vehicle = Vec::new();
         let mut outage_samples: Vec<f64> = Vec::new();
         let mut switches = 0u64;
+        let mut max_ap_load = 0u64;
         let mut full_outage_vehicles = 0usize;
         let mut events_handled = 0u64;
         let mut frames_on_air = 0u64;
@@ -551,6 +556,9 @@ impl FleetReport {
             outage_samples.extend(p.outage_cdf.iter().map(|&(v, _)| v));
             per_vehicle.extend(p.per_vehicle);
             switches += p.switches;
+            // Max-of-parts is exact: clients never cross the district
+            // gap, so no AP's concurrent load mixes districts.
+            max_ap_load = max_ap_load.max(p.max_ap_load);
             full_outage_vehicles += p.full_outage_vehicles;
             events_handled += p.events_handled;
             frames_on_air += p.frames_on_air;
@@ -578,6 +586,7 @@ impl FleetReport {
             per_vehicle,
             switches,
             switch_rate_per_vehicle_minute,
+            max_ap_load,
             outage_cdf,
             full_outage_vehicles,
             events_handled,
@@ -599,12 +608,13 @@ impl FleetReport {
         let mut s = String::new();
         let _ = write!(
             s,
-            "vehicles={} aps={} dur={:016x} switches={} rate={:016x} cdf_n={} \
+            "vehicles={} aps={} dur={:016x} switches={} maxload={} rate={:016x} cdf_n={} \
              full_outage={} frames={} misaddr={} missing={}",
             self.vehicles,
             self.aps,
             self.duration.as_secs_f64().to_bits(),
             self.switches,
+            self.max_ap_load,
             self.switch_rate_per_vehicle_minute.to_bits(),
             self.outage_cdf.len(),
             self.full_outage_vehicles,
@@ -664,6 +674,18 @@ impl FleetReport {
         Some(self.outage_cdf[idx].0)
     }
 
+    /// Total downlink outage time (s) contributed by outages lasting at
+    /// least `threshold_s` — e.g. `outage_time_over(0.2)` is the
+    /// user-visible stall budget the predictive policy targets (gaps
+    /// short enough to hide inside a player buffer are excluded).
+    pub fn outage_time_over(&self, threshold_s: f64) -> f64 {
+        self.outage_cdf
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(|&v| v >= threshold_s)
+            .sum()
+    }
+
     /// Fraction of downlink vehicles whose whole run was one outage.
     pub fn full_outage_fraction(&self) -> f64 {
         let dl = self.per_vehicle.iter().filter(|v| v.has_downlink).count();
@@ -678,7 +700,8 @@ impl FleetReport {
     pub fn digest(&self) -> String {
         format!(
             "vehicles={} aps={} dur={:.0}s events={} frames={} switches={} \
-             switch_rate={:.2}/veh-min bitrate_p50[p50]={} outage_p99={} full_outage={}",
+             switch_rate={:.2}/veh-min max_ap_load={} bitrate_p50[p50]={} outage_p99={} \
+             full_outage={}",
             self.vehicles,
             self.aps,
             self.duration.as_secs_f64(),
@@ -686,6 +709,7 @@ impl FleetReport {
             self.frames_on_air,
             self.switches,
             self.switch_rate_per_vehicle_minute,
+            self.max_ap_load,
             fmt_opt(self.fleet_bitrate_p50(0.5)),
             fmt_opt(self.outage_quantile(0.99)),
             self.full_outage_vehicles,

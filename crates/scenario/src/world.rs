@@ -207,6 +207,9 @@ pub struct RunReport {
     pub switch_durations: Distribution,
     /// Completed switches.
     pub switches: u64,
+    /// High-water mark of concurrent clients served by any single AP
+    /// (the load-aware policy's objective; 0 for baseline runs).
+    pub max_ap_load: u64,
     /// Block ACK responses that collided on the air (Table 3).
     pub ba_collisions: Counter,
     /// Block ACK responses sent.
@@ -1274,6 +1277,7 @@ impl World {
         match &self.system {
             SystemState::Wgtt { controller, .. } => {
                 self.report.switches = controller.stats.switches_completed;
+                self.report.max_ap_load = controller.stats.max_ap_load;
                 self.report.switch_durations = controller.stats.switch_durations.clone();
                 self.report.uplink_dedup = (
                     controller.stats.uplink_forwarded,

@@ -14,6 +14,7 @@
 
 use std::time::Instant;
 
+use wgtt::policy::SwitchPolicyKind;
 use wgtt::WgttConfig;
 use wgtt_apps::mix::AppKind;
 use wgtt_scenario::fleet::FleetConfig;
@@ -31,6 +32,7 @@ struct Args {
     per_vehicle: bool,
     shards: usize,
     shard_workers: Option<usize>,
+    policy: SwitchPolicyKind,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +46,7 @@ fn parse_args() -> Args {
         per_vehicle: false,
         shards: 1,
         shard_workers: None,
+        policy: SwitchPolicyKind::ReactiveMedian,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,11 +66,18 @@ fn parse_args() -> Args {
             "--shards" => args.shards = take("--shards") as usize,
             "--shard-workers" => args.shard_workers = Some(take("--shard-workers") as usize),
             "--per-vehicle" => args.per_vehicle = true,
+            "--policy" => {
+                let v = it.next().expect("--policy needs a value");
+                args.policy = SwitchPolicyKind::parse(&v).unwrap_or_else(|| {
+                    panic!("unknown policy {v} (reactive|predictive|load-aware)")
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: fleet_corridor [--vehicles N] [--aps N] [--spacing M] \
                      [--cell-radius M] [--seed S] [--duration SECS] \
-                     [--shards N] [--shard-workers M]"
+                     [--shards N] [--shard-workers M] \
+                     [--policy reactive|predictive|load-aware]"
                 );
                 std::process::exit(0);
             }
@@ -101,7 +111,12 @@ fn main() {
         a.duration_s,
     );
 
-    let system = SystemKind::Wgtt(WgttConfig::default());
+    let wcfg = WgttConfig {
+        switch_policy: a.policy,
+        ..Default::default()
+    };
+    println!("switch policy: {}", a.policy.label());
+    let system = SystemKind::Wgtt(wcfg);
     let wall = Instant::now();
     // `--shard-workers 0` forces the districted config through the
     // sequential monolithic engine — the oracle side of the
@@ -139,8 +154,8 @@ fn main() {
 
     println!("\nroaming:");
     println!(
-        "  {} switches, {:.2} per vehicle-minute",
-        report.switches, report.switch_rate_per_vehicle_minute
+        "  {} switches, {:.2} per vehicle-minute, max AP load {}",
+        report.switches, report.switch_rate_per_vehicle_minute, report.max_ap_load
     );
 
     println!("\ndownlink outages (gaps >= 200 ms):");

@@ -1,0 +1,160 @@
+//! Three-way switch-policy comparison on one fleet corridor.
+//!
+//! Runs the *same* generated scenario (same seed, same vehicles, same
+//! traffic deal) under each [`wgtt::policy`] verdict rule —
+//! reactive-median (the paper's §3.1.1 rule), predictive, and
+//! load-aware — and prints the operator metrics side by side:
+//!
+//! ```sh
+//! cargo run --release --example policy_compare -- \
+//!     --vehicles 200 --aps 32 --seed 1 --duration 30 --shards 4
+//! ```
+//!
+//! The interesting columns: `max_ap_load` (load-aware's objective),
+//! `outage>=200ms` (predictive's objective — user-visible stall time),
+//! and the switch rate (the churn cost either policy pays for its win).
+
+use std::time::Instant;
+
+use wgtt::policy::SwitchPolicyKind;
+use wgtt::WgttConfig;
+use wgtt_scenario::fleet::{FleetConfig, FleetReport};
+use wgtt_scenario::shard::run_sharded;
+use wgtt_scenario::world::SystemKind;
+use wgtt_sim::time::SimDuration;
+
+struct Args {
+    vehicles: usize,
+    aps: usize,
+    seed: u64,
+    duration_s: f64,
+    shards: usize,
+    horizon_ms: Option<f64>,
+    beta_db: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        vehicles: 200,
+        aps: 32,
+        seed: 1,
+        duration_s: 30.0,
+        shards: 1,
+        horizon_ms: None,
+        beta_db: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<f64>()
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--vehicles" => args.vehicles = take("--vehicles") as usize,
+            "--aps" => args.aps = take("--aps") as usize,
+            "--seed" => args.seed = take("--seed") as u64,
+            "--duration" => args.duration_s = take("--duration"),
+            "--shards" => args.shards = take("--shards") as usize,
+            "--horizon-ms" => args.horizon_ms = Some(take("--horizon-ms")),
+            "--beta-db" => args.beta_db = Some(take("--beta-db")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: policy_compare [--vehicles N] [--aps N] [--seed S] \
+                     [--duration SECS] [--shards N] [--horizon-ms MS] [--beta-db DB]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+fn run_policy(cfg: &FleetConfig, kind: SwitchPolicyKind, seed: u64) -> (FleetReport, f64) {
+    let wcfg = WgttConfig {
+        switch_policy: kind,
+        ..Default::default()
+    };
+    let system = SystemKind::Wgtt(wcfg);
+    let wall = Instant::now();
+    let report = if cfg.districts > 1 {
+        run_sharded(cfg, system, seed, cfg.districts, None)
+    } else {
+        cfg.run(system, seed)
+    };
+    (report, wall.elapsed().as_secs_f64())
+}
+
+fn fmt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.2}"),
+        None => "n/a".to_string(),
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let mut cfg = FleetConfig::corridor(a.vehicles, a.aps);
+    cfg.duration = SimDuration::from_secs_f64(a.duration_s);
+    cfg.districts = a.shards.max(1);
+
+    println!(
+        "policy compare: {} vehicles, {} APs ({:.0} m road), seed {}, {:.0} s{}",
+        cfg.n_vehicles,
+        cfg.n_aps,
+        cfg.road_len(),
+        a.seed,
+        a.duration_s,
+        if cfg.districts > 1 {
+            format!(", {} shards", cfg.districts)
+        } else {
+            String::new()
+        },
+    );
+    println!();
+    println!(
+        "{:<16} {:>8} {:>10} {:>12} {:>13} {:>14} {:>12} {:>9}",
+        "policy",
+        "switches",
+        "rate/v-min",
+        "max_ap_load",
+        "outage p99(s)",
+        "outage>=200ms",
+        "p50 bitrate",
+        "wall(s)"
+    );
+    let mut kinds = SwitchPolicyKind::all();
+    for k in &mut kinds {
+        match k {
+            SwitchPolicyKind::Predictive { horizon } => {
+                if let Some(ms) = a.horizon_ms {
+                    *horizon = SimDuration::from_secs_f64(ms / 1e3);
+                }
+            }
+            SwitchPolicyKind::LoadAware { beta_db } => {
+                if let Some(b) = a.beta_db {
+                    *beta_db = b;
+                }
+            }
+            SwitchPolicyKind::ReactiveMedian => {}
+        }
+    }
+    for kind in kinds {
+        let (r, wall_s) = run_policy(&cfg, kind, a.seed);
+        assert_eq!(r.backhaul_misaddressed, 0, "misaddressed backhaul");
+        assert_eq!(r.missing_packet_refs, 0, "dangling packet refs");
+        println!(
+            "{:<16} {:>8} {:>10.2} {:>12} {:>13} {:>14.2} {:>12} {:>9.1}",
+            kind.label(),
+            r.switches,
+            r.switch_rate_per_vehicle_minute,
+            r.max_ap_load,
+            fmt(r.outage_quantile(0.99)),
+            r.outage_time_over(0.2),
+            fmt(r.fleet_bitrate_p50(0.5)),
+            wall_s,
+        );
+    }
+}

@@ -155,3 +155,20 @@ fn fleet_smoke_experiment_is_jobs_invariant() {
     assert_eq!(sequential, parallel);
     assert!(sequential.contains("vehicles"));
 }
+
+#[test]
+fn policy_smoke_experiment_is_jobs_invariant() {
+    // Three corridor runs per render (one per switch policy) — the
+    // experiment is still a pure function of (id, seed, quick), so
+    // `--jobs` stays a pure speed knob.
+    let ids: Vec<String> = ["policy_smoke", "policy_smoke"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let sequential = wgtt_scenario::experiments::render_all(&ids, 3, true, false, 1);
+    let parallel = wgtt_scenario::experiments::render_all(&ids, 3, true, false, 2);
+    assert_eq!(sequential, parallel);
+    for label in ["reactive-median", "predictive", "load-aware"] {
+        assert!(sequential.contains(label), "missing {label} row");
+    }
+}
